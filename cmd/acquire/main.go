@@ -1,0 +1,141 @@
+// Command acquire runs an instrumented benchmark skeleton and writes its
+// TAU trace and event files — steps 1 and 2 of the paper's acquisition
+// process (instrumentation and execution, Section 4).
+//
+// Usage:
+//
+//	acquire -app lu -class A -procs 8 -mode R -out traces/
+//
+// The execution runs either on the live engine (-engine live, the default:
+// fast, no platform model) or on the simulation engine over the modelled
+// Grid'5000 clusters (-engine sim), where -mode selects the acquisition
+// scenario: R, F-<x>, S-2 or SF-2,<v>.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"tireplay/internal/acquisition"
+	"tireplay/internal/mpi"
+	"tireplay/internal/npb"
+	"tireplay/internal/tau"
+	"tireplay/internal/units"
+)
+
+func main() {
+	var (
+		app      = flag.String("app", "lu", "benchmark skeleton: lu, cg, ep or mg")
+		class    = flag.String("class", "A", "NPB problem class (S, W, A, B, C, D, E)")
+		procs    = flag.Int("procs", 8, "number of MPI processes")
+		mode     = flag.String("mode", "R", "acquisition mode: R, F-<x>, S-2, SF-2,<v> (sim engine)")
+		out      = flag.String("out", ".", "output directory for TAU trace and event files")
+		engine   = flag.String("engine", "live", "execution engine: live or sim")
+		overhead = flag.Float64("overhead", 1.5e-6, "tracing overhead per record (seconds)")
+	)
+	flag.Parse()
+
+	prog, err := buildProgram(*app, *class, *procs)
+	if err != nil {
+		fail(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fail(err)
+	}
+
+	switch *engine {
+	case "live":
+		makespan, files, err := tau.AcquireLive(*out, mpi.LiveConfig{Procs: *procs}, *overhead, prog)
+		if err != nil {
+			fail(err)
+		}
+		report(makespan, files)
+	case "sim":
+		m, err := parseMode(*mode)
+		if err != nil {
+			fail(err)
+		}
+		camp := &acquisition.Campaign{Procs: *procs, Program: prog, OverheadPerEvent: *overhead}
+		b, d, err := camp.Build(m)
+		if err != nil {
+			fail(err)
+		}
+		makespan, files, err := tau.AcquireSim(*out, b, d, mpi.SimConfig{}, *overhead, prog)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("mode %s on %v node(s)\n", m.Name(), mustNodes(m, *procs))
+		report(makespan, files)
+	default:
+		fail(fmt.Errorf("unknown engine %q", *engine))
+	}
+}
+
+func buildProgram(app, class string, procs int) (mpi.Program, error) {
+	switch app {
+	case "lu":
+		c, err := npb.ClassByName(class)
+		if err != nil {
+			return nil, err
+		}
+		return npb.LU(npb.LUConfig{Class: c, Procs: procs})
+	case "cg":
+		return npb.CG(npb.CGConfig{ClassName: class, Procs: procs})
+	case "ep":
+		return npb.EP(npb.EPConfig{ClassName: class, Procs: procs})
+	case "mg":
+		return npb.MG(npb.MGConfig{ClassName: class, Procs: procs})
+	default:
+		return nil, fmt.Errorf("unknown app %q (want lu, cg, ep or mg)", app)
+	}
+}
+
+func parseMode(s string) (acquisition.Mode, error) {
+	switch {
+	case s == "R":
+		return acquisition.Regular(), nil
+	case strings.HasPrefix(s, "F-"):
+		x, err := strconv.Atoi(s[2:])
+		if err != nil {
+			return acquisition.Mode{}, fmt.Errorf("bad folding factor in %q", s)
+		}
+		return acquisition.Folding(x), nil
+	case s == "S-2":
+		return acquisition.Scattering(2), nil
+	case strings.HasPrefix(s, "SF-2,"):
+		v, err := strconv.Atoi(s[len("SF-2,"):])
+		if err != nil {
+			return acquisition.Mode{}, fmt.Errorf("bad folding factor in %q", s)
+		}
+		return acquisition.ScatterFold(2, v), nil
+	default:
+		return acquisition.Mode{}, fmt.Errorf("unknown mode %q", s)
+	}
+}
+
+func mustNodes(m acquisition.Mode, procs int) []int {
+	nodes, err := m.Nodes(procs)
+	if err != nil {
+		return nil
+	}
+	return nodes
+}
+
+func report(makespan float64, files *tau.AcquisitionFiles) {
+	var events int64
+	for _, e := range files.Events {
+		events += e
+	}
+	fmt.Printf("instrumented execution time: %s\n", units.FormatSeconds(makespan))
+	fmt.Printf("trace files: %d (%s, %d records)\n",
+		len(files.TraceFiles), units.FormatBytes(float64(files.TraceBytes)), events)
+	fmt.Printf("written to: %s\n", files.Dir)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "acquire:", err)
+	os.Exit(1)
+}

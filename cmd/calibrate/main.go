@@ -1,0 +1,101 @@
+// Command calibrate instantiates a platform description with pertinent
+// values, following the procedure of Section 5: the flop rate comes from a
+// small instrumented run of the target application (weighted average over
+// the CPU bursts, averaged over several runs), the link latency from the
+// 1-byte ping-pong divided by six, and the MPI model factors from a
+// piece-wise linear best fit of the ping-pong curve.
+//
+// Usage:
+//
+//	calibrate -class S -procs 8 -nodes 64 -runs 5 -out platform.xml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tireplay/internal/calibrate"
+	"tireplay/internal/mpi"
+	"tireplay/internal/npb"
+	"tireplay/internal/platform"
+	"tireplay/internal/tau"
+	"tireplay/internal/units"
+)
+
+func main() {
+	var (
+		class = flag.String("class", "S", "NPB class of the calibration instance")
+		procs = flag.Int("procs", 8, "processes of the calibration instance")
+		nodes = flag.Int("nodes", 64, "nodes of the emitted platform description")
+		runs  = flag.Int("runs", 5, "calibration repetitions (the paper uses five)")
+		bw    = flag.Float64("bw", platform.GigaEthernetBw, "nominal link bandwidth (B/s)")
+		out   = flag.String("out", "", "write the instantiated platform XML here (default stdout)")
+	)
+	flag.Parse()
+
+	cls, err := npb.ClassByName(*class)
+	if err != nil {
+		fail(err)
+	}
+	prog, err := npb.LU(npb.LUConfig{Class: cls, Procs: *procs})
+	if err != nil {
+		fail(err)
+	}
+
+	// Flop-rate calibration over several instrumented runs.
+	var rates []float64
+	for run := 0; run < *runs; run++ {
+		dir, err := os.MkdirTemp("", "calibrate-")
+		if err != nil {
+			fail(err)
+		}
+		_, files, err := tau.AcquireLive(dir, mpi.LiveConfig{Procs: *procs}, 0, prog)
+		if err != nil {
+			os.RemoveAll(dir)
+			fail(err)
+		}
+		_, avg, err := calibrate.MeasureFlopRate(files)
+		os.RemoveAll(dir)
+		if err != nil {
+			fail(err)
+		}
+		rates = append(rates, avg)
+	}
+	rate, err := calibrate.AverageOverRuns(rates)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "calibrated flop rate over %d run(s): %s\n",
+		*runs, units.FormatRate(rate, "flop/s"))
+
+	// Network calibration: ping-pong, latency rule, piece-wise fit.
+	model, latency, err := calibrate.FitNetwork(mpi.LiveConfig{Bandwidth: *bw}, *bw)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "fitted link latency: %s\n", units.FormatSeconds(latency))
+	for i, seg := range model.Segments() {
+		fmt.Fprintf(os.Stderr, "segment %d (< %s): latency x%.2f, bandwidth x%.2f\n",
+			i+1, units.FormatBytes(seg.MaxBytes), seg.LatFactor, seg.BwFactor)
+	}
+
+	p := platform.BordereauCustom(*nodes, 1, rate)
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := p.Marshal(w); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "calibrate:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,143 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation (Section 6).
+//
+// Usage:
+//
+//	experiments -scale quick -run all
+//	experiments -scale paper -run table2     # the full Table 2 campaign
+//
+// The quick scale exercises the same code paths on smaller instances;
+// the paper scale runs classes B and C over 8..64 processes with Table 2 on
+// 64 processes, as in the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tireplay/internal/experiments"
+	"tireplay/internal/npb"
+)
+
+func main() {
+	var (
+		scale   = flag.String("scale", "quick", "experiment scale: quick or paper")
+		run     = flag.String("run", "all", "comma list of: fig7, table2, table3, fig8, fig9, large, invariance, online, perphase, all")
+		verbose = flag.Bool("v", false, "print progress while running")
+		classes = flag.String("classes", "", "override the class list, e.g. B,C")
+		procs   = flag.String("procs", "", "override the process counts, e.g. 8,16,32,64")
+	)
+	flag.Parse()
+
+	var cfg *experiments.Config
+	switch *scale {
+	case "quick":
+		cfg = experiments.Quick()
+	case "paper":
+		cfg = &experiments.Config{}
+	default:
+		fail(fmt.Errorf("unknown scale %q", *scale))
+	}
+	if *verbose {
+		cfg.Progress = os.Stderr
+	}
+	if *classes != "" {
+		cfg.Classes = nil
+		for _, name := range strings.Split(*classes, ",") {
+			c, err := npb.ClassByName(strings.TrimSpace(name))
+			if err != nil {
+				fail(err)
+			}
+			cfg.Classes = append(cfg.Classes, c)
+		}
+	}
+	if *procs != "" {
+		cfg.Procs = nil
+		for _, s := range strings.Split(*procs, ",") {
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &n); err != nil {
+				fail(fmt.Errorf("bad process count %q", s))
+			}
+			cfg.Procs = append(cfg.Procs, n)
+		}
+	}
+
+	want := map[string]bool{}
+	for _, r := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(r)] = true
+	}
+	all := want["all"]
+	out := os.Stdout
+
+	if all || want["fig7"] || want["table3"] || want["fig8"] || want["fig9"] {
+		res, err := experiments.Suite(cfg)
+		if err != nil {
+			fail(err)
+		}
+		if all || want["fig7"] {
+			experiments.RenderFig7(out, res.Fig7)
+			fmt.Fprintln(out)
+		}
+		if all || want["table3"] {
+			experiments.RenderTable3(out, res.Table3)
+			fmt.Fprintln(out)
+		}
+		if all || want["fig8"] {
+			experiments.RenderFig8(out, res.Fig8)
+			fmt.Fprintln(out)
+		}
+		if all || want["fig9"] {
+			experiments.RenderFig9(out, res.Fig9)
+			fmt.Fprintln(out)
+		}
+	}
+	if all || want["table2"] {
+		rows, err := experiments.Table2(cfg)
+		if err != nil {
+			fail(err)
+		}
+		experiments.RenderTable2(out, rows)
+		fmt.Fprintln(out)
+	}
+	if all || want["invariance"] {
+		res, err := experiments.Invariance(cfg)
+		if err != nil {
+			fail(err)
+		}
+		experiments.RenderInvariance(out, res)
+		fmt.Fprintln(out)
+	}
+	if want["perphase"] {
+		rows, err := experiments.PerPhaseCalibration(cfg)
+		if err != nil {
+			fail(err)
+		}
+		experiments.RenderPerPhase(out, rows)
+		fmt.Fprintln(out)
+	}
+	if want["online"] {
+		rows, err := experiments.OnlineVsOffline(cfg)
+		if err != nil {
+			fail(err)
+		}
+		experiments.RenderOnline(out, rows)
+		fmt.Fprintln(out)
+	}
+	if all || want["large"] {
+		// TAU/TI ratio and folding slowdown taken from the paper-reported
+		// regime; the suite's Table 3 measures the former on this machine.
+		res, err := experiments.LargeTrace(cfg, 7.8, 1.1)
+		if err != nil {
+			fail(err)
+		}
+		experiments.RenderLarge(out, res)
+		fmt.Fprintln(out)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,92 @@
+// Command tau2ti extracts time-independent traces from TAU binary traces:
+// the counterpart of the paper's tau2simgrid tool (Section 4.3). It reads
+// the tautrace.<rank>.0.0.trc and events.<rank>.edf files of an acquisition
+// directory and writes one SG_process<rank>.trace file per process.
+//
+// Usage:
+//
+//	tau2ti -dir traces/ -procs 8 -out ti/ [-format text|binary|gzip]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"tireplay/internal/convert"
+	"tireplay/internal/trace"
+	"tireplay/internal/units"
+)
+
+func main() {
+	var (
+		dir    = flag.String("dir", ".", "directory containing the TAU trace and event files")
+		procs  = flag.Int("procs", 0, "number of MPI processes (required)")
+		out    = flag.String("out", ".", "output directory for the time-independent traces")
+		format = flag.String("format", "text", "output encoding: text, binary or gzip")
+		verify = flag.Bool("verify", true, "check the cross-process consistency of the extracted traces")
+	)
+	flag.Parse()
+	if *procs <= 0 {
+		fail(fmt.Errorf("-procs is required"))
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fail(err)
+	}
+
+	perRank, err := convert.ExtractDir(*dir, *procs)
+	if err != nil {
+		fail(err)
+	}
+	if *verify {
+		if errs := trace.Verify(perRank); len(errs) > 0 {
+			for _, e := range errs {
+				fmt.Fprintln(os.Stderr, "tau2ti: verify:", e)
+			}
+			fail(fmt.Errorf("extracted traces are inconsistent (%d problem(s))", len(errs)))
+		}
+	}
+	var totalActions, totalBytes int64
+	for rank, actions := range perRank {
+		name := trace.ProcessFileName(rank)
+		switch *format {
+		case "gzip":
+			name += ".gz"
+		case "binary":
+			name = fmt.Sprintf("SG_process%d.tib", rank)
+		case "text":
+		default:
+			fail(fmt.Errorf("unknown format %q", *format))
+		}
+		path := filepath.Join(*out, name)
+		if *format == "binary" {
+			f, err := os.Create(path)
+			if err != nil {
+				fail(err)
+			}
+			if err := trace.EncodeBinary(f, actions); err != nil {
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+		} else if err := trace.WriteFile(path, actions); err != nil {
+			fail(err)
+		}
+		st, err := os.Stat(path)
+		if err != nil {
+			fail(err)
+		}
+		totalActions += int64(len(actions))
+		totalBytes += st.Size()
+	}
+	fmt.Printf("extracted %d actions over %d processes (%s)\n",
+		totalActions, *procs, units.FormatBytes(float64(totalBytes)))
+	fmt.Printf("written to: %s\n", *out)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tau2ti:", err)
+	os.Exit(1)
+}

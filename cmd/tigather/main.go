@@ -1,0 +1,71 @@
+// Command tigather gathers per-process trace files onto the replay node
+// with a K-nomial tree schedule — the last step of the acquisition process
+// (Section 4.3). With -merge it also concatenates the files into one trace.
+//
+// Usage:
+//
+//	tigather -k 4 ti/SG_process*.trace            # print the plan and cost
+//	tigather -k 4 -merge all.trace ti/SG_*.trace  # and merge the files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tireplay/internal/gather"
+	"tireplay/internal/platform"
+	"tireplay/internal/units"
+)
+
+func main() {
+	var (
+		k     = flag.Int("k", 4, "arity of the K-nomial gathering tree")
+		merge = flag.String("merge", "", "merge the gathered files into this path")
+		bw    = flag.Float64("bw", platform.GigaEthernetBw, "link bandwidth (B/s) of the cost model")
+		lat   = flag.Float64("lat", 3*platform.ClusterLatency, "path latency (s) of the cost model")
+		auto  = flag.Bool("auto", false, "pick the arity minimising the modelled time")
+	)
+	flag.Parse()
+	files := flag.Args()
+	if len(files) == 0 {
+		fail(fmt.Errorf("no trace files given"))
+	}
+
+	sizes := make([]float64, len(files))
+	for i, f := range files {
+		st, err := os.Stat(f)
+		if err != nil {
+			fail(err)
+		}
+		sizes[i] = float64(st.Size())
+	}
+
+	arity := *k
+	if *auto {
+		best, _, err := gather.BestArity(sizes, []int{1, 2, 4, 8, 16}, *bw, *lat)
+		if err != nil {
+			fail(err)
+		}
+		arity = best
+	}
+	cost, err := gather.Cost(sizes, arity, *bw, *lat)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%d files, %d-nomial tree: %d steps, modelled gathering time %s\n",
+		len(files), arity, gather.Steps(len(files), arity), units.FormatSeconds(cost))
+
+	if *merge != "" {
+		n, err := gather.Concat(files, *merge)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("merged %s into %s\n", units.FormatBytes(float64(n)), *merge)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tigather:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,124 @@
+// Command tireplay replays time-independent traces on a simulated platform
+// and reports the predicted execution time — the trace replay tool of
+// Section 5 (Figure 4: platform + deployment + traces in, simulated time
+// out).
+//
+// Usage:
+//
+//	tireplay -platform cluster.xml -deployment depl.xml
+//	tireplay -procs 8 -dir ti/            # built-in bordereau platform
+//
+// The deployment file names each process's trace file in its <argument>
+// element, as in the paper; with -dir, SG_process<rank>.trace files are
+// taken from the directory instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"tireplay/internal/platform"
+	"tireplay/internal/replay"
+	"tireplay/internal/smpi"
+	"tireplay/internal/trace"
+	"tireplay/internal/units"
+)
+
+func main() {
+	var (
+		platformPath = flag.String("platform", "", "SimGrid platform XML file")
+		deployPath   = flag.String("deployment", "", "deployment XML file (trace files as process arguments)")
+		dir          = flag.String("dir", "", "directory of SG_process<rank>.trace files (with -procs)")
+		procs        = flag.Int("procs", 0, "number of processes when using -dir")
+		power        = flag.Float64("power", platform.BordereauPower, "per-core flop/s of the built-in platform")
+		identity     = flag.Bool("no-mpi-model", false, "disable the piece-wise linear MPI model")
+		timed        = flag.String("timed", "", "write a timed trace of the simulated execution to this file")
+		profile      = flag.Bool("profile", false, "print a per-process profile of the simulated execution")
+	)
+	flag.Parse()
+
+	var (
+		b   *platform.Build
+		d   *platform.Deployment
+		err error
+	)
+	switch {
+	case *platformPath != "" && *deployPath != "":
+		p, err := platform.ParseFile(*platformPath)
+		if err != nil {
+			fail(err)
+		}
+		b, err = platform.Instantiate(p)
+		if err != nil {
+			fail(err)
+		}
+		d, err = platform.ParseDeploymentFile(*deployPath)
+		if err != nil {
+			fail(err)
+		}
+	case *dir != "" && *procs > 0:
+		b, err = platform.BuildBordereauCustom(*procs, 1, *power)
+		if err != nil {
+			fail(err)
+		}
+		d, err = platform.RoundRobin(b.HostNames, *procs, 1)
+		if err != nil {
+			fail(err)
+		}
+		files := make([]string, *procs)
+		for r := range files {
+			files[r] = filepath.Join(*dir, trace.ProcessFileName(r))
+		}
+		d, err = d.WithTraceArgs(files)
+		if err != nil {
+			fail(err)
+		}
+	default:
+		fail(fmt.Errorf("need either -platform and -deployment, or -dir and -procs"))
+	}
+
+	cfg := replay.Config{Model: smpi.Default()}
+	if *identity {
+		cfg.Model = smpi.Identity()
+	}
+	var tracers replay.Tee
+	var prof *replay.Profile
+	if *profile {
+		prof = replay.NewProfile()
+		tracers = append(tracers, prof)
+	}
+	var tw *replay.TimedTraceWriter
+	if *timed != "" {
+		timedFile, err := os.Create(*timed)
+		if err != nil {
+			fail(err)
+		}
+		tw = replay.NewTimedTraceWriter(timedFile)
+		tracers = append(tracers, tw)
+		defer func() {
+			tw.Flush()
+			timedFile.Close()
+		}()
+	}
+	if len(tracers) > 0 {
+		cfg.TimedTracer = tracers
+	}
+
+	res, err := replay.RunFiles(b, d, cfg)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("simulated execution time: %s\n", units.FormatSeconds(res.SimulatedTime))
+	fmt.Printf("replayed %d actions in %v\n", res.Actions, res.WallTime)
+	if prof != nil {
+		fmt.Println()
+		prof.Render(os.Stdout, res.SimulatedTime)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tireplay:", err)
+	os.Exit(1)
+}

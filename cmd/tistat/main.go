@@ -1,0 +1,60 @@
+// Command tistat prints statistics and consistency diagnostics for
+// time-independent trace files: action counts by type, computation and
+// communication volumes, text size, and the cross-process verification
+// results (unmatched messages, dangling requests, diverging collectives).
+//
+// Usage:
+//
+//	tistat ti/SG_process*.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tireplay/internal/trace"
+	"tireplay/internal/units"
+)
+
+func main() {
+	verify := flag.Bool("verify", true, "run cross-process consistency checks")
+	flag.Parse()
+	files := flag.Args()
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "tistat: no trace files given")
+		os.Exit(1)
+	}
+
+	perRank := make([][]trace.Action, len(files))
+	var global trace.Stats
+	for i, path := range files {
+		actions, err := trace.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tistat:", err)
+			os.Exit(1)
+		}
+		perRank[i] = actions
+		st := trace.Collect(actions)
+		fmt.Printf("%s: %s\n", path, st.String())
+		for _, a := range actions {
+			global.Observe(a)
+		}
+	}
+	fmt.Printf("\ntotal: %s\n", global.String())
+	fmt.Printf("volumes: %s computed, %s communicated\n",
+		units.FormatFlops(global.Flops), units.FormatBytes(global.CommBytes))
+
+	if *verify {
+		errs := trace.Verify(perRank)
+		if len(errs) == 0 {
+			fmt.Println("consistency: OK")
+			return
+		}
+		fmt.Printf("consistency: %d problem(s)\n", len(errs))
+		for _, e := range errs {
+			fmt.Println(" ", e)
+		}
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,51 @@
+// large_trace reproduces the Section 6.5 study: acquiring the trace of a
+// class D LU instance on 1,024 processes — almost three times more
+// processes than the bordereau cluster has cores — using 32 nodes and a
+// folding factor of 8. The action counts are computed exactly from the
+// benchmark structure; trace sizes are measured on a sample of ranks and
+// extended by the exact counts (pass -exact to stream every rank).
+//
+// Run with: go run ./examples/large_trace [-exact]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"tireplay/internal/experiments"
+	"tireplay/internal/npb"
+)
+
+func main() {
+	exact := flag.Bool("exact", false, "stream every rank instead of sampling (slow)")
+	flag.Parse()
+
+	cfg := &experiments.Config{}
+	if *exact {
+		cfg.LargeSampleRanks = -1
+	} else {
+		cfg.LargeSampleRanks = 8
+	}
+
+	stats, err := npb.LUConfig{Class: npb.ClassD, Procs: 1024}.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("class D on 1024 processes: %d time-independent actions (exact)\n",
+		stats.TotalActions)
+	fmt.Println("measuring trace sizes...")
+
+	start := time.Now()
+	res, err := experiments.LargeTrace(cfg, 7.8, 1.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("measured in %v\n\n", time.Since(start).Round(time.Millisecond))
+	experiments.RenderLarge(os.Stdout, res)
+
+	fmt.Println("\nPaper (Section 6.5): acquisition < 25 min; 32.5 GiB time-independent")
+	fmt.Println("trace, 7.8x smaller than TAU's 252.5 GiB; 1.2 GiB once gzip-compressed.")
+}

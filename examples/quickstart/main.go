@@ -1,0 +1,124 @@
+// Quickstart walks the complete framework through the paper's running
+// example (Figure 1): a ring of four MPI processes, each computing one
+// Mflop and passing one MB to its neighbour.
+//
+//  1. The instrumented application runs on the live engine, producing TAU
+//     binary traces (Section 4: instrumentation + execution).
+//  2. tau2simgrid-style extraction turns them into time-independent traces
+//     (Section 4.3) — printed, they match Figure 1 of the paper.
+//  3. The traces are replayed on the platform of Figure 5, predicting the
+//     execution time on that cluster (Section 5).
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"tireplay/internal/convert"
+	"tireplay/internal/mpi"
+	"tireplay/internal/platform"
+	"tireplay/internal/replay"
+	"tireplay/internal/smpi"
+	"tireplay/internal/tau"
+	"tireplay/internal/units"
+)
+
+// ring is the MPI code of Figure 1 (left), written against the substrate's
+// Comm interface.
+func ring(c mpi.Comm) {
+	me, n := c.Rank(), c.Size()
+	next := (me + 1) % n
+	prev := (me - 1 + n) % n
+	for i := 0; i < 4; i++ {
+		if me == 0 {
+			c.Compute(1e6) // compute 1 Mflop
+			c.Send(next, 1e6)
+			c.Recv(prev)
+		} else {
+			c.Recv(prev)
+			c.Compute(1e6)
+			c.Send(next, 1e6)
+		}
+	}
+}
+
+func main() {
+	const procs = 4
+	dir, err := os.MkdirTemp("", "quickstart-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Step 1: acquire.
+	fmt.Println("== Acquisition (instrumented execution on the live engine)")
+	makespan, files, err := tau.AcquireLive(dir, mpi.LiveConfig{Procs: procs}, 0, ring)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("instrumented run finished at %s, %s of TAU traces\n\n",
+		units.FormatSeconds(makespan), units.FormatBytes(float64(files.TraceBytes)))
+
+	// Step 2: extract the time-independent trace.
+	fmt.Println("== Time-independent trace (compare with Figure 1 of the paper)")
+	perRank, err := convert.ExtractDir(dir, procs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, actions := range perRank {
+		for _, a := range actions {
+			fmt.Println(a.Format())
+		}
+	}
+	fmt.Println()
+
+	// Step 3: replay on the platform of Figure 5.
+	fmt.Println("== Replay on the mycluster platform (Figures 5 and 6)")
+	p, err := platform.Parse(paperPlatform())
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := platform.Instantiate(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := platform.RoundRobin(b.HostNames, procs, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := replay.RunActions(b, d, replay.Config{Model: smpi.Default()}, perRank)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated execution time: %s (%d actions replayed in %v)\n",
+		units.FormatSeconds(res.SimulatedTime), res.Actions, res.WallTime)
+}
+
+// paperPlatform returns the platform file of Figure 5, verbatim.
+func paperPlatform() *os.File {
+	const xml = `<?xml version='1.0'?>
+<!DOCTYPE platform SYSTEM "simgrid.dtd">
+<platform version="3">
+  <AS id="AS_mysite" routing="Full">
+    <cluster id="AS_mycluster"
+             prefix="mycluster-" suffix=".mysite.fr"
+             radical="0-3" power="1.17E9"
+             bw="1.25E8" lat="16.67E-6"
+             bb_bw="1.25E9" bb_lat="16.67E-6"/>
+  </AS>
+</platform>`
+	f, err := os.CreateTemp("", "platform-*.xml")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := f.WriteString(xml); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		log.Fatal(err)
+	}
+	return f
+}

@@ -1,0 +1,312 @@
+// Package acquisition orchestrates the four-step acquisition process of
+// Section 4 — instrumentation, execution, extraction and gathering — under
+// the four execution modes of Figure 2:
+//
+//   - Regular (R): one process per CPU, as many nodes as processes — the
+//     only mode classical timed traces support;
+//   - Folding (F-x): x processes per CPU, enabling acquisitions larger than
+//     the available node count;
+//   - Scattering (S-y): the processes spread over y sites of a wide-area
+//     platform;
+//   - Scattering+Folding (SF-(u,v)): both combined.
+//
+// Executions run on the simulation engine over the modelled Grid'5000
+// clusters (bordereau and gdx), so the acquisition campaigns of Table 2 and
+// Figure 7 can be regenerated: the instrumented run produces real TAU trace
+// files, the extraction really runs (concurrently, like the parallel
+// tau2simgrid), and the gathering cost follows the K-nomial tree model.
+package acquisition
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"tireplay/internal/convert"
+	"tireplay/internal/gather"
+	"tireplay/internal/mpi"
+	"tireplay/internal/platform"
+	"tireplay/internal/smpi"
+	"tireplay/internal/tau"
+	"tireplay/internal/trace"
+)
+
+// Mode identifies an acquisition mode with its parameters.
+type Mode struct {
+	// Sites is the number of Grid'5000 sites used (1 = bordereau only,
+	// 2 = bordereau + gdx over the WAN).
+	Sites int
+	// Fold is the number of processes per CPU (1 = regular).
+	Fold int
+}
+
+// Regular is the one-process-per-CPU mode (R).
+func Regular() Mode { return Mode{Sites: 1, Fold: 1} }
+
+// Folding is the F-x mode: x processes per CPU on a single site.
+func Folding(x int) Mode { return Mode{Sites: 1, Fold: x} }
+
+// Scattering is the S-y mode: processes spread over y sites.
+func Scattering(y int) Mode { return Mode{Sites: y, Fold: 1} }
+
+// ScatterFold is the SF-(u,v) mode.
+func ScatterFold(u, v int) Mode { return Mode{Sites: u, Fold: v} }
+
+// Name renders the mode with the paper's notation.
+func (m Mode) Name() string {
+	switch {
+	case m.Sites <= 1 && m.Fold <= 1:
+		return "R"
+	case m.Sites <= 1:
+		return fmt.Sprintf("F-%d", m.Fold)
+	case m.Fold <= 1:
+		return fmt.Sprintf("S-%d", m.Sites)
+	default:
+		return fmt.Sprintf("SF-(%d,%d)", m.Sites, m.Fold)
+	}
+}
+
+func (m Mode) validate(procs int) error {
+	if m.Sites < 1 || m.Sites > 2 {
+		return fmt.Errorf("acquisition: %d sites unsupported (modelled platform has 2)", m.Sites)
+	}
+	if m.Fold < 1 {
+		return fmt.Errorf("acquisition: folding factor %d", m.Fold)
+	}
+	if procs%(m.Sites*m.Fold) != 0 {
+		return fmt.Errorf("acquisition: %d processes not divisible by sites*fold = %d",
+			procs, m.Sites*m.Fold)
+	}
+	return nil
+}
+
+// Nodes returns the per-site node counts the mode uses for procs processes
+// (the "Number of nodes" row of Table 2).
+func (m Mode) Nodes(procs int) ([]int, error) {
+	if err := m.validate(procs); err != nil {
+		return nil, err
+	}
+	perSite := procs / m.Sites / m.Fold
+	out := make([]int, m.Sites)
+	for i := range out {
+		out[i] = perSite
+	}
+	return out, nil
+}
+
+// Campaign configures a family of acquisitions of one application instance.
+type Campaign struct {
+	// Procs is the number of MPI processes of the traced instance.
+	Procs int
+	// Program is the instrumented application.
+	Program mpi.Program
+	// OverheadPerEvent is the tracing perturbation per TAU record (seconds).
+	OverheadPerEvent float64
+	// Rate models host flop-rate variability (nil = constant).
+	Rate mpi.RateMultiplier
+	// ExtractCostPerEvent is the modelled per-record cost of the parallel
+	// extraction step, in seconds on the acquisition nodes (the real
+	// extraction also runs; this models Figure 7's scale).
+	ExtractCostPerEvent float64
+	// GatherArity is the K of the K-nomial gathering tree (default 4, the
+	// arity used in the paper's Figure 7 discussion).
+	GatherArity int
+	// Network, when non-nil, is the protocol model of the host platform
+	// applied to every transfer during acquisition runs (the modelled
+	// testbed's own MPI behaviour).
+	Network *smpi.Model
+}
+
+func (c *Campaign) setDefaults() {
+	if c.ExtractCostPerEvent == 0 {
+		c.ExtractCostPerEvent = 20e-6
+	}
+	if c.GatherArity == 0 {
+		c.GatherArity = 4
+	}
+}
+
+// Report is the outcome of one acquisition: the time decomposition of
+// Figure 7, the Table 2 execution time, and the Table 3 sizes.
+type Report struct {
+	Mode  string
+	Nodes []int // per-site node counts
+
+	// ApplicationTime is the uninstrumented execution time (simulated).
+	ApplicationTime float64
+	// InstrumentedTime is the execution time with tracing enabled — the
+	// quantity Table 2 compares across modes.
+	InstrumentedTime float64
+	// TracingOverhead = InstrumentedTime - ApplicationTime.
+	TracingOverhead float64
+	// ExtractionTime is the modelled duration of the parallel extraction.
+	ExtractionTime float64
+	// GatheringTime is the modelled duration of the K-nomial gathering.
+	GatheringTime float64
+	// ExtractionWall is the measured wall-clock time of the real
+	// extraction on this machine (informative).
+	ExtractionWall time.Duration
+
+	// TAUBytes is the total size of the binary TAU traces (measured).
+	TAUBytes int64
+	// TIBytes is the total size of the textual time-independent traces.
+	TIBytes int64
+	// Actions is the total number of time-independent actions.
+	Actions int64
+	// TraceDir holds the TAU files; TIFiles the per-process SG_process
+	// traces written after extraction.
+	TraceDir string
+	TIFiles  []string
+}
+
+// TotalAcquisitionTime sums the four components of Figure 7.
+func (r *Report) TotalAcquisitionTime() float64 {
+	return r.ApplicationTime + r.TracingOverhead + r.ExtractionTime + r.GatheringTime
+}
+
+// Build constructs the platform and deployment of a mode. Following the
+// experimental setup of Table 2 ("we use only one core per node"), nodes
+// are modelled single-core, so the folding factor is processes per CPU.
+// It is exported so calibration campaigns can acquire on the same
+// platforms.
+func (c *Campaign) Build(m Mode) (*platform.Build, *platform.Deployment, error) {
+	nodes, err := m.Nodes(c.Procs)
+	if err != nil {
+		return nil, nil, err
+	}
+	if m.Sites == 1 {
+		b, err := platform.BuildBordereauWithCores(nodes[0], 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		d, err := platform.RoundRobin(b.HostNames, c.Procs, m.Fold)
+		if err != nil {
+			return nil, nil, err
+		}
+		c.applyNetwork(b)
+		return b, d, nil
+	}
+	b, err := platform.BuildGrid5000WithCores(nodes[0], nodes[1], 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	groups := [][]string{b.ClusterHosts("bordereau"), b.ClusterHosts("gdx")}
+	d, err := platform.Scatter(groups, c.Procs, m.Fold)
+	if err != nil {
+		return nil, nil, err
+	}
+	c.applyNetwork(b)
+	return b, d, nil
+}
+
+// applyNetwork installs the host platform's protocol model on the kernel.
+func (c *Campaign) applyNetwork(b *platform.Build) {
+	if c.Network != nil {
+		b.Kernel.SetRateModel(c.Network.RateModel())
+	}
+}
+
+// ExecutionTime runs the uninstrumented application under the mode and
+// returns the simulated makespan.
+func (c *Campaign) ExecutionTime(m Mode) (float64, error) {
+	b, d, err := c.Build(m)
+	if err != nil {
+		return 0, err
+	}
+	return mpi.RunSim(b, d, mpi.SimConfig{Rate: c.Rate}, c.Program)
+}
+
+// InstrumentedTime runs the instrumented application under the mode,
+// discarding the trace records: the quantity compared across acquisition
+// modes in Table 2.
+func (c *Campaign) InstrumentedTime(m Mode) (float64, error) {
+	c.setDefaults()
+	b, d, err := c.Build(m)
+	if err != nil {
+		return 0, err
+	}
+	return tau.InstrumentedTimeSim(b, d, mpi.SimConfig{Rate: c.Rate}, c.OverheadPerEvent, c.Program)
+}
+
+// Run performs the complete acquisition under the mode: instrumented
+// execution into dir, real extraction to SG_process trace files, and the
+// modelled gathering. Pass skipBaseline=true to reuse a known
+// ApplicationTime of zero (Table 2 only needs the instrumented time).
+func (c *Campaign) Run(dir string, m Mode, skipBaseline bool) (*Report, error) {
+	c.setDefaults()
+	nodes, err := m.Nodes(c.Procs)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Mode: m.Name(), Nodes: nodes, TraceDir: dir}
+
+	if !skipBaseline {
+		app, err := c.ExecutionTime(m)
+		if err != nil {
+			return nil, err
+		}
+		rep.ApplicationTime = app
+	}
+
+	b, d, err := c.Build(m)
+	if err != nil {
+		return nil, err
+	}
+	instr, files, err := tau.AcquireSim(dir, b, d, mpi.SimConfig{Rate: c.Rate},
+		c.OverheadPerEvent, c.Program)
+	if err != nil {
+		return nil, err
+	}
+	rep.InstrumentedTime = instr
+	if !skipBaseline {
+		rep.TracingOverhead = instr - rep.ApplicationTime
+	}
+	rep.TAUBytes = files.TraceBytes
+
+	// Extraction: really performed (concurrently, like the parallel
+	// tau2simgrid) and modelled for the acquisition-time decomposition. The
+	// modelled cost is per-node: ranks folded on one node extract serially.
+	wallStart := time.Now()
+	perRank, err := convert.ExtractDir(dir, c.Procs)
+	if err != nil {
+		return nil, err
+	}
+	rep.ExtractionWall = time.Since(wallStart)
+	maxNodeEvents := int64(0)
+	ranksPerNode := m.Fold
+	for i := 0; i < len(files.Events); i += ranksPerNode {
+		var nodeEvents int64
+		for j := i; j < i+ranksPerNode && j < len(files.Events); j++ {
+			nodeEvents += files.Events[j]
+		}
+		if nodeEvents > maxNodeEvents {
+			maxNodeEvents = nodeEvents
+		}
+	}
+	rep.ExtractionTime = float64(maxNodeEvents) * c.ExtractCostPerEvent
+
+	// Write the per-process time-independent traces and model the gather.
+	sizes := make([]float64, c.Procs)
+	rep.TIFiles = make([]string, c.Procs)
+	for r, acts := range perRank {
+		path := filepath.Join(dir, trace.ProcessFileName(r))
+		if err := trace.WriteFile(path, acts); err != nil {
+			return nil, err
+		}
+		st, err := os.Stat(path)
+		if err != nil {
+			return nil, err
+		}
+		sizes[r] = float64(st.Size())
+		rep.TIBytes += st.Size()
+		rep.Actions += int64(len(acts))
+		rep.TIFiles[r] = path
+	}
+	gt, err := gather.Cost(sizes, c.GatherArity, platform.GigaEthernetBw, 3*platform.ClusterLatency)
+	if err != nil {
+		return nil, err
+	}
+	rep.GatheringTime = gt
+	return rep, nil
+}

@@ -1,0 +1,233 @@
+package acquisition
+
+import (
+	"strings"
+	"testing"
+
+	"tireplay/internal/convert"
+	"tireplay/internal/mpi"
+	"tireplay/internal/npb"
+)
+
+func TestModeNames(t *testing.T) {
+	cases := map[string]Mode{
+		"R":         Regular(),
+		"F-8":       Folding(8),
+		"S-2":       Scattering(2),
+		"SF-(2,16)": ScatterFold(2, 16),
+	}
+	for want, m := range cases {
+		if got := m.Name(); got != want {
+			t.Errorf("Name() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestModeNodes(t *testing.T) {
+	// Table 2 header: for 64 processes, R uses 64 nodes, F-4 uses 16,
+	// S-2 uses (32,32), SF-(2,8) uses (4,4).
+	cases := []struct {
+		m    Mode
+		want []int
+	}{
+		{Regular(), []int{64}},
+		{Folding(4), []int{16}},
+		{Folding(32), []int{2}},
+		{Scattering(2), []int{32, 32}},
+		{ScatterFold(2, 8), []int{4, 4}},
+		{ScatterFold(2, 16), []int{2, 2}},
+	}
+	for _, c := range cases {
+		got, err := c.m.Nodes(64)
+		if err != nil {
+			t.Fatalf("%s: %v", c.m.Name(), err)
+		}
+		if len(got) != len(c.want) {
+			t.Fatalf("%s: nodes = %v, want %v", c.m.Name(), got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("%s: nodes = %v, want %v", c.m.Name(), got, c.want)
+			}
+		}
+	}
+}
+
+func TestModeValidation(t *testing.T) {
+	if _, err := (Mode{Sites: 3, Fold: 1}).Nodes(64); err == nil {
+		t.Error("3 sites should be rejected")
+	}
+	if _, err := (Mode{Sites: 1, Fold: 0}).Nodes(64); err == nil {
+		t.Error("fold 0 should be rejected")
+	}
+	if _, err := Folding(3).Nodes(64); err == nil {
+		t.Error("non-divisible fold should be rejected")
+	}
+}
+
+// testCampaign builds a small LU campaign for mode tests.
+func testCampaign(t *testing.T, procs int) *Campaign {
+	t.Helper()
+	prog, err := npb.LU(npb.LUConfig{Class: npb.ClassS, Procs: procs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Campaign{Procs: procs, Program: prog, OverheadPerEvent: 1e-6}
+}
+
+// computeBoundCampaign is dominated by computation, like the class B and C
+// instances of Table 2 (class S LU is latency-bound and does not exhibit
+// the folding ratio).
+func computeBoundCampaign(procs int) *Campaign {
+	return &Campaign{
+		Procs: procs,
+		Program: func(c mpi.Comm) {
+			for i := 0; i < 3; i++ {
+				c.Compute(5e8)
+				c.Barrier()
+			}
+		},
+	}
+}
+
+func TestFoldingSlowdownRoughlyLinear(t *testing.T) {
+	// The heart of Table 2: the instrumented execution time grows roughly
+	// linearly with the folding factor.
+	c := computeBoundCampaign(8)
+	base, err := c.ExecutionTime(Regular())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fold := range []int{2, 4, 8} {
+		ft, err := c.ExecutionTime(Folding(fold))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := ft / base
+		if ratio < 0.8*float64(fold) || ratio > 1.3*float64(fold) {
+			t.Errorf("F-%d ratio = %.2f, expected near %d", fold, ratio, fold)
+		}
+	}
+}
+
+func TestScatteringAddsWANOverhead(t *testing.T) {
+	// For a compute-bound instance the scattering overhead stays modest
+	// (below the number of sites, as the paper observes for class B/C).
+	c := computeBoundCampaign(8)
+	base, err := c.ExecutionTime(Regular())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scattered, err := c.ExecutionTime(Scattering(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scattered <= base {
+		t.Fatalf("S-2 (%g) not slower than R (%g)", scattered, base)
+	}
+	if scattered/base > 2.5 {
+		t.Fatalf("S-2 ratio %.2f too large for a compute-bound run", scattered/base)
+	}
+
+	// The paper also notes the overhead is "greater for smaller problem
+	// classes": a latency-bound class S LU must suffer a larger ratio.
+	lu := testCampaign(t, 8)
+	luBase, err := lu.ExecutionTime(Regular())
+	if err != nil {
+		t.Fatal(err)
+	}
+	luScat, err := lu.ExecutionTime(Scattering(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if luScat/luBase <= scattered/base {
+		t.Errorf("small-class WAN overhead (%.2f) not larger than compute-bound one (%.2f)",
+			luScat/luBase, scattered/base)
+	}
+}
+
+func TestRunProducesFullReport(t *testing.T) {
+	c := testCampaign(t, 4)
+	dir := t.TempDir()
+	rep, err := c.Run(dir, Regular(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "R" {
+		t.Errorf("mode = %q", rep.Mode)
+	}
+	if rep.ApplicationTime <= 0 || rep.InstrumentedTime <= rep.ApplicationTime {
+		t.Errorf("times: app=%g instr=%g", rep.ApplicationTime, rep.InstrumentedTime)
+	}
+	if rep.TracingOverhead <= 0 {
+		t.Errorf("tracing overhead = %g", rep.TracingOverhead)
+	}
+	if rep.ExtractionTime <= 0 || rep.GatheringTime <= 0 {
+		t.Errorf("extraction=%g gathering=%g", rep.ExtractionTime, rep.GatheringTime)
+	}
+	if rep.TAUBytes <= 0 || rep.TIBytes <= 0 || rep.Actions <= 0 {
+		t.Errorf("sizes: tau=%d ti=%d actions=%d", rep.TAUBytes, rep.TIBytes, rep.Actions)
+	}
+	// Time-independent traces are smaller than the TAU traces (Table 3).
+	if rep.TIBytes >= rep.TAUBytes {
+		t.Errorf("TI trace (%d B) not smaller than TAU trace (%d B)", rep.TIBytes, rep.TAUBytes)
+	}
+	if rep.TotalAcquisitionTime() <= rep.InstrumentedTime {
+		t.Error("total acquisition should exceed the execution alone")
+	}
+	if len(rep.TIFiles) != 4 || !strings.HasSuffix(rep.TIFiles[2], "SG_process2.trace") {
+		t.Errorf("TI files = %v", rep.TIFiles)
+	}
+}
+
+// TestSimulatedTimeInvariantAcrossModes is the experiment closing Section
+// 6.2: a classical tracing tool would produce erroneous timestamps under
+// folding or scattering, but time-independent traces yield the same trace —
+// hence the same simulated time — whatever the acquisition scenario.
+func TestSimulatedTimeInvariantAcrossModes(t *testing.T) {
+	c := testCampaign(t, 8)
+	var ref string
+	for _, m := range []Mode{Regular(), Folding(4), Scattering(2), ScatterFold(2, 2)} {
+		dir := t.TempDir()
+		rep, err := c.Run(dir, m, true)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		perRank, err := convert.ExtractDir(dir, c.Procs)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		var sb strings.Builder
+		for _, acts := range perRank {
+			for _, a := range acts {
+				sb.WriteString(a.Format())
+				sb.WriteByte('\n')
+			}
+		}
+		if ref == "" {
+			ref = sb.String()
+		} else if sb.String() != ref {
+			t.Fatalf("mode %s produced a different time-independent trace", m.Name())
+		}
+		_ = rep
+	}
+}
+
+func TestCampaignWithRateVariability(t *testing.T) {
+	prog, err := npb.LU(npb.LUConfig{Class: npb.ClassS, Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Campaign{Procs: 4, Program: prog,
+		Rate: func(rank int, seq int64, flops float64) float64 {
+			return 0.8 + 0.05*float64(seq%8)
+		}}
+	ti, err := c.ExecutionTime(Regular())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ti <= 0 {
+		t.Fatal("non-positive execution time")
+	}
+	_ = mpi.Comm(nil)
+}

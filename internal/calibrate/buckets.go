@@ -1,0 +1,138 @@
+package calibrate
+
+import (
+	"fmt"
+	"math"
+
+	"tireplay/internal/tau"
+	"tireplay/internal/tfr"
+)
+
+// The paper attributes the replay's accuracy gap to using one average flop
+// rate although "the flop rate is not constant over the computation of a LU
+// benchmark", and suggests acquiring "more information on each computation
+// during the calibration step to adapt the flop rate accordingly"
+// (Section 6.4). This file implements that refinement: CPU bursts are
+// binned by volume — in LU, each SSOR phase has a characteristic burst
+// volume, so volume is a workable phase signature — and a rate is
+// calibrated per bin.
+
+// VolumeBucket maps a burst volume to its bin: the integer binary order of
+// magnitude, so bursts within a factor of two share a bin.
+func VolumeBucket(flops float64) int {
+	if flops <= 1 {
+		return 0
+	}
+	return int(math.Log2(flops))
+}
+
+// BucketRates holds per-bin calibrated rates with the global average as a
+// fallback for bins never observed during calibration.
+type BucketRates struct {
+	Rates   map[int]float64
+	Average float64
+}
+
+// Rate returns the calibrated rate for a burst of the given volume.
+func (b *BucketRates) Rate(flops float64) float64 {
+	if r, ok := b.Rates[VolumeBucket(flops)]; ok {
+		return r
+	}
+	return b.Average
+}
+
+// measureRankBuckets folds one rank's bursts into the accumulators.
+func measureRankBuckets(trcPath, edfPath string, flopsAcc, timeAcc map[int]float64) (totalFlops, totalTime float64, err error) {
+	var (
+		inState     bool
+		samples     int
+		lastExitT   float64
+		lastExitV   float64
+		started     bool
+		lastSampleT float64
+		lastSampleV float64
+	)
+	cb := tfr.Callbacks{
+		EnterState: func(t float64, node, tid, id int) {
+			inState = true
+			samples = 0
+		},
+		EventTrigger: func(t float64, node, tid, id int, v float64) {
+			if id != tau.EventPAPIFlops || !inState {
+				return
+			}
+			if samples == 0 && started {
+				flops := v - lastExitV
+				dur := t - lastExitT
+				if flops > 0 && dur > 0 {
+					b := VolumeBucket(flops)
+					flopsAcc[b] += flops
+					timeAcc[b] += dur
+					totalFlops += flops
+					totalTime += dur
+				}
+			}
+			samples++
+			lastSampleT, lastSampleV = t, v
+		},
+		LeaveState: func(t float64, node, tid, id int) {
+			if samples > 0 {
+				lastExitT, lastExitV = lastSampleT, lastSampleV
+				started = true
+			}
+			inState = false
+		},
+	}
+	if err := tfr.ReadFiles(trcPath, edfPath, cb); err != nil {
+		return 0, 0, err
+	}
+	return totalFlops, totalTime, nil
+}
+
+// MeasureBucketRates calibrates a per-volume-bin flop rate from an
+// acquisition, the refinement of MeasureFlopRate suggested by Section 6.4.
+func MeasureBucketRates(files *tau.AcquisitionFiles) (*BucketRates, error) {
+	flopsAcc := make(map[int]float64)
+	timeAcc := make(map[int]float64)
+	var totalFlops, totalTime float64
+	for r := range files.TraceFiles {
+		tf, tt, err := measureRankBuckets(files.TraceFiles[r], files.EventFiles[r], flopsAcc, timeAcc)
+		if err != nil {
+			return nil, fmt.Errorf("calibrate: rank %d: %w", r, err)
+		}
+		totalFlops += tf
+		totalTime += tt
+	}
+	if totalTime <= 0 {
+		return nil, fmt.Errorf("calibrate: no positive-duration bursts observed")
+	}
+	br := &BucketRates{Rates: make(map[int]float64), Average: totalFlops / totalTime}
+	for b, f := range flopsAcc {
+		if timeAcc[b] > 0 {
+			br.Rates[b] = f / timeAcc[b]
+		}
+	}
+	return br, nil
+}
+
+// MergeBucketRates averages calibrations from several runs, weighting each
+// bin by presence.
+func MergeBucketRates(runs []*BucketRates) (*BucketRates, error) {
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("calibrate: no runs")
+	}
+	out := &BucketRates{Rates: make(map[int]float64)}
+	counts := make(map[int]int)
+	for _, r := range runs {
+		out.Average += r.Average
+		for b, v := range r.Rates {
+			out.Rates[b] += v
+			counts[b]++
+		}
+	}
+	out.Average /= float64(len(runs))
+	for b := range out.Rates {
+		out.Rates[b] /= float64(counts[b])
+	}
+	return out, nil
+}

@@ -1,0 +1,95 @@
+package calibrate
+
+import (
+	"math"
+	"testing"
+
+	"tireplay/internal/mpi"
+	"tireplay/internal/tau"
+)
+
+func TestVolumeBucket(t *testing.T) {
+	cases := map[float64]int{
+		0:    0,
+		1:    0,
+		2:    1,
+		1024: 10,
+		1e6:  19,
+	}
+	for in, want := range cases {
+		if got := VolumeBucket(in); got != want {
+			t.Errorf("VolumeBucket(%g) = %d, want %d", in, got, want)
+		}
+	}
+	// Bursts within a factor of two share a bin.
+	if VolumeBucket(3000) != VolumeBucket(4000) {
+		t.Error("nearby volumes split across bins")
+	}
+}
+
+func TestMeasureBucketRatesSeparatesPhases(t *testing.T) {
+	// Two burst classes with different volumes and different rates: the
+	// bucketed calibration must recover both, where the single average
+	// cannot.
+	dir := t.TempDir()
+	prog := func(c mpi.Comm) {
+		for i := 0; i < 4; i++ {
+			c.Compute(1e6) // "fast phase" bursts
+			c.Barrier()
+			c.Compute(64e6) // "slow phase" bursts
+			c.Barrier()
+		}
+	}
+	cfg := mpi.LiveConfig{Procs: 2, FlopRate: 1e9,
+		Rate: func(rank int, seq int64, flops float64) float64 {
+			if flops > 1e7 {
+				return 0.5 // slow phase
+			}
+			return 2.0 // fast phase
+		}}
+	_, files, err := tau.AcquireLive(dir, cfg, 0, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := MeasureBucketRates(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := br.Rate(1e6)
+	slow := br.Rate(64e6)
+	if math.Abs(fast-2e9)/2e9 > 1e-6 {
+		t.Errorf("fast-phase rate = %g, want 2e9", fast)
+	}
+	if math.Abs(slow-0.5e9)/0.5e9 > 1e-6 {
+		t.Errorf("slow-phase rate = %g, want 0.5e9", slow)
+	}
+	// The average sits between the two and equals total flops over time.
+	if br.Average <= slow || br.Average >= fast {
+		t.Errorf("average %g outside [%g, %g]", br.Average, slow, fast)
+	}
+	// Unseen bins fall back to the average.
+	if br.Rate(1e12) != br.Average {
+		t.Error("unseen bin did not fall back to average")
+	}
+}
+
+func TestMergeBucketRates(t *testing.T) {
+	a := &BucketRates{Rates: map[int]float64{10: 2e9}, Average: 1e9}
+	b := &BucketRates{Rates: map[int]float64{10: 4e9, 20: 6e9}, Average: 3e9}
+	m, err := MergeBucketRates([]*BucketRates{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Average != 2e9 {
+		t.Errorf("average = %g", m.Average)
+	}
+	if m.Rates[10] != 3e9 {
+		t.Errorf("bin 10 = %g", m.Rates[10])
+	}
+	if m.Rates[20] != 6e9 {
+		t.Errorf("bin 20 = %g (single-run bin must not be halved)", m.Rates[20])
+	}
+	if _, err := MergeBucketRates(nil); err == nil {
+		t.Error("expected error for no runs")
+	}
+}

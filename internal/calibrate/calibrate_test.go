@@ -1,0 +1,146 @@
+package calibrate
+
+import (
+	"math"
+	"testing"
+
+	"tireplay/internal/mpi"
+	"tireplay/internal/tau"
+)
+
+func TestMeasureFlopRateRecoverConstantRate(t *testing.T) {
+	// Acquire a small program at a known flop rate; the calibration must
+	// recover it.
+	dir := t.TempDir()
+	prog := func(c mpi.Comm) {
+		for i := 0; i < 5; i++ {
+			c.Compute(1e7)
+			c.Barrier()
+		}
+	}
+	const rate = 2.5e9
+	_, files, err := tau.AcquireLive(dir, mpi.LiveConfig{Procs: 2, FlopRate: rate}, 0, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perProc, avg, err := MeasureFlopRate(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perProc) != 2 {
+		t.Fatalf("perProc = %v", perProc)
+	}
+	if math.Abs(avg-rate)/rate > 1e-6 {
+		t.Fatalf("calibrated rate = %g, want %g", avg, rate)
+	}
+}
+
+func TestMeasureFlopRateWeightedAverage(t *testing.T) {
+	// With variable per-burst rates, the calibration is flops-weighted:
+	// two bursts of 1e7 flops at rates 1e9 and 0.5e9 take 0.01 s and
+	// 0.02 s, so the weighted average is 2e7/0.03 = 6.67e8.
+	dir := t.TempDir()
+	prog := func(c mpi.Comm) {
+		c.Compute(1e7)
+		c.Barrier()
+		c.Compute(1e7)
+		c.Barrier()
+	}
+	cfg := mpi.LiveConfig{Procs: 2, FlopRate: 1e9,
+		Rate: func(rank int, seq int64, flops float64) float64 {
+			if seq == 0 {
+				return 1.0
+			}
+			return 0.5
+		}}
+	_, files, err := tau.AcquireLive(dir, cfg, 0, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, avg, err := MeasureFlopRate(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2e7 / 0.03
+	if math.Abs(avg-want)/want > 1e-6 {
+		t.Fatalf("weighted rate = %g, want %g", avg, want)
+	}
+}
+
+func TestAverageOverRuns(t *testing.T) {
+	avg, err := AverageOverRuns([]float64{1, 2, 3, 4, 5})
+	if err != nil || avg != 3 {
+		t.Fatalf("avg = %g, err = %v", avg, err)
+	}
+	if _, err := AverageOverRuns(nil); err == nil {
+		t.Fatal("expected error for no runs")
+	}
+}
+
+func TestPingpongLiveTimesIncreaseWithSize(t *testing.T) {
+	cfg := mpi.LiveConfig{Latency: 5e-5, Bandwidth: 1.25e8}
+	samples, err := PingpongLive(cfg, []float64{1, 1024, 1e6}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 3 {
+		t.Fatalf("samples = %v", samples)
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].Time <= samples[i-1].Time {
+			t.Fatalf("non-increasing ping-pong times: %+v", samples)
+		}
+	}
+	// The 1-byte one-way time is about the configured latency.
+	if samples[0].Time < 4e-5 || samples[0].Time > 7e-5 {
+		t.Fatalf("1-byte one-way = %g, want ~5e-5", samples[0].Time)
+	}
+}
+
+func TestLatencyRule(t *testing.T) {
+	got := LatencyFromPingpong(6e-4)
+	if math.Abs(got-1e-4) > 1e-12 {
+		t.Fatalf("LatencyFromPingpong = %g", got)
+	}
+}
+
+func TestFitNetworkRoundTrip(t *testing.T) {
+	// Calibrate against a live engine with known parameters; the fitted
+	// model must predict transfer times close to the engine's own.
+	cfg := mpi.LiveConfig{Latency: 5e-5, Bandwidth: 1.25e8}
+	model, latency, err := FitNetwork(cfg, 1.25e8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latency <= 0 {
+		t.Fatal("non-positive fitted latency")
+	}
+	for _, size := range []float64{512, 8 * 1024, 1e6} {
+		want := 5e-5 + size/1.25e8 // engine's one-way time
+		got := model.PredictTime(size, latency, 1.25e8)
+		if math.Abs(got-want)/want > 0.25 {
+			t.Errorf("size %g: fitted %g, engine %g", size, got, want)
+		}
+	}
+}
+
+func TestDefaultPingpongSizesSpanSegments(t *testing.T) {
+	sizes := DefaultPingpongSizes()
+	if sizes[0] != 1 {
+		t.Fatal("sizes must start at 1 byte")
+	}
+	var small, mid, large bool
+	for _, s := range sizes {
+		switch {
+		case s < 1024:
+			small = true
+		case s < 64*1024:
+			mid = true
+		default:
+			large = true
+		}
+	}
+	if !small || !mid || !large {
+		t.Fatalf("sizes do not span all segments: %v", sizes)
+	}
+}

@@ -1,0 +1,181 @@
+package eventq
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyQueue(t *testing.T) {
+	var q Queue
+	if q.Len() != 0 {
+		t.Fatalf("empty queue Len = %d", q.Len())
+	}
+	if q.Peek() != nil {
+		t.Fatal("Peek on empty queue should be nil")
+	}
+	if q.Pop() != nil {
+		t.Fatal("Pop on empty queue should be nil")
+	}
+}
+
+func TestOrdering(t *testing.T) {
+	var q Queue
+	times := []float64{5, 1, 3, 2, 4, 0}
+	for _, tm := range times {
+		q.Push(tm, tm)
+	}
+	var got []float64
+	for q.Len() > 0 {
+		got = append(got, q.Pop().Time)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] > got[i] {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+	if len(got) != len(times) {
+		t.Fatalf("popped %d events, pushed %d", len(got), len(times))
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	var q Queue
+	for i := 0; i < 10; i++ {
+		q.Push(1.0, i)
+	}
+	for i := 0; i < 10; i++ {
+		ev := q.Pop()
+		if ev.Payload.(int) != i {
+			t.Fatalf("tie-break violated: got %v at position %d", ev.Payload, i)
+		}
+	}
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	var q Queue
+	q.Push(2, "b")
+	q.Push(1, "a")
+	if p := q.Peek(); p == nil || p.Payload != "a" {
+		t.Fatalf("Peek = %v", p)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Peek changed Len to %d", q.Len())
+	}
+	if p := q.Pop(); p.Payload != "a" {
+		t.Fatalf("Pop after Peek = %v", p.Payload)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	var q Queue
+	a := q.Push(1, "a")
+	b := q.Push(2, "b")
+	c := q.Push(3, "c")
+	if !q.Remove(b) {
+		t.Fatal("Remove(b) failed")
+	}
+	if q.Remove(b) {
+		t.Fatal("second Remove(b) should fail")
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Len after remove = %d", q.Len())
+	}
+	if p := q.Pop(); p != a {
+		t.Fatalf("first pop = %v", p.Payload)
+	}
+	if p := q.Pop(); p != c {
+		t.Fatalf("second pop = %v", p.Payload)
+	}
+	if q.Remove(nil) {
+		t.Fatal("Remove(nil) should be false")
+	}
+}
+
+func TestRemoveAfterPop(t *testing.T) {
+	var q Queue
+	a := q.Push(1, "a")
+	q.Pop()
+	if q.Remove(a) {
+		t.Fatal("Remove of already-popped event should fail")
+	}
+}
+
+func TestRemoveHead(t *testing.T) {
+	var q Queue
+	a := q.Push(1, "a")
+	q.Push(2, "b")
+	if !q.Remove(a) {
+		t.Fatal("Remove(head) failed")
+	}
+	if p := q.Pop(); p.Payload != "b" {
+		t.Fatalf("Pop after head removal = %v", p.Payload)
+	}
+}
+
+func TestInterleavedPushPop(t *testing.T) {
+	var q Queue
+	rng := rand.New(rand.NewSource(42))
+	var reference []float64
+	for i := 0; i < 1000; i++ {
+		if rng.Intn(3) == 0 && q.Len() > 0 {
+			ev := q.Pop()
+			sort.Float64s(reference)
+			if ev.Time != reference[0] {
+				t.Fatalf("pop %g, expected min %g", ev.Time, reference[0])
+			}
+			reference = reference[1:]
+		} else {
+			tm := rng.Float64() * 100
+			q.Push(tm, nil)
+			reference = append(reference, tm)
+		}
+	}
+}
+
+// Property: popping everything always yields a non-decreasing time sequence.
+func TestHeapOrderProperty(t *testing.T) {
+	f := func(times []float64) bool {
+		var q Queue
+		for _, tm := range times {
+			q.Push(tm, nil)
+		}
+		prev := math.Inf(-1)
+		for q.Len() > 0 {
+			ev := q.Pop()
+			if ev.Time < prev {
+				return false
+			}
+			prev = ev.Time
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Len is consistent under any push/remove interleaving.
+func TestLenConsistencyProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		var q Queue
+		var live []*Event
+		for _, op := range ops {
+			if op%3 == 0 && len(live) > 0 {
+				q.Remove(live[0])
+				live = live[1:]
+			} else {
+				live = append(live, q.Push(float64(op), nil))
+			}
+			if q.Len() != len(live) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,148 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 6): the acquisition-time distribution of Figure 7, the
+// acquisition-mode comparison of Table 2, the trace sizes of Table 3, the
+// replay accuracy of Figure 8, the replay times of Figure 9, the large
+// class D acquisition of Section 6.5, and the simulated-time invariance
+// observation closing Section 6.2.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"tireplay/internal/mpi"
+	"tireplay/internal/npb"
+	"tireplay/internal/smpi"
+)
+
+// Config parameterises an experimental campaign. The zero value is the
+// paper's setup (classes B and C over 8..64 processes); Quick() downsizes
+// everything for fast runs.
+type Config struct {
+	// Classes are the LU problem classes evaluated (default B, C).
+	Classes []npb.Class
+	// Procs are the process counts of Figures 7-9 and Table 3
+	// (default 8, 16, 32, 64).
+	Procs []int
+	// Table2Procs is the process count of the Table 2 campaign
+	// (default 64).
+	Table2Procs int
+	// Table2Folds are the folding factors of Table 2 (default 2..32).
+	Table2Folds []int
+	// OverheadPerEvent is the tracing perturbation per record (default
+	// 1.5 microseconds).
+	OverheadPerEvent float64
+	// ExtractCostPerEvent is the modelled extraction cost per record
+	// (default 20 microseconds, calibrated to the paper's Figure 7 scale).
+	ExtractCostPerEvent float64
+	// Seed drives the host flop-rate variability model.
+	Seed int64
+	// CalibrationRuns is the number of calibration repetitions (default 5,
+	// as in Section 5).
+	CalibrationRuns int
+	// CalibrationProcs is the size of the small calibration instance
+	// (default 8).
+	CalibrationProcs int
+	// LargeSampleRanks is how many ranks the Section 6.5 size measurement
+	// streams exactly before extending by action counts (default 8; zero
+	// or negative streams every rank).
+	LargeSampleRanks int
+	// Progress, when non-nil, receives one line per completed step.
+	Progress io.Writer
+}
+
+func (c *Config) setDefaults() {
+	if len(c.Classes) == 0 {
+		c.Classes = []npb.Class{npb.ClassB, npb.ClassC}
+	}
+	if len(c.Procs) == 0 {
+		c.Procs = []int{8, 16, 32, 64}
+	}
+	if c.Table2Procs == 0 {
+		c.Table2Procs = 64
+	}
+	if len(c.Table2Folds) == 0 {
+		c.Table2Folds = []int{2, 4, 8, 16, 32}
+	}
+	if c.OverheadPerEvent == 0 {
+		c.OverheadPerEvent = 1.5e-6
+	}
+	if c.ExtractCostPerEvent == 0 {
+		c.ExtractCostPerEvent = 20e-6
+	}
+	if c.CalibrationRuns == 0 {
+		c.CalibrationRuns = 5
+	}
+	if c.CalibrationProcs == 0 {
+		c.CalibrationProcs = 8
+	}
+	if c.LargeSampleRanks == 0 {
+		c.LargeSampleRanks = 8
+	}
+}
+
+// Quick returns a configuration downsized for fast runs (classes W and A
+// over 4-16 processes, Table 2 on 16 processes).
+func Quick() *Config {
+	return &Config{
+		Classes:     []npb.Class{npb.ClassW, npb.ClassA},
+		Procs:       []int{4, 8, 16},
+		Table2Procs: 16,
+		Table2Folds: []int{2, 4, 8},
+	}
+}
+
+func (c *Config) progressf(format string, args ...any) {
+	if c.Progress != nil {
+		fmt.Fprintf(c.Progress, format+"\n", args...)
+	}
+}
+
+// splitmix64 is a small deterministic hash for the variability models.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unit maps a hash to (0,1).
+func unit(h uint64) float64 {
+	return float64(h>>11) / float64(1<<53)
+}
+
+// LURateModel is the host flop-rate variability model of the accuracy
+// experiment: the paper observes (Section 6.4) that "the flop rate is not
+// constant over the computation of a LU benchmark" and that this, not the
+// network, dominates the replay error. The model combines a systematic
+// per-phase rate difference (the SSOR phases stress caches differently)
+// with a small random perturbation.
+func LURateModel(seed int64) mpi.RateMultiplier {
+	return func(rank int, seq int64, flops float64) float64 {
+		phase := 1.0
+		switch seq % 7 {
+		case 0, 1, 2:
+			phase = 1.18
+		case 3, 4:
+			phase = 0.78
+		default:
+			phase = 0.97
+		}
+		h := splitmix64(uint64(seed)*0x9e3779b9 ^ uint64(rank)<<32 ^ uint64(seq))
+		noise := 0.94 + 0.12*unit(h)
+		return phase * noise
+	}
+}
+
+// TrueNetworkModel is the protocol behaviour of the "real" (modelled)
+// testbed: piece-wise linear like any MPI implementation on TCP, but with
+// factors that differ from the simulator's calibrated Default model — the
+// residual network-calibration error any off-line simulation carries.
+func TrueNetworkModel() *smpi.Model {
+	return smpi.MustNew([]smpi.Segment{
+		{MaxBytes: 1024, LatFactor: 1.05, BwFactor: 0.68},
+		{MaxBytes: 64 * 1024, LatFactor: 1.7, BwFactor: 0.90},
+		{MaxBytes: math.Inf(1), LatFactor: 2.05, BwFactor: 0.955},
+	})
+}

@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tireplay/internal/npb"
+)
+
+// tinyConfig keeps the experiment tests fast: class S over 4 and 8
+// processes.
+func tinyConfig() *Config {
+	return &Config{
+		Classes:          []npb.Class{npb.ClassS},
+		Procs:            []int{4, 8},
+		Table2Procs:      8,
+		Table2Folds:      []int{2, 4},
+		CalibrationRuns:  2,
+		CalibrationProcs: 4,
+		LargeSampleRanks: 4,
+	}
+}
+
+func TestSuiteProducesAllRows(t *testing.T) {
+	res, err := Suite(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Fig7) != 2 || len(res.Table3) != 2 || len(res.Fig8) != 2 || len(res.Fig9) != 2 {
+		t.Fatalf("rows: fig7=%d table3=%d fig8=%d fig9=%d",
+			len(res.Fig7), len(res.Table3), len(res.Fig8), len(res.Fig9))
+	}
+	for _, r := range res.Fig7 {
+		if r.Application <= 0 || r.Tracing <= 0 || r.Extraction <= 0 || r.Gathering <= 0 {
+			t.Errorf("fig7 row has non-positive component: %+v", r)
+		}
+	}
+	for _, r := range res.Table3 {
+		if r.Ratio <= 1 {
+			t.Errorf("table3: TAU/TI ratio %.2f not > 1", r.Ratio)
+		}
+		if r.Actions <= 0 {
+			t.Errorf("table3: no actions: %+v", r)
+		}
+	}
+	for _, r := range res.Fig8 {
+		if r.Actual <= 0 || r.Simulated <= 0 {
+			t.Errorf("fig8 row: %+v", r)
+		}
+		// The prediction must be in the right ballpark (the paper reports
+		// local errors up to ~50%).
+		if r.ErrorPct() > 80 {
+			t.Errorf("fig8 error %.1f%% out of plausible range: %+v", r.ErrorPct(), r)
+		}
+	}
+	for _, r := range res.Fig9 {
+		if r.Actions <= 0 || r.ReplayWall <= 0 {
+			t.Errorf("fig9 row: %+v", r)
+		}
+	}
+	if res.CalibratedRate["S"] <= 0 {
+		t.Error("no calibrated rate")
+	}
+}
+
+func TestTable2Structure(t *testing.T) {
+	cfg := tinyConfig()
+	rows, err := Table2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected modes: R, F-2, F-4, S-2, SF-(2,2), SF-(2,4).
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d: %+v", len(rows), rows)
+	}
+	byMode := map[string]Table2Row{}
+	for _, r := range rows {
+		byMode[r.Mode] = r
+	}
+	if byMode["R"].Ratio != 1 {
+		t.Errorf("R ratio = %f", byMode["R"].Ratio)
+	}
+	for _, r := range rows {
+		if r.Seconds <= 0 || r.Ratio <= 0 {
+			t.Errorf("non-positive row: %+v", r)
+		}
+	}
+	if byMode["S-2"].Ratio <= 1 {
+		t.Errorf("S-2 ratio = %f, want > 1", byMode["S-2"].Ratio)
+	}
+}
+
+func TestTable2FoldRatiosGrowForComputeBoundClass(t *testing.T) {
+	// Class B is compute-dominated, like the paper's Table 2 instances:
+	// there the folded execution time grows roughly linearly with the
+	// folding factor. (Class S is latency-bound and does not.)
+	if testing.Short() {
+		t.Skip("class B campaign in -short mode")
+	}
+	cfg := &Config{
+		Classes:     []npb.Class{npb.ClassB},
+		Procs:       []int{8},
+		Table2Procs: 8,
+		Table2Folds: []int{2, 4},
+	}
+	rows, err := Table2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMode := map[string]Table2Row{}
+	for _, r := range rows {
+		byMode[r.Mode] = r
+	}
+	f2, f4 := byMode["F-2"].Ratio, byMode["F-4"].Ratio
+	if f2 < 1.4 || f2 > 2.6 {
+		t.Errorf("F-2 ratio = %.2f, expected near 2", f2)
+	}
+	if f4 < 2.6 || f4 > 5.2 {
+		t.Errorf("F-4 ratio = %.2f, expected near 4", f4)
+	}
+	if f4 <= f2 {
+		t.Errorf("folding ratio not increasing: F-2 %.2f, F-4 %.2f", f2, f4)
+	}
+}
+
+func TestInvarianceHolds(t *testing.T) {
+	res, err := Invariance(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Identical {
+		t.Error("traces differ across acquisition modes")
+	}
+	// The paper reports variations under 1%; ours are deterministic and
+	// should be exactly zero.
+	if res.MaxRelDiff > 0.01 {
+		t.Errorf("simulated-time deviation %.4f%% exceeds 1%%", 100*res.MaxRelDiff)
+	}
+	if len(res.Modes) != 4 {
+		t.Errorf("modes = %v", res.Modes)
+	}
+}
+
+func TestLargeTraceScaledDown(t *testing.T) {
+	// Use the real Section 6.5 generator but verify only structural
+	// relations; the sampled sizing keeps it fast.
+	cfg := tinyConfig()
+	cfg.LargeSampleRanks = 2
+	res, err := LargeTrace(cfg, 7.8, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Procs != 1024 || res.Fold != 8 || res.Nodes != 32 {
+		t.Fatalf("setup: %+v", res)
+	}
+	if res.Actions <= 0 || res.TIBytes <= 0 {
+		t.Fatal("empty result")
+	}
+	// Compression must help substantially (paper: 32.5 GiB -> 1.2 GiB).
+	if float64(res.TIBytes)/float64(res.GzipBytes) < 5 {
+		t.Errorf("gzip ratio only %.1f", float64(res.TIBytes)/float64(res.GzipBytes))
+	}
+	// The binary codec (Section 7 future work) must beat plain text.
+	if res.BinaryBytes >= res.TIBytes {
+		t.Errorf("binary codec not smaller: %d vs %d", res.BinaryBytes, res.TIBytes)
+	}
+	// The paper's headline: the acquisition fits in tens of minutes.
+	if res.TotalAcquisitionTime() > 90*60 {
+		t.Errorf("modelled acquisition %.1f min implausibly long", res.TotalAcquisitionTime()/60)
+	}
+	if res.TAUBytesEst <= res.TIBytes {
+		t.Error("TAU estimate should exceed TI size")
+	}
+}
+
+func TestRenderersProduceOutput(t *testing.T) {
+	res, err := Suite(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	RenderFig7(&buf, res.Fig7)
+	RenderTable3(&buf, res.Table3)
+	RenderFig8(&buf, res.Fig8)
+	RenderFig9(&buf, res.Fig9)
+	out := buf.String()
+	for _, want := range []string{"Figure 7", "Table 3", "Figure 8", "Figure 9", "Class"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in rendered output", want)
+		}
+	}
+}
+
+func TestLURateModelBounds(t *testing.T) {
+	m := LURateModel(42)
+	for rank := 0; rank < 4; rank++ {
+		for seq := int64(0); seq < 100; seq++ {
+			v := m(rank, seq, 1e6)
+			if v < 0.5 || v > 1.5 {
+				t.Fatalf("rate multiplier %g out of bounds", v)
+			}
+		}
+	}
+	// Deterministic for equal seeds, different across seeds.
+	if LURateModel(1)(0, 0, 1) != LURateModel(1)(0, 0, 1) {
+		t.Error("rate model not deterministic")
+	}
+	diff := false
+	for seq := int64(0); seq < 32; seq++ {
+		if LURateModel(1)(0, seq, 1) != LURateModel(2)(0, seq, 1) {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("seeds do not change the rate model")
+	}
+}
+
+func TestTrueNetworkDiffersFromDefault(t *testing.T) {
+	truth := TrueNetworkModel()
+	for _, size := range []float64{100, 10_000, 1_000_000} {
+		tl, tb := truth.Factors(size)
+		if tl <= 0 || tb <= 0 {
+			t.Fatalf("bad factors at %g", size)
+		}
+	}
+}

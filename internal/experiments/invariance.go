@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"tireplay/internal/acquisition"
+	"tireplay/internal/convert"
+	"tireplay/internal/npb"
+	"tireplay/internal/platform"
+	"tireplay/internal/replay"
+	"tireplay/internal/smpi"
+	"tireplay/internal/trace"
+)
+
+// InvarianceResult verifies the property closing Section 6.2: a classical
+// tracing tool produces traces full of erroneous timestamps under folded or
+// scattered acquisitions, but with time-independent traces "the simulated
+// time is more or less the same whatever the acquisition scenario is".
+type InvarianceResult struct {
+	Class      string
+	Procs      int
+	Modes      []string
+	Simulated  []float64 // simulated time per mode
+	Identical  bool      // traces byte-identical across modes
+	MaxRelDiff float64   // max relative difference of the simulated times
+}
+
+// Invariance acquires the same LU instance under Regular, Folding,
+// Scattering and Scattering+Folding, extracts the traces, replays each, and
+// compares both the traces and the predicted times.
+func Invariance(cfg *Config) (*InvarianceResult, error) {
+	cfg.setDefaults()
+	class := cfg.Classes[0]
+	procs := cfg.Procs[len(cfg.Procs)-1]
+	prog, err := npb.LU(npb.LUConfig{Class: class, Procs: procs})
+	if err != nil {
+		return nil, err
+	}
+	camp := &acquisition.Campaign{
+		Procs:            procs,
+		Program:          prog,
+		OverheadPerEvent: cfg.OverheadPerEvent,
+		Rate:             LURateModel(cfg.Seed),
+		Network:          TrueNetworkModel(),
+	}
+	modes := []acquisition.Mode{
+		acquisition.Regular(),
+		acquisition.Folding(2),
+		acquisition.Scattering(2),
+		acquisition.ScatterFold(2, 2),
+	}
+	res := &InvarianceResult{Class: class.Name, Procs: procs, Identical: true}
+	var refTrace string
+	for _, m := range modes {
+		dir, err := os.MkdirTemp("", "tireplay-inv-")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := camp.Run(dir, m, true); err != nil {
+			os.RemoveAll(dir)
+			return nil, fmt.Errorf("experiments: invariance %s: %w", m.Name(), err)
+		}
+		perRank, err := convert.ExtractDir(dir, procs)
+		os.RemoveAll(dir)
+		if err != nil {
+			return nil, err
+		}
+		var sb strings.Builder
+		for _, acts := range perRank {
+			for _, a := range acts {
+				sb.WriteString(a.Format())
+				sb.WriteByte('\n')
+			}
+		}
+		if refTrace == "" {
+			refTrace = sb.String()
+		} else if sb.String() != refTrace {
+			res.Identical = false
+		}
+
+		sim, err := replayOn(procs, perRank)
+		if err != nil {
+			return nil, err
+		}
+		res.Modes = append(res.Modes, m.Name())
+		res.Simulated = append(res.Simulated, sim)
+		cfg.progressf("invariance mode %-9s: simulated %.4f s", m.Name(), sim)
+	}
+	ref := res.Simulated[0]
+	for _, s := range res.Simulated {
+		d := (s - ref) / ref
+		if d < 0 {
+			d = -d
+		}
+		if d > res.MaxRelDiff {
+			res.MaxRelDiff = d
+		}
+	}
+	return res, nil
+}
+
+// replayOn replays per-rank actions on the regular bordereau target.
+func replayOn(procs int, perRank [][]trace.Action) (float64, error) {
+	b, err := platform.BuildBordereauWithCores(procs, 1)
+	if err != nil {
+		return 0, err
+	}
+	d, err := platform.RoundRobin(b.HostNames, procs, 1)
+	if err != nil {
+		return 0, err
+	}
+	result, err := replay.RunActions(b, d, replay.Config{Model: smpi.Default()}, perRank)
+	if err != nil {
+		return 0, err
+	}
+	return result.SimulatedTime, nil
+}

@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"compress/gzip"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"tireplay/internal/gather"
+	"tireplay/internal/mpi"
+	"tireplay/internal/npb"
+	"tireplay/internal/platform"
+	"tireplay/internal/trace"
+)
+
+// LargeResult reproduces the Section 6.5 study: acquiring a time-independent
+// trace of a class D instance on 1,024 processes using 32 nodes (128 cores)
+// of bordereau and a folding factor of 8 — an instance almost three times
+// bigger than the cluster's core count.
+type LargeResult struct {
+	Class string
+	Procs int
+	Nodes int
+	Cores int
+	Fold  int
+
+	// Actions is the exact total number of time-independent actions,
+	// computed analytically from the skeleton.
+	Actions int64
+	// TIBytes is the size of the textual time-independent trace. When
+	// Sampled is true it was measured exactly on SampleRanks ranks and
+	// extended by the exact per-rank action counts.
+	TIBytes int64
+	// GzipBytes is the gzip-compressed size (same extension rule).
+	GzipBytes int64
+	// BinaryBytes is the size under the binary codec of Section 7's
+	// future-work item.
+	BinaryBytes int64
+	// TAUBytesEst estimates the TAU trace size from the TAU/TI byte ratio
+	// measured on the pilot acquisition.
+	TAUBytesEst int64
+	// Sampled reports whether sizes were extended from a rank sample.
+	Sampled     bool
+	SampleRanks int
+
+	// ExecutionTime models the instrumented folded execution from the
+	// total work and the folding slowdown measured on the pilot.
+	ExecutionTime float64
+	// ExtractionTime and GatheringTime follow the same models as Figure 7.
+	ExtractionTime float64
+	GatheringTime  float64
+}
+
+// TotalAcquisitionTime is the modelled end-to-end acquisition time, the
+// quantity the paper reports as "less than 25 minutes".
+func (r *LargeResult) TotalAcquisitionTime() float64 {
+	return r.ExecutionTime + r.ExtractionTime + r.GatheringTime
+}
+
+// rankSizes measures the exact per-rank trace sizes of a sample of ranks.
+type rankSizes struct {
+	actions int64
+	text    int64
+	gz      int64
+	bin     int64
+}
+
+// countingWriter tallies bytes written through it.
+type countingWriter struct{ n int64 }
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+// measureRank streams one rank's generated trace through the three codecs.
+func measureRank(cfg npb.LUConfig, rank int) (rankSizes, error) {
+	var rs rankSizes
+	var gzCount countingWriter
+	gz := gzip.NewWriter(&gzCount)
+	var binCount countingWriter
+	bin := trace.NewBinaryWriter(&binCount)
+	program, err := npb.LU(cfg)
+	if err != nil {
+		return rs, err
+	}
+	err = mpi.RecordStream(rank, cfg.Procs, program, func(a trace.Action) error {
+		line := a.Format()
+		rs.actions++
+		rs.text += int64(len(line)) + 1
+		if _, err := gz.Write([]byte(line + "\n")); err != nil {
+			return err
+		}
+		return bin.Write(a)
+	})
+	if err != nil {
+		return rs, err
+	}
+	if err := gz.Close(); err != nil {
+		return rs, err
+	}
+	if err := bin.Flush(); err != nil {
+		return rs, err
+	}
+	rs.gz = gzCount.n
+	rs.bin = binCount.n
+	return rs, nil
+}
+
+// LargeTrace regenerates the Section 6.5 study. tauOverTI is the TAU/TI
+// byte ratio measured on a pilot acquisition (e.g. from a Table 3 row);
+// foldSlowdown is the measured ratio of folded to regular execution per
+// unit of folding (1.0 = perfectly linear).
+func LargeTrace(cfg *Config, tauOverTI, foldSlowdown float64) (*LargeResult, error) {
+	cfg.setDefaults()
+	const (
+		procs = 1024
+		nodes = 32
+		cores = 4 // bordereau nodes are dual-processor dual-core
+		fold  = 8 // 8 processes per core, 32 per node
+	)
+	luCfg := npb.LUConfig{Class: npb.ClassD, Procs: procs}
+	stats, err := luCfg.Stats()
+	if err != nil {
+		return nil, err
+	}
+	res := &LargeResult{
+		Class: npb.ClassD.Name, Procs: procs, Nodes: nodes, Cores: cores, Fold: fold,
+		Actions: stats.TotalActions,
+	}
+
+	// Choose the measured ranks: all of them in exact mode, or a sample
+	// spread across the process grid otherwise.
+	var sample []int
+	if cfg.LargeSampleRanks > 0 && cfg.LargeSampleRanks < procs {
+		res.Sampled = true
+		res.SampleRanks = cfg.LargeSampleRanks
+		step := procs / cfg.LargeSampleRanks
+		for r := 0; r < procs; r += step {
+			sample = append(sample, r)
+		}
+	} else {
+		for r := 0; r < procs; r++ {
+			sample = append(sample, r)
+		}
+	}
+
+	sizes := make([]rankSizes, len(sample))
+	errs := make([]error, len(sample))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, rank := range sample {
+		wg.Add(1)
+		go func(i, rank int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			sizes[i], errs[i] = measureRank(luCfg, rank)
+		}(i, rank)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var sampleActions, sampleText, sampleGz, sampleBin int64
+	for _, s := range sizes {
+		sampleActions += s.actions
+		sampleText += s.text
+		sampleGz += s.gz
+		sampleBin += s.bin
+	}
+	if res.Sampled {
+		// Extend by the exact action counts: bytes scale with actions at
+		// the sample's bytes-per-action ratio.
+		scale := float64(stats.TotalActions) / float64(sampleActions)
+		res.TIBytes = int64(float64(sampleText) * scale)
+		res.GzipBytes = int64(float64(sampleGz) * scale)
+		res.BinaryBytes = int64(float64(sampleBin) * scale)
+	} else {
+		if sampleActions != stats.TotalActions {
+			return nil, fmt.Errorf("experiments: generated %d actions, stats predict %d",
+				sampleActions, stats.TotalActions)
+		}
+		res.TIBytes = sampleText
+		res.GzipBytes = sampleGz
+		res.BinaryBytes = sampleBin
+	}
+	if tauOverTI > 0 {
+		res.TAUBytesEst = int64(float64(res.TIBytes) * tauOverTI)
+	}
+
+	// Execution model: total work over 128 cores at the calibrated rate,
+	// degraded by the measured folding efficiency.
+	totalFlops := luCfg.TotalFlops()
+	if foldSlowdown <= 0 {
+		foldSlowdown = 1.05
+	}
+	res.ExecutionTime = totalFlops / (float64(nodes*cores) * platform.BordereauPower) * foldSlowdown
+
+	// Extraction: tau2simgrid is itself a parallel application, so the
+	// 1,024 extraction ranks spread over the 128 cores; the folded ranks
+	// of one core extract serially.
+	eventsPerAction := 6.0 // measured TAU records per TI action
+	perCoreActions := float64(stats.TotalActions) / float64(nodes*cores)
+	res.ExtractionTime = perCoreActions * eventsPerAction * cfg.ExtractCostPerEvent
+
+	// Gathering: K-nomial over the 1,024 per-process files.
+	fileSizes := make([]float64, procs)
+	perRankBytes := float64(res.TIBytes) / float64(procs)
+	for i := range fileSizes {
+		fileSizes[i] = perRankBytes
+	}
+	gt, err := gather.Cost(fileSizes, 4, platform.GigaEthernetBw, 3*platform.ClusterLatency)
+	if err != nil {
+		return nil, err
+	}
+	res.GatheringTime = gt
+	return res, nil
+}

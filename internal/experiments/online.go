@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"tireplay/internal/acquisition"
+	"tireplay/internal/convert"
+	"tireplay/internal/mpi"
+	"tireplay/internal/npb"
+	"tireplay/internal/platform"
+	"tireplay/internal/replay"
+	"tireplay/internal/smpi"
+	"tireplay/internal/tau"
+)
+
+// OnlineRow compares, for one instance, the two simulation approaches the
+// paper surveys (Section 2) against the modelled testbed: on-line
+// simulation (direct execution with simulated communications — LAPSE,
+// MPI-SIM, BigSim lineage) and the paper's off-line time-independent trace
+// replay. Realising this comparison is the last future-work item of
+// Section 7.
+type OnlineRow struct {
+	Class   string
+	Procs   int
+	Actual  float64 // modelled testbed (rate variability + true protocol)
+	Online  float64 // direct execution on the calibrated simulator
+	Offline float64 // trace replay on the calibrated simulator
+}
+
+// OnlineVsOffline runs the comparison over the configured classes and
+// process counts.
+func OnlineVsOffline(cfg *Config) ([]OnlineRow, error) {
+	cfg.setDefaults()
+	var rows []OnlineRow
+	for _, class := range cfg.Classes {
+		rate, err := calibrateClass(cfg, class)
+		if err != nil {
+			return nil, err
+		}
+		for _, procs := range cfg.Procs {
+			prog, err := npb.LU(npb.LUConfig{Class: class, Procs: procs})
+			if err != nil {
+				return nil, err
+			}
+
+			// The "real" testbed run.
+			camp := &acquisition.Campaign{
+				Procs:            procs,
+				Program:          prog,
+				OverheadPerEvent: cfg.OverheadPerEvent,
+				Rate:             LURateModel(cfg.Seed),
+				Network:          TrueNetworkModel(),
+			}
+			actual, err := camp.ExecutionTime(acquisition.Regular())
+			if err != nil {
+				return nil, err
+			}
+
+			// On-line: execute the application directly on the calibrated
+			// simulator (constant calibrated rate, calibrated MPI model).
+			ob, err := platform.BuildBordereauCustom(procs, 1, rate)
+			if err != nil {
+				return nil, err
+			}
+			ob.Kernel.SetRateModel(smpi.Default().RateModel())
+			od, err := platform.RoundRobin(ob.HostNames, procs, 1)
+			if err != nil {
+				return nil, err
+			}
+			online, err := mpi.RunSim(ob, od, mpi.SimConfig{}, prog)
+			if err != nil {
+				return nil, err
+			}
+
+			// Off-line: acquire on the testbed, extract, replay.
+			dir, err := os.MkdirTemp("", "tireplay-online-")
+			if err != nil {
+				return nil, err
+			}
+			b2, d2, err := camp.Build(acquisition.Regular())
+			if err != nil {
+				os.RemoveAll(dir)
+				return nil, err
+			}
+			if _, _, err := tau.AcquireSim(dir, b2, d2, mpi.SimConfig{Rate: camp.Rate},
+				cfg.OverheadPerEvent, prog); err != nil {
+				os.RemoveAll(dir)
+				return nil, err
+			}
+			perRank, err := convert.ExtractDir(dir, procs)
+			os.RemoveAll(dir)
+			if err != nil {
+				return nil, err
+			}
+			rb, err := platform.BuildBordereauCustom(procs, 1, rate)
+			if err != nil {
+				return nil, err
+			}
+			rd, err := platform.RoundRobin(rb.HostNames, procs, 1)
+			if err != nil {
+				return nil, err
+			}
+			res, err := replay.RunActions(rb, rd, replay.Config{Model: smpi.Default()}, perRank)
+			if err != nil {
+				return nil, err
+			}
+
+			rows = append(rows, OnlineRow{
+				Class: class.Name, Procs: procs,
+				Actual: actual, Online: online, Offline: res.SimulatedTime,
+			})
+			cfg.progressf("online-vs-offline class %s procs %d: actual %.2fs online %.2fs offline %.2fs",
+				class.Name, procs, actual, online, res.SimulatedTime)
+		}
+	}
+	return rows, nil
+}
+
+// RenderOnline prints the comparison table.
+func RenderOnline(w io.Writer, rows []OnlineRow) {
+	fmt.Fprintln(w, "Extension (paper §7 future work) — On-line vs off-line simulation accuracy")
+	fmt.Fprintf(w, "%-5s %6s | %12s | %12s %8s | %12s %8s\n",
+		"Class", "Procs", "Actual", "On-line", "Error", "Off-line", "Error")
+	for _, r := range rows {
+		errPct := func(v float64) string {
+			if r.Actual == 0 {
+				return "-"
+			}
+			e := (v - r.Actual) / r.Actual * 100
+			if e < 0 {
+				e = -e
+			}
+			return fmt.Sprintf("%.1f%%", e)
+		}
+		fmt.Fprintf(w, "%-5s %6d | %11.2fs | %11.2fs %8s | %11.2fs %8s\n",
+			r.Class, r.Procs, r.Actual, r.Online, errPct(r.Online),
+			r.Offline, errPct(r.Offline))
+	}
+}

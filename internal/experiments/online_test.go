@@ -1,0 +1,27 @@
+package experiments
+
+import "testing"
+
+func TestOnlineVsOffline(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Procs = []int{4}
+	rows, err := OnlineVsOffline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.Actual <= 0 || r.Online <= 0 || r.Offline <= 0 {
+		t.Fatalf("non-positive predictions: %+v", r)
+	}
+	// Both approaches simulate the same application on the same calibrated
+	// platform; their predictions should be in the same ballpark as the
+	// testbed and as each other.
+	ratio := r.Online / r.Offline
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("online (%g) and offline (%g) predictions diverge: ratio %.2f",
+			r.Online, r.Offline, ratio)
+	}
+}

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"tireplay/internal/acquisition"
+	"tireplay/internal/calibrate"
+	"tireplay/internal/mpi"
+	"tireplay/internal/npb"
+	"tireplay/internal/platform"
+	"tireplay/internal/replay"
+	"tireplay/internal/smpi"
+	"tireplay/internal/tau"
+	"tireplay/internal/trace"
+)
+
+// PerPhaseRow compares the paper's single-average calibration with the
+// per-burst-class calibration suggested as its accuracy fix (Section 6.4),
+// for one instance.
+type PerPhaseRow struct {
+	Class       string
+	Procs       int
+	Actual      float64
+	AverageCal  float64 // replay with the single average rate
+	PerPhaseCal float64 // replay with per-volume-bin rates
+}
+
+func (r PerPhaseRow) errPct(v float64) float64 {
+	e := (v - r.Actual) / r.Actual * 100
+	if e < 0 {
+		return -e
+	}
+	return e
+}
+
+// AverageErrPct is the |error| of the single-average calibration.
+func (r PerPhaseRow) AverageErrPct() float64 { return r.errPct(r.AverageCal) }
+
+// PerPhaseErrPct is the |error| of the per-phase calibration.
+func (r PerPhaseRow) PerPhaseErrPct() float64 { return r.errPct(r.PerPhaseCal) }
+
+// PerPhaseCalibration runs the ablation over the configured instances.
+func PerPhaseCalibration(cfg *Config) ([]PerPhaseRow, error) {
+	cfg.setDefaults()
+	var rows []PerPhaseRow
+	for _, class := range cfg.Classes {
+		for _, procs := range cfg.Procs {
+			prog, err := npb.LU(npb.LUConfig{Class: class, Procs: procs})
+			if err != nil {
+				return nil, err
+			}
+			camp := &acquisition.Campaign{
+				Procs:            procs,
+				Program:          prog,
+				OverheadPerEvent: cfg.OverheadPerEvent,
+				Rate:             LURateModel(cfg.Seed),
+				Network:          TrueNetworkModel(),
+			}
+			actual, err := camp.ExecutionTime(acquisition.Regular())
+			if err != nil {
+				return nil, err
+			}
+
+			// Calibration acquisition: the same instance family, observed
+			// with both estimators over the configured number of runs.
+			var avgRuns []float64
+			var bucketRuns []*calibrate.BucketRates
+			for run := 0; run < cfg.CalibrationRuns; run++ {
+				dir, err := os.MkdirTemp("", "tireplay-ppc-")
+				if err != nil {
+					return nil, err
+				}
+				calCamp := &acquisition.Campaign{
+					Procs:            procs,
+					Program:          prog,
+					OverheadPerEvent: cfg.OverheadPerEvent,
+					Rate:             LURateModel(cfg.Seed + int64(run) + 1),
+					Network:          TrueNetworkModel(),
+				}
+				b, d, err := calCamp.Build(acquisition.Regular())
+				if err != nil {
+					os.RemoveAll(dir)
+					return nil, err
+				}
+				_, files, err := tau.AcquireSim(dir, b, d,
+					mpi.SimConfig{Rate: calCamp.Rate}, cfg.OverheadPerEvent, prog)
+				if err != nil {
+					os.RemoveAll(dir)
+					return nil, err
+				}
+				_, avg, err := calibrate.MeasureFlopRate(files)
+				if err != nil {
+					os.RemoveAll(dir)
+					return nil, err
+				}
+				br, err := calibrate.MeasureBucketRates(files)
+				os.RemoveAll(dir)
+				if err != nil {
+					return nil, err
+				}
+				avgRuns = append(avgRuns, avg)
+				bucketRuns = append(bucketRuns, br)
+			}
+			avgRate, err := calibrate.AverageOverRuns(avgRuns)
+			if err != nil {
+				return nil, err
+			}
+			buckets, err := calibrate.MergeBucketRates(bucketRuns)
+			if err != nil {
+				return nil, err
+			}
+
+			// The trace to replay comes from the target acquisition.
+			perRank := make([][]trace.Action, procs)
+			for r := 0; r < procs; r++ {
+				perRank[r], err = mpi.Record(r, procs, prog)
+				if err != nil {
+					return nil, err
+				}
+			}
+
+			avgTime, err := replayWithRates(procs, perRank, avgRate, nil)
+			if err != nil {
+				return nil, err
+			}
+			phaseTime, err := replayWithRates(procs, perRank, avgRate, buckets)
+			if err != nil {
+				return nil, err
+			}
+			row := PerPhaseRow{Class: class.Name, Procs: procs,
+				Actual: actual, AverageCal: avgTime, PerPhaseCal: phaseTime}
+			rows = append(rows, row)
+			cfg.progressf("per-phase class %s procs %d: actual %.2fs avg-cal %.2fs (%.1f%%) phase-cal %.2fs (%.1f%%)",
+				class.Name, procs, actual, avgTime, row.AverageErrPct(), phaseTime, row.PerPhaseErrPct())
+		}
+	}
+	return rows, nil
+}
+
+// replayWithRates replays a trace on a platform calibrated at avgRate;
+// when buckets is non-nil, compute actions are re-timed with their bin's
+// calibrated rate instead of the platform average.
+func replayWithRates(procs int, perRank [][]trace.Action, avgRate float64,
+	buckets *calibrate.BucketRates) (float64, error) {
+
+	b, err := platform.BuildBordereauCustom(procs, 1, avgRate)
+	if err != nil {
+		return 0, err
+	}
+	d, err := platform.RoundRobin(b.HostNames, procs, 1)
+	if err != nil {
+		return 0, err
+	}
+	cfg := replay.Config{Model: smpi.Default()}
+	if buckets != nil {
+		reg := replay.Default()
+		reg.Register("compute", func(p *replay.Proc, a trace.Action) error {
+			// Duration = volume / bucketRate; expressed as equivalent flops
+			// on the avgRate host.
+			p.Sim.Execute(a.Volume * avgRate / buckets.Rate(a.Volume))
+			return nil
+		})
+		cfg.Registry = reg
+	}
+	res, err := replay.RunActions(b, d, cfg, perRank)
+	if err != nil {
+		return 0, err
+	}
+	return res.SimulatedTime, nil
+}
+
+// RenderPerPhase prints the ablation table.
+func RenderPerPhase(w io.Writer, rows []PerPhaseRow) {
+	fmt.Fprintln(w, "Ablation (paper §6.4) — single-average vs per-phase flop-rate calibration")
+	fmt.Fprintf(w, "%-5s %6s | %10s | %10s %8s | %10s %8s\n",
+		"Class", "Procs", "Actual", "Avg cal", "Error", "Phase cal", "Error")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-5s %6d | %9.2fs | %9.2fs %7.1f%% | %9.2fs %7.1f%%\n",
+			r.Class, r.Procs, r.Actual, r.AverageCal, r.AverageErrPct(),
+			r.PerPhaseCal, r.PerPhaseErrPct())
+	}
+}

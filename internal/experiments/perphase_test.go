@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tireplay/internal/npb"
+)
+
+func TestPerPhaseCalibrationImprovesOrMatches(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Classes = []npb.Class{npb.ClassW}
+	cfg.Procs = []int{4}
+	rows, err := PerPhaseCalibration(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.Actual <= 0 || r.AverageCal <= 0 || r.PerPhaseCal <= 0 {
+		t.Fatalf("non-positive times: %+v", r)
+	}
+	// The refinement exists to reduce the compute-time mismatch; it must
+	// not be dramatically worse than the single average.
+	if r.PerPhaseErrPct() > r.AverageErrPct()+5 {
+		t.Errorf("per-phase calibration much worse: %.1f%% vs %.1f%%",
+			r.PerPhaseErrPct(), r.AverageErrPct())
+	}
+
+	var buf bytes.Buffer
+	RenderPerPhase(&buf, rows)
+	if !strings.Contains(buf.String(), "per-phase") {
+		t.Errorf("render output:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"tireplay/internal/units"
+)
+
+// RenderFig7 prints the acquisition-time distribution (Figure 7).
+func RenderFig7(w io.Writer, rows []Fig7Row) {
+	fmt.Fprintln(w, "Figure 7 — Distribution of the acquisition time (Regular mode, bordereau)")
+	fmt.Fprintf(w, "%-5s %6s | %12s %12s %12s %12s | %10s %8s\n",
+		"Class", "Procs", "Application", "Tracing", "Extraction", "Gathering", "Total", "Ext+Gat")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-5s %6d | %11.2fs %11.2fs %11.2fs %11.2fs | %9.2fs %7.2f%%\n",
+			r.Class, r.Procs, r.Application, r.Tracing, r.Extraction, r.Gathering,
+			r.Total(), 100*r.ExtractGatherShare())
+	}
+}
+
+// RenderTable2 prints the acquisition-mode comparison (Table 2).
+func RenderTable2(w io.Writer, rows []Table2Row) {
+	fmt.Fprintln(w, "Table 2 — Execution time of the instrumented LU benchmark per acquisition mode")
+	fmt.Fprintf(w, "%-5s %-10s %-10s | %12s %8s\n", "Class", "Mode", "Nodes", "Time", "Ratio")
+	for _, r := range rows {
+		nodes := ""
+		for i, n := range r.Nodes {
+			if i > 0 {
+				nodes += ","
+			}
+			nodes += fmt.Sprintf("%d", n)
+		}
+		if len(r.Nodes) > 1 {
+			nodes = "(" + nodes + ")"
+		}
+		fmt.Fprintf(w, "%-5s %-10s %-10s | %11.2fs %8.2f\n",
+			r.Class, r.Mode, nodes, r.Seconds, r.Ratio)
+	}
+}
+
+// RenderTable3 prints the trace-size table (Table 3).
+func RenderTable3(w io.Writer, rows []Table3Row) {
+	fmt.Fprintln(w, "Table 3 — Sizes of TAU and time-independent traces and number of actions")
+	fmt.Fprintf(w, "%-5s %6s | %12s %14s %7s | %14s\n",
+		"Class", "Procs", "TAU (MiB)", "Time-Ind (MiB)", "Ratio", "Actions (1e6)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-5s %6d | %12.1f %14.2f %7.2f | %14.2f\n",
+			r.Class, r.Procs, r.TAUMiB, r.TIMiB, r.Ratio, float64(r.Actions)/1e6)
+	}
+}
+
+// RenderFig8 prints the accuracy comparison (Figure 8).
+func RenderFig8(w io.Writer, rows []Fig8Row) {
+	fmt.Fprintln(w, "Figure 8 — Simulated vs actual execution time (bordereau)")
+	fmt.Fprintf(w, "%-5s %6s | %12s %12s %9s\n",
+		"Class", "Procs", "Actual", "Simulated", "Error")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-5s %6d | %11.2fs %11.2fs %8.1f%%\n",
+			r.Class, r.Procs, r.Actual, r.Simulated, r.ErrorPct())
+	}
+}
+
+// RenderFig9 prints the replay-time series (Figure 9).
+func RenderFig9(w io.Writer, rows []Fig9Row) {
+	fmt.Fprintln(w, "Figure 9 — Trace replay time vs number of processes")
+	fmt.Fprintf(w, "%-5s %6s | %14s %14s\n", "Class", "Procs", "Actions (1e6)", "Replay time")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-5s %6d | %14.2f %14s\n",
+			r.Class, r.Procs, float64(r.Actions)/1e6, r.ReplayWall.Round(time.Millisecond))
+	}
+}
+
+// RenderLarge prints the Section 6.5 large-acquisition study.
+func RenderLarge(w io.Writer, r *LargeResult) {
+	fmt.Fprintln(w, "Section 6.5 — Acquiring a large trace (class D, 1024 processes)")
+	fmt.Fprintf(w, "  platform: %d nodes x %d cores, folding factor %d (%d processes)\n",
+		r.Nodes, r.Cores, r.Fold, r.Procs)
+	mode := "every rank measured exactly"
+	if r.Sampled {
+		mode = fmt.Sprintf("measured on %d ranks, extended by exact action counts", r.SampleRanks)
+	}
+	fmt.Fprintf(w, "  sizing: %s\n", mode)
+	fmt.Fprintf(w, "  actions:                 %d (%.1f million)\n", r.Actions, float64(r.Actions)/1e6)
+	fmt.Fprintf(w, "  time-independent trace:  %s\n", units.FormatBytes(float64(r.TIBytes)))
+	if r.TAUBytesEst > 0 {
+		fmt.Fprintf(w, "  TAU trace (estimated):   %s (%.1fx larger)\n",
+			units.FormatBytes(float64(r.TAUBytesEst)), float64(r.TAUBytesEst)/float64(r.TIBytes))
+	}
+	fmt.Fprintf(w, "  gzip-compressed:         %s (%.1fx smaller)\n",
+		units.FormatBytes(float64(r.GzipBytes)), float64(r.TIBytes)/float64(r.GzipBytes))
+	fmt.Fprintf(w, "  binary codec:            %s (%.1fx smaller)\n",
+		units.FormatBytes(float64(r.BinaryBytes)), float64(r.TIBytes)/float64(r.BinaryBytes))
+	fmt.Fprintf(w, "  modelled acquisition:    execution %.0fs + extraction %.0fs + gathering %.0fs = %.1f min\n",
+		r.ExecutionTime, r.ExtractionTime, r.GatheringTime, r.TotalAcquisitionTime()/60)
+}
+
+// RenderInvariance prints the Section 6.2 invariance check.
+func RenderInvariance(w io.Writer, r *InvarianceResult) {
+	fmt.Fprintf(w, "Section 6.2 — Simulated-time invariance across acquisition modes (class %s, %d processes)\n",
+		r.Class, r.Procs)
+	for i, m := range r.Modes {
+		fmt.Fprintf(w, "  %-10s simulated %.4f s\n", m, r.Simulated[i])
+	}
+	fmt.Fprintf(w, "  traces byte-identical: %v; max simulated-time deviation: %.3f%%\n",
+		r.Identical, 100*r.MaxRelDiff)
+}

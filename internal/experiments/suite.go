@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"tireplay/internal/acquisition"
+	"tireplay/internal/calibrate"
+	"tireplay/internal/mpi"
+	"tireplay/internal/npb"
+	"tireplay/internal/platform"
+	"tireplay/internal/replay"
+	"tireplay/internal/smpi"
+	"tireplay/internal/tau"
+	"tireplay/internal/trace"
+)
+
+// Fig7Row is one bar of Figure 7: the acquisition-time distribution of one
+// LU instance acquired in Regular mode.
+type Fig7Row struct {
+	Class       string
+	Procs       int
+	Application float64
+	Tracing     float64
+	Extraction  float64
+	Gathering   float64
+}
+
+// Total is the full acquisition time of the row.
+func (r Fig7Row) Total() float64 {
+	return r.Application + r.Tracing + r.Extraction + r.Gathering
+}
+
+// ExtractGatherShare is the fraction of the acquisition spent producing the
+// time-independent trace (the paper reports it peaks at 34.91%).
+func (r Fig7Row) ExtractGatherShare() float64 {
+	return (r.Extraction + r.Gathering) / r.Total()
+}
+
+// Table3Row is one line of Table 3: trace sizes and action counts.
+type Table3Row struct {
+	Class   string
+	Procs   int
+	TAUMiB  float64
+	TIMiB   float64
+	Ratio   float64 // TAU / time-independent
+	Actions int64
+}
+
+// Fig8Row is one point pair of Figure 8: simulated vs actual time.
+type Fig8Row struct {
+	Class     string
+	Procs     int
+	Actual    float64
+	Simulated float64
+}
+
+// ErrorPct is the local relative error of the prediction.
+func (r Fig8Row) ErrorPct() float64 {
+	if r.Actual == 0 {
+		return 0
+	}
+	e := (r.Simulated - r.Actual) / r.Actual * 100
+	if e < 0 {
+		return -e
+	}
+	return e
+}
+
+// Fig9Row is one point of Figure 9: the time needed to replay a trace.
+type Fig9Row struct {
+	Class      string
+	Procs      int
+	Actions    int64
+	ReplayWall time.Duration
+}
+
+// SuiteResult aggregates the per-instance experiments that share the same
+// acquisitions: Figures 7, 8, 9 and Table 3.
+type SuiteResult struct {
+	Fig7           []Fig7Row
+	Table3         []Table3Row
+	Fig8           []Fig8Row
+	Fig9           []Fig9Row
+	CalibratedRate map[string]float64 // per class, flop/s
+}
+
+// Suite runs one acquisition per (class, process count) cell and derives
+// Figures 7-9 and Table 3 from it.
+func Suite(cfg *Config) (*SuiteResult, error) {
+	cfg.setDefaults()
+	res := &SuiteResult{CalibratedRate: make(map[string]float64)}
+
+	for _, class := range cfg.Classes {
+		rate, err := calibrateClass(cfg, class)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: calibration for class %s: %w", class.Name, err)
+		}
+		res.CalibratedRate[class.Name] = rate
+		cfg.progressf("class %s: calibrated flop rate %.4g flop/s", class.Name, rate)
+
+		for _, procs := range cfg.Procs {
+			cell, err := runCell(cfg, class, procs, rate)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: class %s procs %d: %w", class.Name, procs, err)
+			}
+			res.Fig7 = append(res.Fig7, cell.fig7)
+			res.Table3 = append(res.Table3, cell.table3)
+			res.Fig8 = append(res.Fig8, cell.fig8)
+			res.Fig9 = append(res.Fig9, cell.fig9)
+			cfg.progressf("class %s procs %d: actual %.2fs simulated %.2fs (err %.1f%%), replay wall %v",
+				class.Name, procs, cell.fig8.Actual, cell.fig8.Simulated,
+				cell.fig8.ErrorPct(), cell.fig9.ReplayWall.Round(time.Millisecond))
+		}
+	}
+	return res, nil
+}
+
+type cellResult struct {
+	fig7   Fig7Row
+	table3 Table3Row
+	fig8   Fig8Row
+	fig9   Fig9Row
+}
+
+// calibrateClass performs the Section 5 flop-rate calibration: a small
+// instrumented instance of the application runs CalibrationRuns times on
+// the host platform (with its rate variability); the weighted-average rates
+// are averaged over the runs.
+func calibrateClass(cfg *Config, class npb.Class) (float64, error) {
+	// The calibration instance: same application, small class.
+	calClass := npb.ClassW
+	if class.N <= npb.ClassW.N {
+		calClass = npb.ClassS
+	}
+	prog, err := npb.LU(npb.LUConfig{Class: calClass, Procs: cfg.CalibrationProcs})
+	if err != nil {
+		return 0, err
+	}
+	var rates []float64
+	for run := 0; run < cfg.CalibrationRuns; run++ {
+		dir, err := os.MkdirTemp("", "tireplay-cal-")
+		if err != nil {
+			return 0, err
+		}
+		camp := &acquisition.Campaign{
+			Procs:            cfg.CalibrationProcs,
+			Program:          prog,
+			OverheadPerEvent: cfg.OverheadPerEvent,
+			Rate:             LURateModel(cfg.Seed + int64(run) + 1),
+			Network:          TrueNetworkModel(),
+		}
+		b, d, err := camp.Build(acquisition.Regular())
+		if err != nil {
+			os.RemoveAll(dir)
+			return 0, err
+		}
+		_, files, err := tau.AcquireSim(dir, b, d,
+			mpi.SimConfig{Rate: camp.Rate}, cfg.OverheadPerEvent, prog)
+		if err != nil {
+			os.RemoveAll(dir)
+			return 0, err
+		}
+		_, avg, err := calibrate.MeasureFlopRate(files)
+		os.RemoveAll(dir)
+		if err != nil {
+			return 0, err
+		}
+		rates = append(rates, avg)
+	}
+	return calibrate.AverageOverRuns(rates)
+}
+
+// runCell acquires one (class, procs) instance and derives every
+// per-instance measurement.
+func runCell(cfg *Config, class npb.Class, procs int, calibratedRate float64) (*cellResult, error) {
+	prog, err := npb.LU(npb.LUConfig{Class: class, Procs: procs})
+	if err != nil {
+		return nil, err
+	}
+	camp := &acquisition.Campaign{
+		Procs:               procs,
+		Program:             prog,
+		OverheadPerEvent:    cfg.OverheadPerEvent,
+		Rate:                LURateModel(cfg.Seed),
+		ExtractCostPerEvent: cfg.ExtractCostPerEvent,
+		Network:             TrueNetworkModel(),
+	}
+	dir, err := os.MkdirTemp("", "tireplay-exp-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	rep, err := camp.Run(dir, acquisition.Regular(), false)
+	if err != nil {
+		return nil, err
+	}
+	cell := &cellResult{
+		fig7: Fig7Row{
+			Class:       class.Name,
+			Procs:       procs,
+			Application: rep.ApplicationTime,
+			Tracing:     rep.TracingOverhead,
+			Extraction:  rep.ExtractionTime,
+			Gathering:   rep.GatheringTime,
+		},
+		table3: Table3Row{
+			Class:   class.Name,
+			Procs:   procs,
+			TAUMiB:  float64(rep.TAUBytes) / (1 << 20),
+			TIMiB:   float64(rep.TIBytes) / (1 << 20),
+			Ratio:   float64(rep.TAUBytes) / float64(rep.TIBytes),
+			Actions: rep.Actions,
+		},
+	}
+
+	// Figure 8: replay the acquired trace on the calibrated platform and
+	// compare against the (modelled) real execution.
+	perRank := make([][]trace.Action, procs)
+	for r, path := range rep.TIFiles {
+		perRank[r], err = trace.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+	}
+	b, err := platform.BuildBordereauCustom(procs, 1, calibratedRate)
+	if err != nil {
+		return nil, err
+	}
+	d, err := platform.RoundRobin(b.HostNames, procs, 1)
+	if err != nil {
+		return nil, err
+	}
+	result, err := replay.RunActions(b, d, replay.Config{Model: smpi.Default()}, perRank)
+	if err != nil {
+		return nil, err
+	}
+	cell.fig8 = Fig8Row{
+		Class:     class.Name,
+		Procs:     procs,
+		Actual:    rep.ApplicationTime,
+		Simulated: result.SimulatedTime,
+	}
+	cell.fig9 = Fig9Row{
+		Class:      class.Name,
+		Procs:      procs,
+		Actions:    result.Actions,
+		ReplayWall: result.WallTime,
+	}
+	return cell, nil
+}

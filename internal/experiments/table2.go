@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tireplay/internal/acquisition"
+	"tireplay/internal/npb"
+)
+
+// Table2Row is one cell of Table 2: the instrumented execution time of an
+// LU instance under one acquisition mode, and its ratio to Regular mode.
+type Table2Row struct {
+	Class   string
+	Mode    string
+	Nodes   []int
+	Seconds float64
+	Ratio   float64
+}
+
+// Table2Modes returns the mode list of the paper's Table 2 for the given
+// folding factors: R, F-x..., S-2, SF-(2,x)... .
+func Table2Modes(folds []int) []acquisition.Mode {
+	modes := []acquisition.Mode{acquisition.Regular()}
+	for _, f := range folds {
+		modes = append(modes, acquisition.Folding(f))
+	}
+	modes = append(modes, acquisition.Scattering(2))
+	for _, f := range folds {
+		if f > 16 {
+			// The paper's SF column stops at SF-(2,16): 64 processes on
+			// 2x2 nodes.
+			continue
+		}
+		modes = append(modes, acquisition.ScatterFold(2, f))
+	}
+	return modes
+}
+
+// Table2 regenerates Table 2: the evolution of the execution time of an
+// instrumented LU benchmark with regard to the acquisition mode.
+func Table2(cfg *Config) ([]Table2Row, error) {
+	cfg.setDefaults()
+	var rows []Table2Row
+	for _, class := range cfg.Classes {
+		prog, err := npb.LU(npb.LUConfig{Class: class, Procs: cfg.Table2Procs})
+		if err != nil {
+			return nil, err
+		}
+		camp := &acquisition.Campaign{
+			Procs:            cfg.Table2Procs,
+			Program:          prog,
+			OverheadPerEvent: cfg.OverheadPerEvent,
+			Rate:             LURateModel(cfg.Seed),
+			Network:          TrueNetworkModel(),
+		}
+		var regular float64
+		for _, m := range Table2Modes(cfg.Table2Folds) {
+			secs, err := camp.InstrumentedTime(m)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: table2 %s %s: %w", class.Name, m.Name(), err)
+			}
+			if m.Name() == "R" {
+				regular = secs
+			}
+			nodes, err := m.Nodes(cfg.Table2Procs)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Table2Row{
+				Class:   class.Name,
+				Mode:    m.Name(),
+				Nodes:   nodes,
+				Seconds: secs,
+				Ratio:   secs / regular,
+			})
+			cfg.progressf("table2 class %s mode %-9s: %8.2f s (ratio %.2f)",
+				class.Name, m.Name(), secs, secs/regular)
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,146 @@
+// Package gather implements the last step of the acquisition process: the
+// collection of the per-process trace files onto the single node where the
+// replay takes place (Section 4.3). It follows the paper's approach of a
+// K-nomial tree reduction allowing for log_{K+1}(N) steps, where N is the
+// number of files and K the arity of the tree, and provides both the
+// communication plan (with an analytic cost model used by the acquisition
+// experiments) and the physical merging of local trace files.
+package gather
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Transfer is one file movement of the gathering plan: the accumulated
+// payload of node Src moves to node Dst during round Round.
+type Transfer struct {
+	Round int
+	Src   int
+	Dst   int
+}
+
+// Steps returns the number of rounds of a K-nomial gather over n nodes:
+// ceil(log_{K+1} n).
+func Steps(n, k int) int {
+	if n <= 1 {
+		return 0
+	}
+	if k < 1 {
+		k = 1
+	}
+	steps := 0
+	span := 1
+	for span < n {
+		span *= k + 1
+		steps++
+	}
+	return steps
+}
+
+// Plan computes the transfer schedule of a K-nomial gather of n nodes onto
+// node 0. In round s (0-based), nodes at offsets m*(k+1)^s (m=1..k) within
+// each block of (k+1)^(s+1) send everything they hold to the block leader.
+func Plan(n, k int) []Transfer {
+	if k < 1 {
+		k = 1
+	}
+	var out []Transfer
+	span := 1
+	for round := 0; span < n; round++ {
+		block := span * (k + 1)
+		for base := 0; base < n; base += block {
+			for m := 1; m <= k; m++ {
+				src := base + m*span
+				if src < n {
+					out = append(out, Transfer{Round: round, Src: src, Dst: base})
+				}
+			}
+		}
+		span = block
+	}
+	return out
+}
+
+// Cost evaluates the completion time of the gather plan under a simple
+// latency/bandwidth model: within a round, transfers proceed in parallel
+// and the round lasts as long as its largest transfer; rounds are
+// synchronised. sizes[i] is the trace size (bytes) initially held by node i.
+func Cost(sizes []float64, k int, bandwidth, latency float64) (float64, error) {
+	n := len(sizes)
+	if n == 0 {
+		return 0, fmt.Errorf("gather: no files")
+	}
+	if bandwidth <= 0 {
+		return 0, fmt.Errorf("gather: bandwidth must be positive")
+	}
+	held := append([]float64(nil), sizes...)
+	total := 0.0
+	plan := Plan(n, k)
+	round := 0
+	roundMax := 0.0
+	flush := func() {
+		total += roundMax
+		roundMax = 0
+	}
+	for _, tr := range plan {
+		if tr.Round != round {
+			flush()
+			round = tr.Round
+		}
+		cost := latency + held[tr.Src]/bandwidth
+		if cost > roundMax {
+			roundMax = cost
+		}
+		held[tr.Dst] += held[tr.Src]
+		held[tr.Src] = 0
+	}
+	flush()
+	return total, nil
+}
+
+// BestArity picks the arity K in candidates minimising the modelled gather
+// time; the paper notes the script "can be configured to adapt the arity to
+// the total number of traces and the number of compute nodes involved".
+func BestArity(sizes []float64, candidates []int, bandwidth, latency float64) (int, float64, error) {
+	if len(candidates) == 0 {
+		candidates = []int{1, 2, 4, 8}
+	}
+	bestK, bestT := 0, math.Inf(1)
+	for _, k := range candidates {
+		t, err := Cost(sizes, k, bandwidth, latency)
+		if err != nil {
+			return 0, 0, err
+		}
+		if t < bestT {
+			bestK, bestT = k, t
+		}
+	}
+	return bestK, bestT, nil
+}
+
+// Concat merges the given files into one destination file in order — the
+// physical gathering performed once all traces reside on the replay node.
+func Concat(paths []string, dst string) (int64, error) {
+	out, err := os.Create(dst)
+	if err != nil {
+		return 0, err
+	}
+	defer out.Close()
+	var total int64
+	for _, p := range paths {
+		in, err := os.Open(p)
+		if err != nil {
+			return total, err
+		}
+		n, err := io.Copy(out, in)
+		in.Close()
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, out.Close()
+}

@@ -1,0 +1,208 @@
+package gather
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestSteps(t *testing.T) {
+	cases := []struct{ n, k, want int }{
+		{1, 4, 0},
+		{2, 1, 1},
+		{4, 1, 2},
+		{8, 1, 3},
+		{5, 4, 1},
+		{25, 4, 2},
+		{64, 4, 3}, // paper: 4-nomial tree over 64 files
+		{64, 3, 3},
+		{1024, 4, 5},
+	}
+	for _, c := range cases {
+		if got := Steps(c.n, c.k); got != c.want {
+			t.Errorf("Steps(%d,%d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestPlanBinomial(t *testing.T) {
+	// k=1 over 4 nodes: round 0: 1->0, 3->2; round 1: 2->0.
+	plan := Plan(4, 1)
+	want := []Transfer{{0, 1, 0}, {0, 3, 2}, {1, 2, 0}}
+	if len(plan) != len(want) {
+		t.Fatalf("plan = %+v", plan)
+	}
+	for i := range want {
+		if plan[i] != want[i] {
+			t.Fatalf("plan[%d] = %+v, want %+v", i, plan[i], want[i])
+		}
+	}
+}
+
+// Property: every node except 0 sends exactly once, so all data reaches the
+// root regardless of n and k.
+func TestPlanCompletenessProperty(t *testing.T) {
+	f := func(rawN, rawK uint8) bool {
+		n := 1 + int(rawN)%200
+		k := 1 + int(rawK)%8
+		plan := Plan(n, k)
+		sent := make([]int, n)
+		for _, tr := range plan {
+			if tr.Src <= 0 || tr.Src >= n || tr.Dst < 0 || tr.Dst >= n {
+				return false
+			}
+			sent[tr.Src]++
+		}
+		if sent[0] != 0 {
+			return false
+		}
+		for i := 1; i < n; i++ {
+			if sent[i] != 1 {
+				return false
+			}
+		}
+		// Rounds must not exceed Steps(n, k).
+		for _, tr := range plan {
+			if tr.Round >= Steps(n, k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: data volumes are conserved — the root ends holding everything.
+func TestPlanConservationProperty(t *testing.T) {
+	f := func(rawN, rawK uint8) bool {
+		n := 1 + int(rawN)%100
+		k := 1 + int(rawK)%8
+		held := make([]float64, n)
+		total := 0.0
+		for i := range held {
+			held[i] = float64(i + 1)
+			total += held[i]
+		}
+		for _, tr := range Plan(n, k) {
+			held[tr.Dst] += held[tr.Src]
+			held[tr.Src] = 0
+		}
+		return math.Abs(held[0]-total) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCostSingleNodeFree(t *testing.T) {
+	c, err := Cost([]float64{100}, 4, 1e8, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 0 {
+		t.Fatalf("cost = %g, want 0", c)
+	}
+}
+
+func TestCostTwoNodes(t *testing.T) {
+	c, err := Cost([]float64{0, 1e8}, 2, 1e8, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-1.001) > 1e-9 {
+		t.Fatalf("cost = %g, want 1.001", c)
+	}
+}
+
+func TestCostGrowsWithN(t *testing.T) {
+	mk := func(n int) []float64 {
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = 1e6
+		}
+		return s
+	}
+	prev := 0.0
+	for _, n := range []int{2, 8, 32, 128} {
+		c, err := Cost(mk(n), 4, 1.25e8, 1e-4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c <= prev {
+			t.Fatalf("cost not increasing: n=%d cost=%g prev=%g", n, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestCostErrors(t *testing.T) {
+	if _, err := Cost(nil, 2, 1e8, 0); err == nil {
+		t.Fatal("expected error for empty sizes")
+	}
+	if _, err := Cost([]float64{1}, 2, 0, 0); err == nil {
+		t.Fatal("expected error for zero bandwidth")
+	}
+}
+
+func TestBestArity(t *testing.T) {
+	sizes := make([]float64, 64)
+	for i := range sizes {
+		sizes[i] = 5e6
+	}
+	k, cost, err := BestArity(sizes, []int{1, 2, 4, 8}, 1.25e8, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost <= 0 {
+		t.Fatal("zero cost")
+	}
+	// Sanity: the returned arity is actually the argmin.
+	for _, cand := range []int{1, 2, 4, 8} {
+		c, _ := Cost(sizes, cand, 1.25e8, 1e-4)
+		if c < cost {
+			t.Fatalf("arity %d beats reported best %d (%g < %g)", cand, k, c, cost)
+		}
+	}
+}
+
+func TestConcat(t *testing.T) {
+	dir := t.TempDir()
+	var paths []string
+	want := ""
+	for i, content := range []string{"p0 barrier\n", "p1 barrier\n", "p2 barrier\n"} {
+		p := filepath.Join(dir, "part", "")
+		_ = p
+		path := filepath.Join(dir, "f"+string(rune('0'+i)))
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, path)
+		want += content
+	}
+	out := filepath.Join(dir, "merged.trace")
+	n, err := Concat(paths, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(want)) {
+		t.Fatalf("bytes = %d, want %d", n, len(want))
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != want {
+		t.Fatalf("merged = %q", got)
+	}
+}
+
+func TestConcatMissingFile(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Concat([]string{filepath.Join(dir, "missing")}, filepath.Join(dir, "out")); err == nil {
+		t.Fatal("expected error")
+	}
+}

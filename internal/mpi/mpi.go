@@ -1,0 +1,177 @@
+// Package mpi is the message-passing substrate the benchmark skeletons run
+// on during trace acquisition. It stands in for the OpenMPI installations of
+// the paper's testbed: programs are written once against the Comm interface
+// and can execute on two interchangeable engines:
+//
+//   - the live engine (RunLive): every rank is a goroutine, messages are
+//     exchanged through channels with rendezvous semantics for large
+//     messages, and each rank carries a virtual clock advanced by a
+//     latency/bandwidth communication model and a configurable flop rate —
+//     the fast path used to acquire traces;
+//
+//   - the simulation engine (RunSim): ranks are processes of a simx kernel
+//     deployed on a platform model, so the execution experiences CPU
+//     sharing (folding), hierarchical network contention and wide-area
+//     latencies — the path used to model the acquisition campaigns of
+//     Table 2 and Figure 7.
+//
+// Both engines expose a virtual PAPI-like flop counter (FlopCount) that the
+// TAU-style instrumentation layer samples at MPI event boundaries, exactly
+// how the paper derives the volume of CPU bursts.
+package mpi
+
+import "fmt"
+
+// Comm is the per-rank communicator handed to a Program. All volumes are
+// expressed as in the paper's traces: flops for computations, bytes for
+// communications. Collective operations are rooted at rank 0, matching the
+// design choice of Section 3.
+type Comm interface {
+	// Rank returns this process's rank in 0..Size()-1.
+	Rank() int
+	// Size returns the number of processes.
+	Size() int
+	// Now returns the rank's current virtual time in seconds.
+	Now() float64
+	// FlopCount returns the virtual PAPI_FP_OPS counter: the cumulative
+	// number of flops this rank has executed.
+	FlopCount() float64
+	// Compute executes a CPU burst of the given volume.
+	Compute(flops float64)
+	// Delay advances the rank's clock without performing flops; the
+	// instrumentation layer uses it to model tracing overhead.
+	Delay(seconds float64)
+	// Send transmits bytes to dst, blocking until the message is delivered
+	// (synchronous mode, as large sends behave in MPI implementations).
+	Send(dst int, bytes float64)
+	// Isend starts an asynchronous send and returns a request handle.
+	Isend(dst int, bytes float64) Request
+	// Recv blocks until a message from src arrives and returns its size.
+	Recv(src int) float64
+	// Irecv posts an asynchronous receive for a message from src.
+	Irecv(src int) Request
+	// Wait blocks until the request completes and describes the completion.
+	Wait(req Request) Completion
+	// Bcast broadcasts bytes from rank 0 to every rank.
+	Bcast(bytes float64)
+	// Reduce sends vcomm bytes from every rank towards rank 0, then every
+	// rank performs vcomp flops of reduction work.
+	Reduce(vcomm, vcomp float64)
+	// Allreduce is Reduce followed by a broadcast of the result.
+	Allreduce(vcomm, vcomp float64)
+	// Barrier synchronises all ranks.
+	Barrier()
+}
+
+// Request is an opaque handle on an in-flight asynchronous operation.
+type Request interface{}
+
+// Completion describes a finished asynchronous operation: Wait on an Irecv
+// reports the message source and size (the information tau2simgrid must look
+// up from the MPI_Wait, per Section 4.3).
+type Completion struct {
+	IsRecv bool
+	Peer   int
+	Bytes  float64
+}
+
+// Program is an MPI application body, executed once per rank.
+type Program func(c Comm)
+
+// RateMultiplier modulates a rank's flop rate per compute burst: it receives
+// the rank, the burst sequence number and the burst volume and returns a
+// multiplicative factor on the baseline rate. It models the paper's
+// observation (Section 6.4) that the flop rate is not constant over the
+// computation of a LU benchmark; a nil multiplier means a constant rate.
+type RateMultiplier func(rank int, seq int64, flops float64) float64
+
+// engine is the internal point-to-point layer the shared collective
+// algorithms are built on. The raw operations are synchronous and invisible
+// to the instrumentation layer: a traced application only sees the
+// collective call itself, as with a real MPI library.
+type engine interface {
+	rank() int
+	size() int
+	sendRaw(dst int, bytes float64)
+	recvRaw(src int) float64
+	addFlops(flops float64)
+	computeRaw(flops float64)
+}
+
+// collective algorithms; linear and rooted at rank 0, mirroring the replay
+// tool's design choice so acquisition and replay agree on the schedule shape.
+
+func barrier(e engine) {
+	me, n := e.rank(), e.size()
+	if n == 1 {
+		return
+	}
+	const token = 4 // bytes of a zero-payload control message
+	if me == 0 {
+		for i := 1; i < n; i++ {
+			e.recvRaw(i)
+		}
+		for i := 1; i < n; i++ {
+			e.sendRaw(i, token)
+		}
+	} else {
+		e.sendRaw(0, token)
+		e.recvRaw(0)
+	}
+}
+
+func bcast(e engine, bytes float64) {
+	me, n := e.rank(), e.size()
+	if n == 1 {
+		return
+	}
+	if me == 0 {
+		for i := 1; i < n; i++ {
+			e.sendRaw(i, bytes)
+		}
+	} else {
+		e.recvRaw(0)
+	}
+}
+
+func reduce(e engine, vcomm, vcomp float64) {
+	me, n := e.rank(), e.size()
+	if me == 0 {
+		for i := 1; i < n; i++ {
+			e.recvRaw(i)
+		}
+	} else {
+		e.sendRaw(0, vcomm)
+	}
+	if vcomp > 0 {
+		e.addFlops(vcomp)
+		e.computeRaw(vcomp)
+	}
+}
+
+func allreduce(e engine, vcomm, vcomp float64) {
+	me, n := e.rank(), e.size()
+	if me == 0 {
+		for i := 1; i < n; i++ {
+			e.recvRaw(i)
+		}
+		for i := 1; i < n; i++ {
+			e.sendRaw(i, vcomm)
+		}
+	} else {
+		e.sendRaw(0, vcomm)
+		e.recvRaw(0)
+	}
+	if vcomp > 0 {
+		e.addFlops(vcomp)
+		e.computeRaw(vcomp)
+	}
+}
+
+// validRank panics on out-of-range peers; programs are trusted code in this
+// repository but early failure beats a hung rendezvous.
+func validRank(who string, r, n int) {
+	if r < 0 || r >= n {
+		panic(fmt.Sprintf("mpi: %s rank %d outside world of size %d", who, r, n))
+	}
+}

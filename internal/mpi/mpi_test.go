@@ -1,0 +1,415 @@
+package mpi
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"tireplay/internal/platform"
+)
+
+func almost(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-6*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// ringProgram is the Figure 1 computation: 4 iterations of compute-and-pass
+// around a ring.
+func ringProgram(iters int, flops, bytes float64) Program {
+	return func(c Comm) {
+		me, n := c.Rank(), c.Size()
+		next := (me + 1) % n
+		prev := (me - 1 + n) % n
+		for i := 0; i < iters; i++ {
+			if me == 0 {
+				c.Compute(flops)
+				c.Send(next, bytes)
+				c.Recv(prev)
+			} else {
+				c.Recv(prev)
+				c.Compute(flops)
+				c.Send(next, bytes)
+			}
+		}
+	}
+}
+
+func TestLiveSingleRankCompute(t *testing.T) {
+	end, err := RunLive(LiveConfig{Procs: 1, FlopRate: 1e9}, func(c Comm) {
+		c.Compute(2e9)
+		if c.FlopCount() != 2e9 {
+			t.Errorf("FlopCount = %g", c.FlopCount())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(end, 2.0) {
+		t.Fatalf("makespan = %g, want 2", end)
+	}
+}
+
+func TestLiveRingCompletes(t *testing.T) {
+	end, err := RunLive(LiveConfig{Procs: 4}, ringProgram(4, 1e6, 1e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end <= 0 {
+		t.Fatal("zero makespan")
+	}
+}
+
+func TestLiveDeterministicAcrossRuns(t *testing.T) {
+	run := func() float64 {
+		end, err := RunLive(LiveConfig{Procs: 8}, ringProgram(10, 5e5, 2e5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		if v := run(); v != first {
+			t.Fatalf("non-deterministic live engine: %g vs %g", v, first)
+		}
+	}
+}
+
+func TestLiveEagerSendDoesNotBlock(t *testing.T) {
+	// Rank 0 sends eagerly then computes; rank 1 receives late. Eager send
+	// must not wait for the receiver.
+	var sendClock float64
+	_, err := RunLive(LiveConfig{Procs: 2}, func(c Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 1024) // below eager threshold
+			sendClock = c.Now()
+		} else {
+			c.Compute(1e9) // 1 s before receiving
+			c.Recv(0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sendClock > 1e-3 {
+		t.Fatalf("eager send blocked until %g", sendClock)
+	}
+}
+
+func TestLiveRendezvousSendBlocks(t *testing.T) {
+	var sendClock float64
+	_, err := RunLive(LiveConfig{Procs: 2}, func(c Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 1e7) // above eager threshold
+			sendClock = c.Now()
+		} else {
+			c.Compute(1e9) // receiver busy for 1 s
+			c.Recv(0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The transfer cannot start before t=1 (receiver busy), so the
+	// synchronous sender finishes after 1 s + transfer.
+	if sendClock < 1.0 {
+		t.Fatalf("rendezvous send returned at %g, before receiver was ready", sendClock)
+	}
+}
+
+func TestLiveRecvReturnsSize(t *testing.T) {
+	_, err := RunLive(LiveConfig{Procs: 2}, func(c Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 163840)
+		} else {
+			if got := c.Recv(0); got != 163840 {
+				t.Errorf("Recv = %g", got)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLiveIsendIrecvWait(t *testing.T) {
+	_, err := RunLive(LiveConfig{Procs: 2}, func(c Comm) {
+		if c.Rank() == 0 {
+			req := c.Isend(1, 2e6)
+			c.Compute(1e6)
+			comp := c.Wait(req)
+			if comp.IsRecv || comp.Peer != 1 || comp.Bytes != 2e6 {
+				t.Errorf("send completion = %+v", comp)
+			}
+		} else {
+			req := c.Irecv(0)
+			c.Compute(1e6)
+			comp := c.Wait(req)
+			if !comp.IsRecv || comp.Peer != 0 || comp.Bytes != 2e6 {
+				t.Errorf("recv completion = %+v", comp)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLiveCollectives(t *testing.T) {
+	counts := make([]float64, 4)
+	_, err := RunLive(LiveConfig{Procs: 4}, func(c Comm) {
+		c.Barrier()
+		c.Bcast(4096)
+		c.Reduce(1024, 5e5)
+		c.Allreduce(2048, 5e5)
+		c.Barrier()
+		counts[c.Rank()] = c.FlopCount()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every rank performed the vcomp work of reduce and allreduce.
+	for r, f := range counts {
+		if f != 1e6 {
+			t.Errorf("rank %d FlopCount = %g, want 1e6", r, f)
+		}
+	}
+}
+
+func TestLiveRateMultiplierChangesTimeNotFlops(t *testing.T) {
+	cfg := LiveConfig{Procs: 1, FlopRate: 1e9}
+	base, err := RunLive(cfg, func(c Comm) { c.Compute(1e9) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Rate = func(rank int, seq int64, flops float64) float64 { return 0.5 }
+	var flops float64
+	slowed, err := RunLive(cfg, func(c Comm) {
+		c.Compute(1e9)
+		flops = c.FlopCount()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(slowed, 2*base) {
+		t.Fatalf("half rate gave %g, want %g", slowed, 2*base)
+	}
+	if flops != 1e9 {
+		t.Fatalf("FlopCount = %g despite rate change", flops)
+	}
+}
+
+func TestLiveRateMultiplierSeqAdvances(t *testing.T) {
+	var seqs []int64
+	cfg := LiveConfig{Procs: 1, Rate: func(rank int, seq int64, flops float64) float64 {
+		seqs = append(seqs, seq)
+		return 1
+	}}
+	if _, err := RunLive(cfg, func(c Comm) {
+		c.Compute(1)
+		c.Compute(1)
+		c.Compute(1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 3 || seqs[0] != 0 || seqs[1] != 1 || seqs[2] != 2 {
+		t.Fatalf("seqs = %v", seqs)
+	}
+}
+
+func TestLiveDelayAdvancesClockOnly(t *testing.T) {
+	end, err := RunLive(LiveConfig{Procs: 1}, func(c Comm) {
+		c.Delay(1.5)
+		if c.FlopCount() != 0 {
+			t.Error("Delay changed FlopCount")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(end, 1.5) {
+		t.Fatalf("end = %g", end)
+	}
+}
+
+func TestLivePanicReported(t *testing.T) {
+	_, err := RunLive(LiveConfig{Procs: 1}, func(c Comm) { panic("boom") })
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLiveRejectsBadConfig(t *testing.T) {
+	if _, err := RunLive(LiveConfig{Procs: 0}, func(c Comm) {}); err == nil {
+		t.Fatal("expected error for empty world")
+	}
+}
+
+// paperBuild builds the 4-node platform of Figure 5 plus a matching
+// round-robin deployment.
+func paperBuild(t *testing.T, n int) (*platform.Build, *platform.Deployment) {
+	t.Helper()
+	b, err := platform.BuildBordereau(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := platform.RoundRobin(b.HostNames, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, d
+}
+
+func TestSimRingCompletes(t *testing.T) {
+	b, d := paperBuild(t, 4)
+	end, err := RunSim(b, d, SimConfig{}, ringProgram(4, 1e6, 1e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end <= 0 {
+		t.Fatal("zero makespan")
+	}
+}
+
+func TestSimComputeUsesHostSpeed(t *testing.T) {
+	b, d := paperBuild(t, 1)
+	end, err := RunSim(b, d, SimConfig{}, func(c Comm) {
+		c.Compute(platform.BordereauPower) // exactly one second of work
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(end, 1.0) {
+		t.Fatalf("end = %g, want 1", end)
+	}
+}
+
+func TestSimFoldingSharesCPU(t *testing.T) {
+	// 8 ranks folded onto 1 node with 4 cores: 2 ranks per core -> 2x time.
+	b, err := platform.BuildBordereau(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := platform.RoundRobin(b.HostNames, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end, err := RunSim(b, d, SimConfig{}, func(c Comm) {
+		c.Compute(platform.BordereauPower)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(end, 2.0) {
+		t.Fatalf("folded end = %g, want 2", end)
+	}
+}
+
+func TestSimCollectivesComplete(t *testing.T) {
+	b, d := paperBuild(t, 4)
+	counts := make([]float64, 4)
+	_, err := RunSim(b, d, SimConfig{}, func(c Comm) {
+		c.Barrier()
+		c.Bcast(1e5)
+		c.Reduce(1e4, 1e6)
+		c.Allreduce(1e4, 1e6)
+		counts[c.Rank()] = c.FlopCount()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, f := range counts {
+		if f != 2e6 {
+			t.Errorf("rank %d FlopCount = %g, want 2e6", r, f)
+		}
+	}
+}
+
+func TestSimIsendIrecvWait(t *testing.T) {
+	b, d := paperBuild(t, 2)
+	_, err := RunSim(b, d, SimConfig{}, func(c Comm) {
+		if c.Rank() == 0 {
+			req := c.Isend(1, 5e6)
+			c.Compute(1e6)
+			comp := c.Wait(req)
+			if comp.Bytes != 5e6 || comp.Peer != 1 {
+				t.Errorf("completion = %+v", comp)
+			}
+		} else {
+			req := c.Irecv(0)
+			comp := c.Wait(req)
+			if !comp.IsRecv || comp.Bytes != 5e6 {
+				t.Errorf("completion = %+v", comp)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimRejectsUnknownHost(t *testing.T) {
+	b, _ := paperBuild(t, 2)
+	d := &platform.Deployment{Processes: []platform.ProcessDef{
+		{Host: "nowhere", Function: "p0"},
+	}}
+	if _, err := RunSim(b, d, SimConfig{}, func(c Comm) {}); err == nil {
+		t.Fatal("expected error for unknown host")
+	}
+}
+
+func TestEnginesAgreeOnFlopCounts(t *testing.T) {
+	// The same program must issue identical flop volumes on both engines —
+	// the foundation of time-independent traces.
+	prog := func(counts []float64) Program {
+		return func(c Comm) {
+			me := c.Rank()
+			c.Compute(float64(me+1) * 1e5)
+			c.Allreduce(1024, 7e4)
+			if me == 0 {
+				c.Send(1, 2e6)
+			} else if me == 1 {
+				c.Recv(0)
+			}
+			c.Compute(3e5)
+			counts[me] = c.FlopCount()
+		}
+	}
+	liveCounts := make([]float64, 4)
+	if _, err := RunLive(LiveConfig{Procs: 4}, prog(liveCounts)); err != nil {
+		t.Fatal(err)
+	}
+	simCounts := make([]float64, 4)
+	b, d := paperBuild(t, 4)
+	if _, err := RunSim(b, d, SimConfig{}, prog(simCounts)); err != nil {
+		t.Fatal(err)
+	}
+	for r := range liveCounts {
+		if liveCounts[r] != simCounts[r] {
+			t.Errorf("rank %d: live %g != sim %g", r, liveCounts[r], simCounts[r])
+		}
+	}
+}
+
+func TestScatteredSimRuns(t *testing.T) {
+	// 4 ranks split across the two Grid'5000 sites communicate via the WAN.
+	b, err := platform.BuildGrid5000(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := [][]string{b.ClusterHosts("bordereau"), b.ClusterHosts("gdx")}
+	d, err := platform.Scatter(groups, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end, err := RunSim(b, d, SimConfig{}, ringProgram(2, 1e6, 1e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ring crossings over the WAN must cost at least a few WAN latencies.
+	if end < 2*platform.WANLatency {
+		t.Fatalf("scattered makespan %g suspiciously small", end)
+	}
+}

@@ -1,0 +1,84 @@
+package npb
+
+import (
+	"fmt"
+
+	"tireplay/internal/mpi"
+)
+
+// CG problem classes of NPB 3.3: matrix order, outer iterations, and
+// non-zeros per row.
+var cgClasses = map[string]struct {
+	na     int
+	niter  int
+	nonzer int
+}{
+	"S": {1400, 15, 7},
+	"W": {7000, 15, 8},
+	"A": {14000, 15, 11},
+	"B": {75000, 75, 13},
+	"C": {150000, 75, 15},
+	"D": {1500000, 100, 21},
+	"E": {9000000, 100, 26},
+}
+
+// cgInnerIters is the number of CG iterations per outer step (cgitmax).
+const cgInnerIters = 25
+
+// CGConfig describes a CG (conjugate gradient) instance.
+type CGConfig struct {
+	ClassName string
+	Procs     int
+}
+
+// CG builds the CG benchmark skeleton: the unstructured sparse
+// matrix-vector product dominates, with partial-sum exchanges across the
+// process-row butterfly at every inner iteration and two dot-product
+// reductions — a latency-bound contrast to LU's wavefronts.
+func CG(cfg CGConfig) (mpi.Program, error) {
+	cls, ok := cgClasses[cfg.ClassName]
+	if !ok {
+		return nil, fmt.Errorf("npb: unknown CG class %q", cfg.ClassName)
+	}
+	if cfg.Procs < 1 || cfg.Procs&(cfg.Procs-1) != 0 {
+		return nil, fmt.Errorf("npb: CG requires a power-of-two process count, got %d", cfg.Procs)
+	}
+	// Process grid: npcols x nprows, as square as possible.
+	npcols, nprows, err := grid2D(cfg.Procs)
+	if err != nil {
+		return nil, err
+	}
+	stages := 0
+	for 1<<stages < npcols {
+		stages++
+	}
+	rowChunk := float64(cls.na/nprows+1) * 8 // vector slice exchanged per stage
+	nnzLocal := float64(cls.na) * float64(cls.nonzer) * 12 / float64(cfg.Procs)
+
+	return func(c mpi.Comm) {
+		me := c.Rank()
+		myCol := me % npcols
+		rowBase := me - myCol
+		// Matrix generation.
+		c.Compute(nnzLocal * 20)
+		for outer := 0; outer < cls.niter; outer++ {
+			for inner := 0; inner < cgInnerIters; inner++ {
+				// Sparse mat-vec: local product then a butterfly of
+				// partial-sum exchanges across the process row.
+				c.Compute(2 * nnzLocal)
+				for s := 0; s < stages; s++ {
+					peer := rowBase + (myCol ^ (1 << s))
+					req := c.Irecv(peer)
+					c.Send(peer, rowChunk)
+					c.Wait(req)
+					c.Compute(rowChunk / 8 * 2) // partial-sum addition
+				}
+				// Two dot products per CG iteration.
+				c.Allreduce(8, float64(cls.na/cfg.Procs)*2)
+				c.Allreduce(8, float64(cls.na/cfg.Procs)*2)
+			}
+			// Residual norm of the outer step.
+			c.Allreduce(8, float64(cls.na/cfg.Procs)*2)
+		}
+	}, nil
+}

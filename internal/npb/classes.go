@@ -1,0 +1,77 @@
+// Package npb provides communication/computation skeletons of the NAS
+// Parallel Benchmarks used in the paper's evaluation (Section 6.1): the LU
+// factorization that all experiments run, plus CG and EP for additional
+// example workloads. A skeleton issues the same sequence of MPI operations
+// with the same communication volumes and computation volumes as the
+// original Fortran benchmark, which is exactly what off-line replay
+// observes — the numerical values themselves are irrelevant to the traces.
+package npb
+
+import "fmt"
+
+// Class is an NPB problem class: a problem size and an iteration count.
+// "each benchmark can be executed for 7 different classes, denoting
+// different problem sizes: S (the smallest), W, A, B, C, D, and E (the
+// largest)".
+type Class struct {
+	Name  string
+	N     int // problem size: the LU grid is N x N x N
+	Iters int // SSOR iterations (itmax)
+}
+
+// The LU problem classes of NPB 3.3. A class D instance "corresponds to
+// approximately 20 times as much work and a data set almost 16 times as
+// large as a class C problem".
+var (
+	ClassS = Class{Name: "S", N: 12, Iters: 50}
+	ClassW = Class{Name: "W", N: 33, Iters: 300}
+	ClassA = Class{Name: "A", N: 64, Iters: 250}
+	ClassB = Class{Name: "B", N: 102, Iters: 250}
+	ClassC = Class{Name: "C", N: 162, Iters: 250}
+	ClassD = Class{Name: "D", N: 408, Iters: 300}
+	ClassE = Class{Name: "E", N: 1020, Iters: 300}
+)
+
+// Classes lists every class in size order.
+func Classes() []Class {
+	return []Class{ClassS, ClassW, ClassA, ClassB, ClassC, ClassD, ClassE}
+}
+
+// ClassByName resolves a class letter ("S".."E").
+func ClassByName(name string) (Class, error) {
+	for _, c := range Classes() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Class{}, fmt.Errorf("npb: unknown class %q", name)
+}
+
+// grid2D computes the 2D process grid of the LU benchmark: processes must
+// be a power of two; the grid is as square as possible with xdim >= ydim.
+func grid2D(procs int) (xdim, ydim int, err error) {
+	if procs < 1 || procs&(procs-1) != 0 {
+		return 0, 0, fmt.Errorf("npb: LU requires a power-of-two process count, got %d", procs)
+	}
+	k := 0
+	for 1<<k < procs {
+		k++
+	}
+	xdim = 1 << ((k + 1) / 2)
+	ydim = 1 << (k / 2)
+	return xdim, ydim, nil
+}
+
+// split distributes n points over parts as evenly as possible and returns
+// the size of each part (the NPB block distribution).
+func split(n, parts int) []int {
+	out := make([]int, parts)
+	base, extra := n/parts, n%parts
+	for i := range out {
+		out[i] = base
+		if i < extra {
+			out[i]++
+		}
+	}
+	return out
+}

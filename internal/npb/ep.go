@@ -1,0 +1,47 @@
+package npb
+
+import (
+	"fmt"
+	"math"
+
+	"tireplay/internal/mpi"
+)
+
+// EP problem classes: the benchmark generates 2^M pairs of Gaussian random
+// deviates; the classes of NPB 3.3.
+var epM = map[string]int{
+	"S": 24, "W": 25, "A": 28, "B": 30, "C": 32, "D": 36, "E": 40,
+}
+
+// epFlopsPerPair approximates the work of generating and testing one pair
+// of deviates (two ln/sqrt evaluations plus the acceptance test).
+const epFlopsPerPair = 60
+
+// EPConfig describes an EP (embarrassingly parallel) instance.
+type EPConfig struct {
+	ClassName string
+	Procs     int
+}
+
+// EP builds the EP benchmark skeleton: each rank independently generates
+// its share of 2^M random pairs, then three small reductions combine the
+// sums and the annulus counts — the communication-free extreme of the NPB
+// suite, useful as a contrast workload to LU.
+func EP(cfg EPConfig) (mpi.Program, error) {
+	m, ok := epM[cfg.ClassName]
+	if !ok {
+		return nil, fmt.Errorf("npb: unknown EP class %q", cfg.ClassName)
+	}
+	if cfg.Procs < 1 {
+		return nil, fmt.Errorf("npb: EP needs at least one process")
+	}
+	pairs := math.Pow(2, float64(m)) / float64(cfg.Procs)
+	return func(c mpi.Comm) {
+		c.Compute(pairs * epFlopsPerPair)
+		// Combine sx and sy (two doubles) and the ten annulus counts.
+		c.Allreduce(16, 2)
+		c.Allreduce(80, 10)
+		// Timing consolidation.
+		c.Allreduce(8, 1)
+	}, nil
+}

@@ -1,0 +1,193 @@
+package npb
+
+import (
+	"fmt"
+
+	"tireplay/internal/mpi"
+)
+
+// MG problem classes of NPB 3.3: grid edge and V-cycle iterations.
+var mgClasses = map[string]struct {
+	n   int
+	nit int
+}{
+	"S": {32, 4},
+	"W": {128, 4},
+	"A": {256, 4},
+	"B": {256, 20},
+	"C": {512, 20},
+	"D": {1024, 50},
+	"E": {2048, 50},
+}
+
+// MG operation constants: work per grid point for the smoother/residual
+// (the 27-point stencils of psinv/resid) and the transfer operators.
+const (
+	mgFlopsSmoothPerPoint   = 40
+	mgFlopsResidualPerPoint = 35
+	mgFlopsTransferPerPoint = 12
+	mgFlopsNormPerPoint     = 6
+	mgBytesPerPoint         = 8 // one double per interface point
+)
+
+// MGConfig describes an MG (multigrid) instance.
+type MGConfig struct {
+	ClassName string
+	Procs     int
+}
+
+// mgGeometry is the 3D torus decomposition of an MG instance. NPB MG has
+// periodic boundaries, so every rank has exactly six neighbours.
+type mgGeometry struct {
+	px, py, pz int // process grid
+	ix, iy, iz int // this rank's coordinates
+	nx, ny, nz int // local box at the finest level
+	neighbours [6]int
+	levels     int
+}
+
+// grid3D splits a power-of-two process count into a near-cubic 3D grid.
+func grid3D(procs int) (px, py, pz int, err error) {
+	if procs < 1 || procs&(procs-1) != 0 {
+		return 0, 0, 0, fmt.Errorf("npb: MG requires a power-of-two process count, got %d", procs)
+	}
+	k := 0
+	for 1<<k < procs {
+		k++
+	}
+	px = 1 << ((k + 2) / 3)
+	py = 1 << ((k + 1) / 3)
+	pz = 1 << (k / 3)
+	return px, py, pz, nil
+}
+
+func (cfg MGConfig) geometry(rank int) (mgGeometry, error) {
+	cls, ok := mgClasses[cfg.ClassName]
+	if !ok {
+		return mgGeometry{}, fmt.Errorf("npb: unknown MG class %q", cfg.ClassName)
+	}
+	px, py, pz, err := grid3D(cfg.Procs)
+	if err != nil {
+		return mgGeometry{}, err
+	}
+	n := cls.n
+	if n%px != 0 || n%py != 0 || n%pz != 0 {
+		return mgGeometry{}, fmt.Errorf("npb: MG grid %d^3 not divisible by process grid %dx%dx%d",
+			n, px, py, pz)
+	}
+	g := mgGeometry{px: px, py: py, pz: pz}
+	g.ix = rank % px
+	g.iy = (rank / px) % py
+	g.iz = rank / (px * py)
+	g.nx, g.ny, g.nz = n/px, n/py, n/pz
+	at := func(x, y, z int) int {
+		x = (x + px) % px
+		y = (y + py) % py
+		z = (z + pz) % pz
+		return x + px*(y+py*z)
+	}
+	g.neighbours = [6]int{
+		at(g.ix-1, g.iy, g.iz), at(g.ix+1, g.iy, g.iz),
+		at(g.ix, g.iy-1, g.iz), at(g.ix, g.iy+1, g.iz),
+		at(g.ix, g.iy, g.iz-1), at(g.ix, g.iy, g.iz+1),
+	}
+	// Coarsen while the local box stays at least 2 points per dimension.
+	min := g.nx
+	if g.ny < min {
+		min = g.ny
+	}
+	if g.nz < min {
+		min = g.nz
+	}
+	g.levels = 1
+	for m := min; m >= 4; m /= 2 {
+		g.levels++
+	}
+	return g, nil
+}
+
+// Validate checks the configuration.
+func (cfg MGConfig) Validate() error {
+	_, err := cfg.geometry(0)
+	return err
+}
+
+// mgExchange performs the six-face ghost exchange at one level: receives
+// are posted first, then faces are sent, then completed — comm3 in NPB MG.
+func mgExchange(c mpi.Comm, g mgGeometry, level int) {
+	shrink := 1 << level
+	faces := [6]float64{
+		float64(g.ny / shrink * g.nz / shrink * mgBytesPerPoint),
+		float64(g.ny / shrink * g.nz / shrink * mgBytesPerPoint),
+		float64(g.nx / shrink * g.nz / shrink * mgBytesPerPoint),
+		float64(g.nx / shrink * g.nz / shrink * mgBytesPerPoint),
+		float64(g.nx / shrink * g.ny / shrink * mgBytesPerPoint),
+		float64(g.nx / shrink * g.ny / shrink * mgBytesPerPoint),
+	}
+	me := c.Rank()
+	var reqs []mpi.Request
+	for dir, nb := range g.neighbours {
+		if nb != me {
+			_ = faces[dir]
+			reqs = append(reqs, c.Irecv(nb))
+		}
+	}
+	for dir, nb := range g.neighbours {
+		if nb != me {
+			c.Send(nb, faces[dir])
+		}
+	}
+	for _, r := range reqs {
+		c.Wait(r)
+	}
+}
+
+// MG builds the MG benchmark skeleton: nit V-cycles over a hierarchy of
+// grids on a 3D process torus. Each cycle descends the hierarchy
+// (residual + restriction, with a ghost exchange per level), solves on the
+// coarsest grid, then ascends (prolongation + smoothing, again exchanging
+// per level); an all-reduce computes the residual norm after each cycle —
+// a latency-heavy contrast to LU's pipelined wavefronts.
+func MG(cfg MGConfig) (mpi.Program, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cls := mgClasses[cfg.ClassName]
+	return func(c mpi.Comm) {
+		g, err := cfg.geometry(c.Rank())
+		if err != nil {
+			panic(err)
+		}
+		pointsAt := func(level int) float64 {
+			s := 1 << level
+			return float64(g.nx / s * g.ny / s * g.nz / s)
+		}
+		// Setup: coefficients and initial residual with one fine exchange.
+		c.Bcast(inputBcastBytes)
+		c.Compute(pointsAt(0) * mgFlopsTransferPerPoint)
+		mgExchange(c, g, 0)
+		c.Compute(pointsAt(0) * mgFlopsResidualPerPoint)
+		c.Allreduce(normCommBytes, pointsAt(0)*mgFlopsNormPerPoint)
+
+		for iter := 0; iter < cls.nit; iter++ {
+			// Downward sweep: restrict to coarser grids.
+			for level := 0; level < g.levels-1; level++ {
+				mgExchange(c, g, level)
+				c.Compute(pointsAt(level) * mgFlopsResidualPerPoint)
+				c.Compute(pointsAt(level+1) * mgFlopsTransferPerPoint)
+			}
+			// Coarsest solve.
+			mgExchange(c, g, g.levels-1)
+			c.Compute(pointsAt(g.levels-1) * mgFlopsSmoothPerPoint)
+			// Upward sweep: prolongate and smooth.
+			for level := g.levels - 2; level >= 0; level-- {
+				c.Compute(pointsAt(level) * mgFlopsTransferPerPoint)
+				mgExchange(c, g, level)
+				c.Compute(pointsAt(level) * mgFlopsSmoothPerPoint)
+			}
+			// Residual norm of the cycle.
+			c.Allreduce(normCommBytes, pointsAt(0)*mgFlopsNormPerPoint)
+		}
+		c.Bcast(inputBcastBytes)
+	}, nil
+}

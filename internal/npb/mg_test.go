@@ -1,0 +1,113 @@
+package npb
+
+import (
+	"testing"
+
+	"tireplay/internal/mpi"
+)
+
+func TestGrid3D(t *testing.T) {
+	cases := map[int][3]int{
+		1:  {1, 1, 1},
+		2:  {2, 1, 1},
+		4:  {2, 2, 1},
+		8:  {2, 2, 2},
+		16: {4, 2, 2},
+		64: {4, 4, 4},
+	}
+	for procs, want := range cases {
+		px, py, pz, err := grid3D(procs)
+		if err != nil {
+			t.Fatalf("grid3D(%d): %v", procs, err)
+		}
+		if px != want[0] || py != want[1] || pz != want[2] {
+			t.Errorf("grid3D(%d) = %dx%dx%d, want %v", procs, px, py, pz, want)
+		}
+		if px*py*pz != procs {
+			t.Errorf("grid3D(%d) does not tile the world", procs)
+		}
+	}
+	if _, _, _, err := grid3D(3); err == nil {
+		t.Error("expected error for non-power-of-two")
+	}
+}
+
+func TestMGGeometryTorus(t *testing.T) {
+	cfg := MGConfig{ClassName: "S", Procs: 8} // 2x2x2 torus over 32^3
+	g, err := cfg.geometry(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.nx != 16 || g.ny != 16 || g.nz != 16 {
+		t.Fatalf("local box = %dx%dx%d", g.nx, g.ny, g.nz)
+	}
+	// In a 2x2x2 torus, -x and +x wrap to the same neighbour.
+	if g.neighbours[0] != g.neighbours[1] {
+		t.Errorf("x neighbours differ in 2-wide torus: %v", g.neighbours)
+	}
+	for _, nb := range g.neighbours {
+		if nb < 0 || nb >= 8 {
+			t.Fatalf("neighbour out of range: %v", g.neighbours)
+		}
+	}
+	if g.levels < 3 {
+		t.Errorf("levels = %d, expected a multigrid hierarchy", g.levels)
+	}
+}
+
+func TestMGValidation(t *testing.T) {
+	if _, err := MG(MGConfig{ClassName: "Z", Procs: 8}); err == nil {
+		t.Error("unknown class accepted")
+	}
+	if _, err := MG(MGConfig{ClassName: "S", Procs: 3}); err == nil {
+		t.Error("non-power-of-two accepted")
+	}
+	// 32^3 over a 64-wide process dimension cannot tile evenly.
+	if _, err := MG(MGConfig{ClassName: "S", Procs: 65536}); err == nil {
+		t.Error("over-decomposed instance accepted")
+	}
+}
+
+func TestMGRunsOnLiveEngine(t *testing.T) {
+	prog, err := MG(MGConfig{ClassName: "S", Procs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	end, err := mpi.RunLive(mpi.LiveConfig{Procs: 8}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end <= 0 {
+		t.Fatal("zero makespan")
+	}
+}
+
+func TestMGDeterministic(t *testing.T) {
+	prog, err := MG(MGConfig{ClassName: "S", Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() float64 {
+		end, err := mpi.RunLive(mpi.LiveConfig{Procs: 4}, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}
+	first := run()
+	for i := 0; i < 3; i++ {
+		if v := run(); v != first {
+			t.Fatalf("non-deterministic MG: %g vs %g", v, first)
+		}
+	}
+}
+
+func TestMGSingleProcessNoSelfMessages(t *testing.T) {
+	prog, err := MG(MGConfig{ClassName: "S", Procs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mpi.RunLive(mpi.LiveConfig{Procs: 1}, prog); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,260 @@
+package npb
+
+import (
+	"testing"
+
+	"tireplay/internal/mpi"
+)
+
+func TestClassByName(t *testing.T) {
+	for _, c := range Classes() {
+		got, err := ClassByName(c.Name)
+		if err != nil || got != c {
+			t.Errorf("ClassByName(%q) = %+v, %v", c.Name, got, err)
+		}
+	}
+	if _, err := ClassByName("Z"); err == nil {
+		t.Error("expected error for unknown class")
+	}
+}
+
+func TestClassSizesMatchNPB(t *testing.T) {
+	// Pin the published NPB 3.3 LU class table.
+	want := map[string][2]int{
+		"S": {12, 50}, "W": {33, 300}, "A": {64, 250}, "B": {102, 250},
+		"C": {162, 250}, "D": {408, 300}, "E": {1020, 300},
+	}
+	for name, w := range want {
+		c, err := ClassByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.N != w[0] || c.Iters != w[1] {
+			t.Errorf("class %s = (%d,%d), want %v", name, c.N, c.Iters, w)
+		}
+	}
+}
+
+func TestClassDvsCWorkRatio(t *testing.T) {
+	// "a class D instance corresponds to approximately 20 times as much
+	// work and a data set almost 16 as large as a class C problem".
+	cd, cc := ClassD, ClassC
+	work := func(c Class) float64 {
+		return float64(c.N) * float64(c.N) * float64(c.N) * float64(c.Iters)
+	}
+	data := func(c Class) float64 {
+		return float64(c.N) * float64(c.N) * float64(c.N)
+	}
+	workRatio := work(cd) / work(cc)
+	dataRatio := data(cd) / data(cc)
+	if workRatio < 15 || workRatio > 25 {
+		t.Errorf("D/C work ratio = %.1f, expected ~20", workRatio)
+	}
+	if dataRatio < 13 || dataRatio > 18 {
+		t.Errorf("D/C data ratio = %.1f, expected ~16", dataRatio)
+	}
+}
+
+func TestGrid2D(t *testing.T) {
+	cases := map[int][2]int{
+		2:    {2, 1},
+		4:    {2, 2},
+		8:    {4, 2},
+		16:   {4, 4},
+		32:   {8, 4},
+		64:   {8, 8},
+		1024: {32, 32},
+	}
+	for procs, want := range cases {
+		x, y, err := grid2D(procs)
+		if err != nil {
+			t.Fatalf("grid2D(%d): %v", procs, err)
+		}
+		if x != want[0] || y != want[1] {
+			t.Errorf("grid2D(%d) = %dx%d, want %dx%d", procs, x, y, want[0], want[1])
+		}
+	}
+	for _, bad := range []int{0, 3, 6, 100} {
+		if _, _, err := grid2D(bad); err == nil {
+			t.Errorf("grid2D(%d): expected error", bad)
+		}
+	}
+}
+
+func TestSplitBalanced(t *testing.T) {
+	s := split(102, 4)
+	total := 0
+	for _, v := range s {
+		total += v
+		if v < 102/4 || v > 102/4+1 {
+			t.Errorf("unbalanced split: %v", s)
+		}
+	}
+	if total != 102 {
+		t.Errorf("split sums to %d", total)
+	}
+}
+
+func TestLUGeometryNeighbours(t *testing.T) {
+	cfg := LUConfig{Class: ClassA, Procs: 8} // grid 4x2
+	// rank 0 = (col 0, row 0): no north, no west.
+	g, err := cfg.geometry(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.north != -1 || g.west != -1 || g.south != 4 || g.east != 1 {
+		t.Errorf("rank 0 neighbours: %+v", g)
+	}
+	// rank 5 = (col 1, row 1): all four except south (row 1 is last).
+	g5, _ := cfg.geometry(5)
+	if g5.north != 1 || g5.south != -1 || g5.west != 4 || g5.east != 6 {
+		t.Errorf("rank 5 neighbours: %+v", g5)
+	}
+	// Local sizes tile the global grid.
+	xdim, ydim, _ := grid2D(8)
+	sumX := 0
+	for col := 0; col < xdim; col++ {
+		gc, _ := cfg.geometry(col)
+		sumX += gc.nx
+	}
+	if sumX != ClassA.N {
+		t.Errorf("x tiles sum to %d, want %d", sumX, ClassA.N)
+	}
+	sumY := 0
+	for row := 0; row < ydim; row++ {
+		gr, _ := cfg.geometry(row * xdim)
+		sumY += gr.ny
+	}
+	if sumY != ClassA.N {
+		t.Errorf("y tiles sum to %d, want %d", sumY, ClassA.N)
+	}
+}
+
+func TestLUValidation(t *testing.T) {
+	if _, err := LU(LUConfig{Class: ClassS, Procs: 3}); err == nil {
+		t.Error("expected error for non-power-of-two procs")
+	}
+	if _, err := LU(LUConfig{Class: ClassS, Procs: 256}); err == nil {
+		t.Error("expected error for grid larger than problem")
+	}
+	if _, err := LU(LUConfig{Class: ClassS, Procs: 4}); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestLURunsOnLiveEngine(t *testing.T) {
+	prog, err := LU(LUConfig{Class: ClassS, Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	end, err := mpi.RunLive(mpi.LiveConfig{Procs: 4}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end <= 0 {
+		t.Fatal("zero makespan")
+	}
+}
+
+func TestLUDeterministicMakespan(t *testing.T) {
+	prog, err := LU(LUConfig{Class: ClassS, Procs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() float64 {
+		end, err := mpi.RunLive(mpi.LiveConfig{Procs: 8}, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}
+	first := run()
+	for i := 0; i < 3; i++ {
+		if v := run(); v != first {
+			t.Fatalf("non-deterministic LU: %g vs %g", v, first)
+		}
+	}
+}
+
+func TestLUFlopCountsScaleWithClass(t *testing.T) {
+	flops := func(class Class) float64 {
+		prog, err := LU(LUConfig{Class: class, Procs: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total float64
+		totals := make([]float64, 4)
+		if _, err := mpi.RunLive(mpi.LiveConfig{Procs: 4}, func(c mpi.Comm) {
+			prog(c)
+			totals[c.Rank()] = c.FlopCount()
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range totals {
+			total += v
+		}
+		return total
+	}
+	s := flops(ClassS)
+	w := flops(ClassW)
+	if w <= s {
+		t.Fatalf("class W (%g) not larger than class S (%g)", w, s)
+	}
+	// W/S work ratio: (33^3*300)/(12^3*50) ~ 125; allow generous bounds
+	// because per-class constants are identical.
+	ratio := w / s
+	if ratio < 50 || ratio > 250 {
+		t.Errorf("W/S flop ratio = %.1f, expected ~125", ratio)
+	}
+}
+
+func TestEPRuns(t *testing.T) {
+	prog, err := EP(EPConfig{ClassName: "S", Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mpi.RunLive(mpi.LiveConfig{Procs: 4}, prog); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EP(EPConfig{ClassName: "Z", Procs: 4}); err == nil {
+		t.Error("expected error for unknown class")
+	}
+	if _, err := EP(EPConfig{ClassName: "S", Procs: 0}); err == nil {
+		t.Error("expected error for zero procs")
+	}
+}
+
+func TestCGRuns(t *testing.T) {
+	prog, err := CG(CGConfig{ClassName: "S", Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mpi.RunLive(mpi.LiveConfig{Procs: 4}, prog); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CG(CGConfig{ClassName: "S", Procs: 3}); err == nil {
+		t.Error("expected error for non-power-of-two procs")
+	}
+	if _, err := CG(CGConfig{ClassName: "Z", Procs: 4}); err == nil {
+		t.Error("expected error for unknown class")
+	}
+}
+
+func TestLUStatsPositiveAndScaling(t *testing.T) {
+	s8, err := LUConfig{Class: ClassB, Procs: 8}.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s16, err := LUConfig{Class: ClassB, Procs: 16}.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s8.TotalActions <= 0 || s16.TotalActions <= s8.TotalActions {
+		t.Fatalf("stats: 8 procs %d, 16 procs %d", s8.TotalActions, s16.TotalActions)
+	}
+	// Table 3 of the paper: class B on 8 processes has ~2.03 million
+	// actions; the skeleton must land in the same order of magnitude.
+	if s8.TotalActions < 1_000_000 || s8.TotalActions > 3_000_000 {
+		t.Errorf("class B / 8 procs actions = %d, expected ~2e6 (Table 3)", s8.TotalActions)
+	}
+}

@@ -1,0 +1,157 @@
+package platform
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Deployment maps application processes onto platform hosts, mirroring the
+// SimGrid deployment files of Figure 6: each process entry names the host it
+// runs on, the function it executes (the paper uses the process id, "p0",
+// "p1", ...) and optional arguments such as the trace file to replay.
+type Deployment struct {
+	XMLName   xml.Name     `xml:"platform"`
+	Version   string       `xml:"version,attr"`
+	Processes []ProcessDef `xml:"process"`
+}
+
+// ProcessDef is one process placement.
+type ProcessDef struct {
+	Host      string     `xml:"host,attr"`
+	Function  string     `xml:"function,attr"`
+	Arguments []Argument `xml:"argument"`
+}
+
+// Argument is a positional argument passed to the process function.
+type Argument struct {
+	Value string `xml:"value,attr"`
+}
+
+// Args returns the argument values of a process in order.
+func (p *ProcessDef) Args() []string {
+	out := make([]string, len(p.Arguments))
+	for i, a := range p.Arguments {
+		out[i] = a.Value
+	}
+	return out
+}
+
+// ParseDeployment reads a deployment description from r.
+func ParseDeployment(r io.Reader) (*Deployment, error) {
+	var d Deployment
+	if err := xml.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("platform: deployment parse: %w", err)
+	}
+	for i, p := range d.Processes {
+		if p.Host == "" {
+			return nil, fmt.Errorf("platform: deployment process %d has no host", i)
+		}
+		if p.Function == "" {
+			return nil, fmt.Errorf("platform: deployment process %d has no function", i)
+		}
+	}
+	return &d, nil
+}
+
+// ParseDeploymentFile reads a deployment description from a file.
+func ParseDeploymentFile(path string) (*Deployment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ParseDeployment(f)
+}
+
+// Marshal renders the deployment back to XML.
+func (d *Deployment) Marshal(w io.Writer) error {
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, "<!DOCTYPE platform SYSTEM \"simgrid.dtd\">\n"); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(d); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// RoundRobin builds a deployment of n processes named p0..p(n-1) over the
+// given hosts, one process per host, wrapping around when n exceeds the host
+// count (the paper's Folding mode). With fold > 1, fold consecutive ranks
+// share each host before moving to the next (F-fold in Table 2).
+func RoundRobin(hosts []string, n, fold int) (*Deployment, error) {
+	if len(hosts) == 0 {
+		return nil, fmt.Errorf("platform: RoundRobin needs at least one host")
+	}
+	if fold < 1 {
+		fold = 1
+	}
+	d := &Deployment{Version: "3"}
+	for i := 0; i < n; i++ {
+		h := hosts[(i/fold)%len(hosts)]
+		d.Processes = append(d.Processes, ProcessDef{
+			Host:     h,
+			Function: fmt.Sprintf("p%d", i),
+		})
+	}
+	return d, nil
+}
+
+// Scatter builds a deployment of n processes spread block-wise across
+// several host groups (the sites of the Scattering mode): ranks are split as
+// evenly as possible between groups, then folded within each group.
+func Scatter(groups [][]string, n, fold int) (*Deployment, error) {
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("platform: Scatter needs at least one group")
+	}
+	if fold < 1 {
+		fold = 1
+	}
+	d := &Deployment{Version: "3"}
+	g := len(groups)
+	base, extra := n/g, n%g
+	rank := 0
+	for gi, hosts := range groups {
+		cnt := base
+		if gi < extra {
+			cnt++
+		}
+		if cnt > 0 && len(hosts) == 0 {
+			return nil, fmt.Errorf("platform: Scatter group %d is empty", gi)
+		}
+		for i := 0; i < cnt; i++ {
+			h := hosts[(i/fold)%len(hosts)]
+			d.Processes = append(d.Processes, ProcessDef{
+				Host:     h,
+				Function: fmt.Sprintf("p%d", rank),
+			})
+			rank++
+		}
+	}
+	return d, nil
+}
+
+// WithTraceArgs returns a copy of the deployment where process i carries the
+// argument files[i] (its trace file), as in the per-process trace replay
+// configuration of Section 5.
+func (d *Deployment) WithTraceArgs(files []string) (*Deployment, error) {
+	if len(files) != len(d.Processes) {
+		return nil, fmt.Errorf("platform: %d trace files for %d processes",
+			len(files), len(d.Processes))
+	}
+	out := &Deployment{Version: d.Version}
+	for i, p := range d.Processes {
+		np := ProcessDef{Host: p.Host, Function: p.Function}
+		np.Arguments = append(np.Arguments, p.Arguments...)
+		np.Arguments = append(np.Arguments, Argument{Value: files[i]})
+		out.Processes = append(out.Processes, np)
+	}
+	return out, nil
+}

@@ -1,0 +1,57 @@
+package platform
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseRadical expands a SimGrid cluster radical expression into the list of
+// host indices it denotes. The syntax is a comma-separated list of single
+// indices and inclusive ranges, e.g. "0-3", "0-92", "0,2,4-7".
+func ParseRadical(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("empty radical")
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("radical %q: empty element", s)
+		}
+		if lo, hi, ok := strings.Cut(part, "-"); ok {
+			a, err := strconv.Atoi(strings.TrimSpace(lo))
+			if err != nil {
+				return nil, fmt.Errorf("radical %q: bad range start %q", s, lo)
+			}
+			b, err := strconv.Atoi(strings.TrimSpace(hi))
+			if err != nil {
+				return nil, fmt.Errorf("radical %q: bad range end %q", s, hi)
+			}
+			if b < a {
+				return nil, fmt.Errorf("radical %q: descending range %d-%d", s, a, b)
+			}
+			for i := a; i <= b; i++ {
+				out = append(out, i)
+			}
+		} else {
+			v, err := strconv.Atoi(part)
+			if err != nil {
+				return nil, fmt.Errorf("radical %q: bad index %q", s, part)
+			}
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// FormatRadical renders a contiguous 0-based range "0-(n-1)".
+func FormatRadical(n int) string {
+	if n <= 0 {
+		return ""
+	}
+	if n == 1 {
+		return "0"
+	}
+	return fmt.Sprintf("0-%d", n-1)
+}

@@ -1,0 +1,163 @@
+package replay
+
+import (
+	"fmt"
+	"strconv"
+
+	"tireplay/internal/trace"
+)
+
+// p2pMbox names the mailbox of point-to-point traffic between two ranks.
+func p2pMbox(src, dst int) string {
+	return "replay:" + strconv.Itoa(src) + ">" + strconv.Itoa(dst)
+}
+
+// collMbox names the mailbox of one collective round. Every process
+// executes the same sequence of collective actions (an MPI requirement), so
+// a per-process collective counter identifies matching rounds globally.
+func collMbox(seq int64, src, dst int) string {
+	return "replay:coll" + strconv.FormatInt(seq, 10) + ":" + strconv.Itoa(src) + ">" + strconv.Itoa(dst)
+}
+
+// handleCompute simulates a CPU burst: the paper's example handler creating
+// and executing a SimGrid task of the traced volume.
+func handleCompute(p *Proc, a trace.Action) error {
+	p.Sim.Execute(a.Volume)
+	return nil
+}
+
+// handleSend simulates a blocking send: synchronous above the eager
+// threshold (the sender waits for the transfer), buffered below it.
+func handleSend(p *Proc, a trace.Action) error {
+	if a.Peer == p.Rank {
+		return fmt.Errorf("replay: p%d sends to itself", p.Rank)
+	}
+	if a.Volume <= p.cfg.EagerThreshold {
+		p.Sim.ISendDetached(p2pMbox(p.Rank, a.Peer), a.Volume, a.Volume)
+		return nil
+	}
+	p.Sim.Send(p2pMbox(p.Rank, a.Peer), a.Volume, a.Volume)
+	return nil
+}
+
+// handleIsend simulates an asynchronous send; following the MSG replay
+// design the message is detached — completion is the network's business.
+func handleIsend(p *Proc, a trace.Action) error {
+	if a.Peer == p.Rank {
+		return fmt.Errorf("replay: p%d Isends to itself", p.Rank)
+	}
+	p.Sim.ISendDetached(p2pMbox(p.Rank, a.Peer), a.Volume, a.Volume)
+	return nil
+}
+
+// handleRecv simulates a blocking receive from the traced source.
+func handleRecv(p *Proc, a trace.Action) error {
+	p.Sim.Recv(p2pMbox(a.Peer, p.Rank))
+	return nil
+}
+
+// handleIrecv posts an asynchronous receive; the request joins the rank's
+// FIFO of pending requests consumed by wait actions.
+func handleIrecv(p *Proc, a trace.Action) error {
+	h := p.Sim.IRecv(p2pMbox(a.Peer, p.Rank))
+	p.pending = append(p.pending, h)
+	return nil
+}
+
+// handleWait completes the oldest pending asynchronous receive.
+func handleWait(p *Proc, a trace.Action) error {
+	if len(p.pending) == 0 {
+		return fmt.Errorf("replay: p%d waits with no pending request", p.Rank)
+	}
+	h := p.pending[0]
+	p.pending = p.pending[1:]
+	p.Sim.WaitComm(h)
+	return nil
+}
+
+// handleBcast broadcasts from rank 0 as a set of point-to-point messages,
+// the decomposition the paper chooses over monolithic collective models.
+func handleBcast(p *Proc, a trace.Action) error {
+	seq := p.nextColl()
+	if p.Rank == 0 {
+		for i := 1; i < p.N; i++ {
+			p.Sim.Send(collMbox(seq, 0, i), a.Volume, a.Volume)
+		}
+		return nil
+	}
+	p.Sim.Recv(collMbox(seq, 0, p.Rank))
+	return nil
+}
+
+// handleReduce gathers vcomm bytes to rank 0, then every rank executes the
+// traced reduction work vcomp.
+func handleReduce(p *Proc, a trace.Action) error {
+	seq := p.nextColl()
+	if p.Rank == 0 {
+		for i := 1; i < p.N; i++ {
+			p.Sim.Recv(collMbox(seq, i, 0))
+		}
+	} else {
+		p.Sim.Send(collMbox(seq, p.Rank, 0), a.Volume, a.Volume)
+	}
+	if a.Volume2 > 0 {
+		p.Sim.Execute(a.Volume2)
+	}
+	return nil
+}
+
+// handleAllReduce is a reduce followed by a broadcast of the result, then
+// the local reduction work.
+func handleAllReduce(p *Proc, a trace.Action) error {
+	seq := p.nextColl()
+	if p.Rank == 0 {
+		for i := 1; i < p.N; i++ {
+			p.Sim.Recv(collMbox(seq, i, 0))
+		}
+		for i := 1; i < p.N; i++ {
+			p.Sim.Send(collMbox(seq, 0, i), a.Volume, a.Volume)
+		}
+	} else {
+		p.Sim.Send(collMbox(seq, p.Rank, 0), a.Volume, a.Volume)
+		p.Sim.Recv(collMbox(seq, 0, p.Rank))
+	}
+	if a.Volume2 > 0 {
+		p.Sim.Execute(a.Volume2)
+	}
+	return nil
+}
+
+// handleBarrier synchronises through rank 0 with zero-payload messages.
+func handleBarrier(p *Proc, a trace.Action) error {
+	seq := p.nextColl()
+	const token = 1
+	if p.Rank == 0 {
+		for i := 1; i < p.N; i++ {
+			p.Sim.Recv(collMbox(seq, i, 0))
+		}
+		for i := 1; i < p.N; i++ {
+			p.Sim.Send(collMbox(seq, 0, i), token, nil)
+		}
+	} else {
+		p.Sim.Send(collMbox(seq, p.Rank, 0), token, nil)
+		p.Sim.Recv(collMbox(seq, 0, p.Rank))
+	}
+	return nil
+}
+
+// handleCommSize validates the communicator size declared by the trace
+// against the deployment, the consistency check the paper's format enables.
+func handleCommSize(p *Proc, a trace.Action) error {
+	if int(a.Volume) != p.N {
+		return fmt.Errorf("replay: p%d declares comm_size %d but deployment has %d processes",
+			p.Rank, int(a.Volume), p.N)
+	}
+	return nil
+}
+
+// interface check: all default handlers match the Handler signature.
+var _ = []Handler{
+	handleCompute, handleSend, handleIsend, handleRecv, handleIrecv,
+	handleWait, handleBcast, handleReduce, handleAllReduce, handleBarrier,
+	handleCommSize,
+}

@@ -1,0 +1,114 @@
+package replay
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Profile accumulates a per-process breakdown of the simulated execution —
+// time spent computing vs communicating, volumes moved — from the timed
+// trace of a replay. It realises the third output sketched in Figure 4 of
+// the paper ("derive a profile of the application from this timed trace"),
+// which the authors left to external tools like TAU and Scalasca.
+//
+// Install it as the replay's TimedTracer (possibly chained with a
+// TimedTraceWriter via Tee).
+type Profile struct {
+	mu    sync.Mutex
+	procs map[string]*ProcProfile
+}
+
+// ProcProfile is the accumulated activity of one process.
+type ProcProfile struct {
+	Name        string
+	ComputeTime float64
+	Flops       float64
+	Computes    int64
+	SendTime    float64 // time of transfers this process sent
+	SentBytes   float64
+	Sends       int64
+}
+
+// NewProfile returns an empty profile collector.
+func NewProfile() *Profile {
+	return &Profile{procs: make(map[string]*ProcProfile)}
+}
+
+func (p *Profile) proc(name string) *ProcProfile {
+	pp := p.procs[name]
+	if pp == nil {
+		pp = &ProcProfile{Name: name}
+		p.procs[name] = pp
+	}
+	return pp
+}
+
+// Compute implements simx.Tracer.
+func (p *Profile) Compute(proc, host string, flops, start, end float64) {
+	p.mu.Lock()
+	pp := p.proc(proc)
+	pp.ComputeTime += end - start
+	pp.Flops += flops
+	pp.Computes++
+	p.mu.Unlock()
+}
+
+// Comm implements simx.Tracer.
+func (p *Profile) Comm(src, dst string, bytes, start, end float64) {
+	p.mu.Lock()
+	pp := p.proc(src)
+	pp.SendTime += end - start
+	pp.SentBytes += bytes
+	pp.Sends++
+	p.mu.Unlock()
+}
+
+// Processes returns the per-process profiles sorted by name.
+func (p *Profile) Processes() []*ProcProfile {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*ProcProfile, 0, len(p.procs))
+	for _, pp := range p.procs {
+		out = append(out, pp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Render prints the profile table. makespan (the replay's simulated time)
+// provides the idle-time column; pass 0 to omit it.
+func (p *Profile) Render(w io.Writer, makespan float64) {
+	fmt.Fprintf(w, "%-8s | %12s %10s | %12s %12s | %10s\n",
+		"process", "compute", "flops", "comm (sent)", "bytes", "idle")
+	for _, pp := range p.Processes() {
+		idle := ""
+		if makespan > 0 {
+			idle = fmt.Sprintf("%9.1f%%", 100*(makespan-pp.ComputeTime-pp.SendTime)/makespan)
+		}
+		fmt.Fprintf(w, "%-8s | %11.3fs %10.3g | %11.3fs %12.3g | %10s\n",
+			pp.Name, pp.ComputeTime, pp.Flops, pp.SendTime, pp.SentBytes, idle)
+	}
+}
+
+// Tee fans a timed trace out to several tracers (e.g. a Profile and a
+// TimedTraceWriter at once).
+type Tee []interface {
+	Compute(proc, host string, flops, start, end float64)
+	Comm(src, dst string, bytes, start, end float64)
+}
+
+// Compute implements simx.Tracer.
+func (t Tee) Compute(proc, host string, flops, start, end float64) {
+	for _, tr := range t {
+		tr.Compute(proc, host, flops, start, end)
+	}
+}
+
+// Comm implements simx.Tracer.
+func (t Tee) Comm(src, dst string, bytes, start, end float64) {
+	for _, tr := range t {
+		tr.Comm(src, dst, bytes, start, end)
+	}
+}

@@ -1,0 +1,72 @@
+package replay
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestProfileCollectsPerProcess(t *testing.T) {
+	b, d := paperSetup(t, 4)
+	prof := NewProfile()
+	res, err := RunActions(b, d, Config{TimedTracer: prof}, perRankActions(t, figure1Trace, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := prof.Processes()
+	if len(procs) != 4 {
+		t.Fatalf("profiled %d processes", len(procs))
+	}
+	for _, pp := range procs {
+		if pp.Computes != 1 || pp.Flops != 1e6 {
+			t.Errorf("%s: computes=%d flops=%g", pp.Name, pp.Computes, pp.Flops)
+		}
+		if pp.Sends != 1 || pp.SentBytes != 1e6 {
+			t.Errorf("%s: sends=%d bytes=%g", pp.Name, pp.Sends, pp.SentBytes)
+		}
+		if pp.ComputeTime <= 0 || pp.SendTime <= 0 {
+			t.Errorf("%s: zero times %+v", pp.Name, pp)
+		}
+		if pp.ComputeTime+pp.SendTime > res.SimulatedTime {
+			t.Errorf("%s: busy time exceeds makespan", pp.Name)
+		}
+	}
+}
+
+func TestProfileRender(t *testing.T) {
+	b, d := paperSetup(t, 4)
+	prof := NewProfile()
+	res, err := RunActions(b, d, Config{TimedTracer: prof}, perRankActions(t, figure1Trace, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	prof.Render(&buf, res.SimulatedTime)
+	out := buf.String()
+	if !strings.Contains(out, "p0") || !strings.Contains(out, "idle") {
+		t.Fatalf("render output:\n%s", out)
+	}
+	if strings.Count(out, "\n") != 5 { // header + 4 processes
+		t.Fatalf("unexpected line count:\n%s", out)
+	}
+}
+
+func TestTeeFansOut(t *testing.T) {
+	b, d := paperSetup(t, 4)
+	prof := NewProfile()
+	var buf bytes.Buffer
+	tw := NewTimedTraceWriter(&buf)
+	_, err := RunActions(b, d, Config{TimedTracer: Tee{prof, tw}}, perRankActions(t, figure1Trace, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if tw.Lines() != 8 {
+		t.Fatalf("timed trace lines = %d", tw.Lines())
+	}
+	if len(prof.Processes()) != 4 {
+		t.Fatalf("profile missing processes")
+	}
+}

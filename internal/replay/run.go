@@ -1,0 +1,263 @@
+package replay
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"tireplay/internal/platform"
+	"tireplay/internal/simx"
+	"tireplay/internal/smpi"
+	"tireplay/internal/trace"
+)
+
+// Config parameterises a replay run.
+type Config struct {
+	// Model is the piece-wise linear MPI communication model applied to
+	// point-to-point transfers; nil means smpi.Default().
+	Model *smpi.Model
+	// Registry binds action keywords to handlers; nil means Default().
+	Registry *Registry
+	// EagerThreshold is the message size (bytes) under which send actions
+	// are buffered instead of synchronous. Zero means 64 KiB; negative
+	// forces every send to be synchronous.
+	EagerThreshold float64
+	// TimedTracer, when non-nil, receives the timed trace of the simulated
+	// execution (the secondary output of Figure 4).
+	TimedTracer simx.Tracer
+}
+
+func (c *Config) setDefaults() {
+	if c.Model == nil {
+		c.Model = smpi.Default()
+	}
+	if c.Registry == nil {
+		c.Registry = Default()
+	}
+	switch {
+	case c.EagerThreshold == 0:
+		c.EagerThreshold = 64 * 1024
+	case c.EagerThreshold < 0:
+		c.EagerThreshold = 0
+	}
+}
+
+// Result reports the outcome of a replay.
+type Result struct {
+	// SimulatedTime is the predicted execution time of the application on
+	// the target platform — the primary output of the framework.
+	SimulatedTime float64
+	// Actions is the number of trace actions executed.
+	Actions int64
+	// WallTime is the host time the simulation itself took (Figure 9).
+	WallTime time.Duration
+}
+
+// Proc is the per-rank replayer context handed to action handlers.
+type Proc struct {
+	// Sim is the simulation process executing this rank's actions.
+	Sim *simx.Proc
+	// Rank is the process id of the trace being replayed.
+	Rank int
+	// N is the world size from the deployment.
+	N int
+
+	cfg     *Config
+	pending []*simx.Comm // FIFO of outstanding Irecv requests
+	collSeq int64
+}
+
+// nextColl returns the rank's next collective round number.
+func (p *Proc) nextColl() int64 {
+	s := p.collSeq
+	p.collSeq++
+	return s
+}
+
+// Source yields the successive actions of one rank's trace. Implementations
+// need not be safe for concurrent use; each rank owns its source.
+type Source interface {
+	// Next returns the next action, or ok=false at end of trace.
+	Next() (a trace.Action, ok bool, err error)
+}
+
+// sliceSource iterates an in-memory action list.
+type sliceSource struct {
+	actions []trace.Action
+	idx     int
+}
+
+func (s *sliceSource) Next() (trace.Action, bool, error) {
+	if s.idx >= len(s.actions) {
+		return trace.Action{}, false, nil
+	}
+	a := s.actions[s.idx]
+	s.idx++
+	return a, true, nil
+}
+
+// SliceSource wraps an action list as a Source.
+func SliceSource(actions []trace.Action) Source {
+	return &sliceSource{actions: actions}
+}
+
+// scannerSource streams actions from a trace scanner.
+type scannerSource struct{ sc *trace.Scanner }
+
+func (s *scannerSource) Next() (trace.Action, bool, error) {
+	if s.sc.Scan() {
+		return s.sc.Action(), true, nil
+	}
+	return trace.Action{}, false, s.sc.Err()
+}
+
+// ScannerSource wraps a trace scanner as a Source, enabling the replay of
+// traces too large to hold in memory.
+func ScannerSource(sc *trace.Scanner) Source {
+	return &scannerSource{sc: sc}
+}
+
+// Run replays one Source per rank on the platform: the engine of the whole
+// framework. The deployment's i-th process entry maps rank i onto its host.
+// The build's kernel is consumed by the run.
+func Run(b *platform.Build, depl *platform.Deployment, cfg Config, sources []Source) (*Result, error) {
+	n := len(depl.Processes)
+	if n == 0 {
+		return nil, fmt.Errorf("replay: empty deployment")
+	}
+	if len(sources) != n {
+		return nil, fmt.Errorf("replay: %d sources for %d deployed processes", len(sources), n)
+	}
+	cfg.setDefaults()
+	k := b.Kernel
+	k.SetRateModel(cfg.Model.RateModel())
+	if cfg.TimedTracer != nil {
+		k.SetTracer(cfg.TimedTracer)
+	}
+
+	var actions atomic.Int64
+	errs := make([]error, n)
+	for i, pd := range depl.Processes {
+		host := k.Host(pd.Host)
+		if host == nil {
+			return nil, fmt.Errorf("replay: deployment host %q not in platform", pd.Host)
+		}
+		rank := i
+		src := sources[i]
+		k.Spawn(pd.Function, host, func(sp *simx.Proc) {
+			p := &Proc{Sim: sp, Rank: rank, N: n, cfg: &cfg}
+			for {
+				a, ok, err := src.Next()
+				if err != nil {
+					errs[rank] = fmt.Errorf("replay: p%d trace: %w", rank, err)
+					return
+				}
+				if !ok {
+					return
+				}
+				if a.Proc != rank {
+					errs[rank] = fmt.Errorf("replay: p%d trace contains action of p%d", rank, a.Proc)
+					return
+				}
+				h, err := cfg.Registry.Lookup(a.Type)
+				if err != nil {
+					errs[rank] = err
+					return
+				}
+				if err := h(p, a); err != nil {
+					errs[rank] = err
+					return
+				}
+				actions.Add(1)
+			}
+		})
+	}
+
+	start := time.Now()
+	makespan, runErr := k.Run()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if runErr != nil {
+		return nil, fmt.Errorf("replay: simulation stalled: %w", runErr)
+	}
+	return &Result{SimulatedTime: makespan, Actions: actions.Load(), WallTime: wall}, nil
+}
+
+// RunActions replays in-memory per-rank action lists.
+func RunActions(b *platform.Build, depl *platform.Deployment, cfg Config, perRank [][]trace.Action) (*Result, error) {
+	sources := make([]Source, len(perRank))
+	for i, acts := range perRank {
+		sources[i] = SliceSource(acts)
+	}
+	return Run(b, depl, cfg, sources)
+}
+
+// RunFiles replays the per-process trace files named by the deployment's
+// process arguments — the configuration of Section 5 where
+// MSG_action_trace_run receives no file name and each process entry carries
+// its own trace file. Plain-text traces are streamed so traces larger than
+// memory (the class D scale of Section 6.5) replay in constant space;
+// gzip-compressed and binary traces are decoded up front.
+func RunFiles(b *platform.Build, depl *platform.Deployment, cfg Config) (*Result, error) {
+	sources := make([]Source, len(depl.Processes))
+	var closers []io.Closer
+	defer func() {
+		for _, c := range closers {
+			c.Close()
+		}
+	}()
+	for i, pd := range depl.Processes {
+		args := pd.Args()
+		if len(args) == 0 {
+			return nil, fmt.Errorf("replay: process %d (%s) has no trace file argument", i, pd.Function)
+		}
+		path := args[len(args)-1]
+		src, closer, err := openSource(path)
+		if err != nil {
+			return nil, err
+		}
+		if closer != nil {
+			closers = append(closers, closer)
+		}
+		sources[i] = src
+	}
+	return Run(b, depl, cfg, sources)
+}
+
+// openSource returns a streaming source for plain-text traces and an
+// in-memory one for compressed or binary traces.
+func openSource(path string) (Source, io.Closer, error) {
+	if strings.HasSuffix(path, ".gz") {
+		actions, err := trace.ReadFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return SliceSource(actions), nil, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Binary traces are detected by magic; fall back to loading them.
+	head := make([]byte, 4)
+	if n, _ := f.ReadAt(head, 0); n == 4 && string(head) == "TITB" {
+		f.Close()
+		actions, err := trace.ReadFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return SliceSource(actions), nil, nil
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return ScannerSource(trace.NewScanner(f)), f, nil
+}

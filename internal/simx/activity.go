@@ -1,0 +1,123 @@
+package simx
+
+import "tireplay/internal/eventq"
+
+// actKind discriminates the resource an activity consumes.
+type actKind uint8
+
+const (
+	actCompute actKind = iota
+	actComm
+	actSleep
+)
+
+// phase tracks the life-cycle of an activity. Communications pay the route
+// latency first (phaseLatency) and only then contend for bandwidth
+// (phaseTransfer); computations and sleeps have a single phase.
+type phase uint8
+
+const (
+	phaseCompute phase = iota
+	phaseLatency
+	phaseTransfer
+	phaseSleep
+)
+
+// activity is a unit of simulated work: a compute burst, a data transfer, or
+// a sleep. It progresses at a rate set by the kernel's sharing models and
+// completes via an event in the kernel queue.
+type activity struct {
+	kind  actKind
+	phase phase
+
+	volume    float64 // total flops or bytes (0 for sleeps)
+	remaining float64
+	rate      float64
+	allocated float64 // max-min share (comm only, before bwFactor)
+	bwFactor  float64
+
+	lastUpdate float64
+	start      float64
+	done       bool
+
+	host  *Host   // compute only
+	route *Route  // comm only
+	links []*Link // route links (comm), cached for the solver
+
+	ownerName string // proc that created it (compute, sleep)
+	srcName   string // comm: sending process
+	dstName   string // comm: receiving process
+
+	doneEv  *eventq.Event
+	waiters []*Proc
+	onDone  func() // internal completion hook (mailbox bookkeeping)
+}
+
+// startCompute creates and registers a compute activity on h.
+func (k *Kernel) startCompute(p *Proc, h *Host, flops float64) *activity {
+	a := &activity{
+		kind:       actCompute,
+		phase:      phaseCompute,
+		volume:     flops,
+		remaining:  flops,
+		lastUpdate: k.now,
+		start:      k.now,
+		host:       h,
+		ownerName:  p.name,
+		bwFactor:   1,
+	}
+	k.settleHost(h)
+	h.computes[a] = struct{}{}
+	if flops <= 0 {
+		// Zero-work burst: complete "immediately" through the event queue to
+		// preserve deterministic ordering with same-time events.
+		a.remaining = 0
+		a.doneEv = k.queue.Push(k.now, a)
+		return a
+	}
+	k.reshareHost(h)
+	return a
+}
+
+// startSleep creates a pure-delay activity.
+func (k *Kernel) startSleep(p *Proc, seconds float64) *activity {
+	if seconds < 0 {
+		seconds = 0
+	}
+	a := &activity{
+		kind:       actSleep,
+		phase:      phaseSleep,
+		lastUpdate: k.now,
+		start:      k.now,
+		ownerName:  p.name,
+		bwFactor:   1,
+	}
+	a.doneEv = k.queue.Push(k.now+seconds, a)
+	return a
+}
+
+// startTransfer creates a communication activity between two hosts. The
+// latency phase starts immediately; the transfer phase joins the contended
+// flow set when the latency has elapsed.
+func (k *Kernel) startTransfer(src, dst *Host, srcName, dstName string, bytes float64) *activity {
+	route := k.routeBetween(src, dst)
+	latF, bwF := 1.0, 1.0
+	if k.rateModel != nil {
+		latF, bwF = k.rateModel(bytes)
+	}
+	a := &activity{
+		kind:       actComm,
+		phase:      phaseLatency,
+		volume:     bytes,
+		remaining:  bytes,
+		lastUpdate: k.now,
+		start:      k.now,
+		route:      route,
+		links:      route.Links,
+		srcName:    srcName,
+		dstName:    dstName,
+		bwFactor:   bwF,
+	}
+	a.doneEv = k.queue.Push(k.now+route.Latency*latF, a)
+	return a
+}

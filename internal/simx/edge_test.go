@@ -1,0 +1,177 @@
+package simx
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMissingRouteSurfacesAsRunError(t *testing.T) {
+	k := New()
+	k.AddHost("a", 1e9, 1)
+	k.AddHost("b", 1e9, 1)
+	// No route a->b declared: sending must fail loudly, not hang or crash.
+	k.Spawn("s", k.Host("a"), func(p *Proc) { p.Send("m", 10, nil) })
+	k.Spawn("r", k.Host("b"), func(p *Proc) { p.Recv("m") })
+	_, err := k.Run()
+	if err == nil || !strings.Contains(err.Error(), "no route") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestProcessPanicSurfacesAsRunError(t *testing.T) {
+	k := New()
+	h := k.AddHost("a", 1e9, 1)
+	k.Spawn("bad", h, func(p *Proc) { panic("user bug") })
+	_, err := k.Run()
+	if err == nil || !strings.Contains(err.Error(), "user bug") {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "bad") {
+		t.Fatalf("error does not name the process: %v", err)
+	}
+}
+
+func TestDuplicateHostPanics(t *testing.T) {
+	k := New()
+	k.AddHost("a", 1e9, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for duplicate host")
+		}
+	}()
+	k.AddHost("a", 1e9, 1)
+}
+
+func TestDuplicateLinkPanics(t *testing.T) {
+	k := New()
+	k.AddLink("l", 1e8, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for duplicate link")
+		}
+	}()
+	k.AddLink("l", 1e8, 0)
+}
+
+func TestRouteToUndeclaredHostPanics(t *testing.T) {
+	k := New()
+	k.AddHost("a", 1e9, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for route to unknown host")
+		}
+	}()
+	k.AddRoute("a", "ghost", nil)
+}
+
+func TestZeroCoreHostClamped(t *testing.T) {
+	k := New()
+	h := k.AddHost("a", 1e9, 0)
+	if h.Cores != 1 {
+		t.Fatalf("cores = %d", h.Cores)
+	}
+}
+
+func TestDeadlockErrorListsReasons(t *testing.T) {
+	k := New()
+	h := k.AddHost("a", 1e9, 1)
+	k.Spawn("starved", h, func(p *Proc) { p.Recv("never") })
+	_, err := k.Run()
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(de.Error(), "starved") {
+		t.Fatalf("deadlock error does not name the process: %v", de)
+	}
+}
+
+func TestWaitOnCompletedCommReturnsImmediately(t *testing.T) {
+	k := New()
+	h1 := k.AddHost("a", 1e9, 1)
+	h2 := k.AddHost("b", 1e9, 1)
+	l := k.AddLink("l", 1e8, 0)
+	k.AddRoute("a", "b", []*Link{l})
+	var tAfter float64
+	k.Spawn("s", h1, func(p *Proc) {
+		c := p.ISend("m", 10, nil)
+		p.Sleep(1) // comm completes long before
+		p.WaitComm(c)
+		p.WaitComm(c) // second wait on a done comm is a no-op
+		tAfter = p.Now()
+	})
+	k.Spawn("r", h2, func(p *Proc) { p.Recv("m") })
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tAfter != 1.0 {
+		t.Fatalf("wait after completion advanced clock to %g", tAfter)
+	}
+}
+
+func TestManySmallMessagesOrdering(t *testing.T) {
+	// FIFO matching: messages arrive in send order.
+	k := New()
+	h1 := k.AddHost("a", 1e9, 1)
+	h2 := k.AddHost("b", 1e9, 1)
+	l := k.AddLink("l", 1e8, 1e-6)
+	k.AddRoute("a", "b", []*Link{l})
+	const n = 100
+	k.Spawn("s", h1, func(p *Proc) {
+		for i := 0; i < n; i++ {
+			p.ISendDetached("m", 8, i)
+		}
+	})
+	var got []int
+	k.Spawn("r", h2, func(p *Proc) {
+		for i := 0; i < n; i++ {
+			got = append(got, p.Recv("m").(int))
+		}
+	})
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("message %d out of order: got %d", i, v)
+		}
+	}
+}
+
+func TestHostAccessors(t *testing.T) {
+	k := New()
+	k.AddHost("x", 2e9, 4)
+	if k.Hosts() != 1 {
+		t.Fatalf("Hosts() = %d", k.Hosts())
+	}
+	if k.Host("nope") != nil {
+		t.Fatal("unknown host should be nil")
+	}
+	if k.Link("nope") != nil {
+		t.Fatal("unknown link should be nil")
+	}
+	l := k.AddLink("l", 1e8, 1e-3)
+	if k.Link("l") != l {
+		t.Fatal("link lookup failed")
+	}
+}
+
+func TestNowAdvancesMonotonically(t *testing.T) {
+	k := New()
+	h := k.AddHost("a", 1e9, 1)
+	var stamps []float64
+	k.Spawn("p", h, func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Execute(1e6)
+			stamps = append(stamps, p.Now())
+		}
+	})
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(stamps); i++ {
+		if stamps[i] <= stamps[i-1] {
+			t.Fatalf("clock not monotonic: %v", stamps)
+		}
+	}
+}

@@ -1,0 +1,289 @@
+// Package simx is a discrete-event simulation kernel in the style of the
+// SimGrid toolkit, providing the substrate on which both the trace replay
+// tool and the virtual-time MPI engine run.
+//
+// The kernel models:
+//
+//   - hosts with a computing power in flop/s per core and a core count,
+//     shared fairly among concurrent compute activities;
+//   - network links with a bandwidth and a latency, shared among concurrent
+//     flows according to an analytical max-min fairness contention model
+//     (the flow-based model SimGrid validates against packet-level
+//     simulation);
+//   - multi-hop routes between hosts, so a transfer crosses several links
+//     and hierarchical cluster topologies are contended realistically;
+//   - mailboxes with rendezvous semantics used to match sends and receives.
+//
+// Simulated processes are goroutines scheduled cooperatively: exactly one
+// process runs at a time and control returns to the kernel whenever the
+// process blocks on a simulation call, which keeps simulations fully
+// deterministic.
+package simx
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"tireplay/internal/eventq"
+)
+
+// RateModel adjusts a point-to-point communication according to the message
+// size, returning a latency multiplier and a bandwidth multiplier. It is how
+// the piece-wise linear MPI model of the paper plugs into the kernel. A nil
+// model means factors of 1.
+type RateModel func(bytes float64) (latencyFactor, bandwidthFactor float64)
+
+// Tracer observes completed activities; the replay tool uses it to emit
+// timed traces of a simulation (one of the outputs in Figure 4 of the paper).
+type Tracer interface {
+	// Compute is called when a compute burst of the given volume, executed
+	// by process proc on host, completes.
+	Compute(proc, host string, flops, start, end float64)
+	// Comm is called when a point-to-point transfer completes.
+	Comm(srcProc, dstProc string, bytes, start, end float64)
+}
+
+// Kernel is a discrete-event simulator instance. Create one with New,
+// populate it with hosts, links, routes and processes, then call Run.
+type Kernel struct {
+	now   float64
+	queue eventq.Queue
+
+	hosts map[string]*Host
+	links map[string]*Link
+	// routes maps "src|dst" to the route between two hosts.
+	routes map[string]*Route
+
+	procs     []*Proc
+	runq      []*Proc
+	blocked   int
+	living    int
+	procPanic error // first panic raised by a process body
+
+	mailboxes map[string]*Mailbox
+
+	flows     map[*activity]struct{} // comm activities in transfer phase
+	rateModel RateModel
+	tracer    Tracer
+
+	// DefaultLoopback is used for communications between two processes on
+	// the same host (e.g. folded acquisitions); it is modelled as a private
+	// link per host, so loopback traffic does not contend with the network.
+	LoopbackBandwidth float64
+	LoopbackLatency   float64
+
+	maxmin maxMinSolver
+}
+
+// New returns an empty kernel with the clock at zero.
+func New() *Kernel {
+	return &Kernel{
+		hosts:             make(map[string]*Host),
+		links:             make(map[string]*Link),
+		routes:            make(map[string]*Route),
+		mailboxes:         make(map[string]*Mailbox),
+		flows:             make(map[*activity]struct{}),
+		LoopbackBandwidth: 10e9, // 10 GB/s shared-memory copy rate
+		LoopbackLatency:   1e-7, // 100 ns
+	}
+}
+
+// Now returns the current simulated time in seconds.
+func (k *Kernel) Now() float64 { return k.now }
+
+// SetRateModel installs the message-size-dependent latency/bandwidth
+// correction model applied to every point-to-point communication.
+func (k *Kernel) SetRateModel(m RateModel) { k.rateModel = m }
+
+// SetTracer installs an observer of completed activities.
+func (k *Kernel) SetTracer(t Tracer) { k.tracer = t }
+
+// DeadlockError reports a simulation that cannot progress: the event queue
+// is empty while processes are still blocked.
+type DeadlockError struct {
+	Time    float64
+	Blocked []string // "proc: reason" entries
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("simx: deadlock at t=%g with %d blocked process(es): %s",
+		e.Time, len(e.Blocked), strings.Join(e.Blocked, "; "))
+}
+
+// Run executes the simulation until no process can progress. It returns the
+// final simulated time (the makespan) and a non-nil *DeadlockError if
+// processes remained blocked when the event queue drained.
+func (k *Kernel) Run() (float64, error) {
+	for {
+		for len(k.runq) > 0 {
+			p := k.runq[0]
+			k.runq = k.runq[1:]
+			k.step(p)
+			if k.procPanic != nil {
+				// A process body panicked: abort the simulation. Blocked
+				// process goroutines are abandoned (the kernel is dead).
+				return k.now, k.procPanic
+			}
+		}
+		ev := k.queue.Pop()
+		if ev == nil {
+			break
+		}
+		if ev.Time < k.now {
+			// Guard against clock regression; indicates a kernel bug.
+			panic(fmt.Sprintf("simx: event at %g before now %g", ev.Time, k.now))
+		}
+		k.now = ev.Time
+		k.handleEvent(ev)
+	}
+	if k.blocked > 0 {
+		var blocked []string
+		for _, p := range k.procs {
+			if p.state == stateBlocked {
+				blocked = append(blocked, p.name+": "+p.blockReason)
+			}
+		}
+		sort.Strings(blocked)
+		return k.now, &DeadlockError{Time: k.now, Blocked: blocked}
+	}
+	return k.now, nil
+}
+
+// handleEvent dispatches a fired event to the owning activity.
+func (k *Kernel) handleEvent(ev *eventq.Event) {
+	a, ok := ev.Payload.(*activity)
+	if !ok {
+		panic("simx: unknown event payload")
+	}
+	switch a.phase {
+	case phaseLatency:
+		// Latency paid: the transfer joins the contended flow set.
+		a.phase = phaseTransfer
+		if a.remaining <= 0 {
+			k.completeActivity(a)
+			return
+		}
+		k.settleFlows()
+		k.flows[a] = struct{}{}
+		k.reshareFlows()
+	case phaseTransfer, phaseCompute, phaseSleep:
+		k.completeActivity(a)
+	default:
+		panic("simx: event on activity in unexpected phase")
+	}
+}
+
+// completeActivity finishes a and wakes its waiters.
+func (k *Kernel) completeActivity(a *activity) {
+	switch a.kind {
+	case actCompute:
+		h := a.host
+		delete(h.computes, a)
+		k.settleHost(h)
+		k.reshareHost(h)
+		if k.tracer != nil {
+			k.tracer.Compute(a.ownerName, h.Name, a.volume, a.start, k.now)
+		}
+	case actComm:
+		if a.phase == phaseTransfer {
+			k.settleFlows()
+			delete(k.flows, a)
+			k.reshareFlows()
+		}
+		if k.tracer != nil {
+			k.tracer.Comm(a.srcName, a.dstName, a.volume, a.start, k.now)
+		}
+	case actSleep:
+		// Nothing to release.
+	}
+	a.done = true
+	for _, w := range a.waiters {
+		k.wake(w)
+	}
+	a.waiters = nil
+	if a.onDone != nil {
+		a.onDone()
+	}
+}
+
+// wake moves a blocked process back onto the run queue.
+func (k *Kernel) wake(p *Proc) {
+	if p.state != stateBlocked {
+		panic("simx: waking process that is not blocked: " + p.name)
+	}
+	p.state = stateRunnable
+	p.blockReason = ""
+	k.blocked--
+	k.runq = append(k.runq, p)
+}
+
+// settleHost updates the progress of every compute activity on h up to now.
+func (k *Kernel) settleHost(h *Host) {
+	for a := range h.computes {
+		a.remaining -= a.rate * (k.now - a.lastUpdate)
+		if a.remaining < 0 {
+			a.remaining = 0
+		}
+		a.lastUpdate = k.now
+	}
+}
+
+// reshareHost recomputes the fair share of h's compute activities and
+// reschedules their completion events.
+func (k *Kernel) reshareHost(h *Host) {
+	n := len(h.computes)
+	if n == 0 {
+		return
+	}
+	share := h.Speed
+	if n > h.Cores {
+		share = h.Speed * float64(h.Cores) / float64(n)
+	}
+	for a := range h.computes {
+		a.rate = share
+		k.reschedule(a, a.remaining/a.rate)
+	}
+}
+
+// settleFlows updates the progress of every flow up to now.
+func (k *Kernel) settleFlows() {
+	for a := range k.flows {
+		a.remaining -= a.rate * (k.now - a.lastUpdate)
+		if a.remaining < 0 {
+			a.remaining = 0
+		}
+		a.lastUpdate = k.now
+	}
+}
+
+// reshareFlows recomputes the max-min fair allocation over all active flows
+// and reschedules their completion events.
+func (k *Kernel) reshareFlows() {
+	if len(k.flows) == 0 {
+		return
+	}
+	k.maxmin.solve(k.flows)
+	for a := range k.flows {
+		// The bandwidth factor models protocol efficiency: the flow occupies
+		// its allocated share but progresses at bwFactor times it.
+		rate := a.allocated * a.bwFactor
+		if rate <= 0 {
+			rate = math.SmallestNonzeroFloat64
+		}
+		a.rate = rate
+		k.reschedule(a, a.remaining/a.rate)
+	}
+}
+
+// reschedule moves a's completion event to now+dt.
+func (k *Kernel) reschedule(a *activity, dt float64) {
+	if a.doneEv != nil {
+		k.queue.Remove(a.doneEv)
+	}
+	if math.IsInf(dt, 0) || math.IsNaN(dt) {
+		panic(fmt.Sprintf("simx: invalid completion delay %g for activity of %q", dt, a.ownerName))
+	}
+	a.doneEv = k.queue.Push(k.now+dt, a)
+}

@@ -1,0 +1,118 @@
+package simx
+
+// Mailbox is a rendezvous point matching sends and receives in FIFO order,
+// the mechanism behind both the MSG-style replay actions and the MPI
+// substrate. A message posted to a mailbox starts its transfer when a
+// receive is posted there (and vice-versa); until then both sides block (or
+// keep a pending handle, for the asynchronous variants).
+type Mailbox struct {
+	name  string
+	sends []*Comm
+	recvs []*Comm
+}
+
+// Comm is the public handle on a pending, in-flight or completed
+// communication, returned by the asynchronous mailbox operations and
+// consumed by WaitComm. The send side and the receive side each hold their
+// own handle; the two are joined to one transfer activity at match time.
+type Comm struct {
+	act     *activity
+	payload any
+	bytes   float64
+	src     string
+	dst     string
+
+	proc         *Proc // poster of this side
+	detached     bool
+	matchWaiters []*Proc
+}
+
+// Done reports whether the communication has fully completed.
+func (c *Comm) Done() bool { return c.act != nil && c.act.done }
+
+// Payload returns the data attached by the sender; valid after completion.
+func (c *Comm) Payload() any { return c.payload }
+
+// Bytes returns the size of the message in bytes. On a receive handle it is
+// only meaningful once the communication has been matched.
+func (c *Comm) Bytes() float64 { return c.bytes }
+
+// Src returns the name of the sending process (empty on an unmatched
+// receive handle).
+func (c *Comm) Src() string { return c.src }
+
+// Dst returns the name of the receiving process (empty until matched).
+func (c *Comm) Dst() string { return c.dst }
+
+func (c *Comm) matched() bool { return c.act != nil }
+
+func (c *Comm) addMatchWaiter(p *Proc) {
+	c.matchWaiters = append(c.matchWaiters, p)
+}
+
+// mailbox returns (creating on demand) the named mailbox.
+func (k *Kernel) mailbox(name string) *Mailbox {
+	mb := k.mailboxes[name]
+	if mb == nil {
+		mb = &Mailbox{name: name}
+		k.mailboxes[name] = mb
+	}
+	return mb
+}
+
+// post registers a send request on the mailbox and matches it against a
+// pending receive if one exists.
+func (k *Kernel) post(p *Proc, mailbox string, bytes float64, payload any, detached bool) *Comm {
+	mb := k.mailbox(mailbox)
+	c := &Comm{
+		payload:  payload,
+		bytes:    bytes,
+		src:      p.name,
+		proc:     p,
+		detached: detached,
+	}
+	if len(mb.recvs) > 0 {
+		rc := mb.recvs[0]
+		mb.recvs = mb.recvs[1:]
+		k.match(c, rc)
+	} else {
+		mb.sends = append(mb.sends, c)
+	}
+	return c
+}
+
+// postRecv registers a receive request on the mailbox and matches it
+// against a pending send if one exists.
+func (k *Kernel) postRecv(p *Proc, mailbox string) *Comm {
+	mb := k.mailbox(mailbox)
+	c := &Comm{proc: p}
+	if len(mb.sends) > 0 {
+		sc := mb.sends[0]
+		mb.sends = mb.sends[1:]
+		k.match(sc, c)
+	} else {
+		mb.recvs = append(mb.recvs, c)
+	}
+	return c
+}
+
+// match joins a send handle and a receive handle: the transfer activity
+// starts now, between the posters' hosts.
+func (k *Kernel) match(sc, rc *Comm) {
+	act := k.startTransfer(sc.proc.host, rc.proc.host, sc.proc.name, rc.proc.name, sc.bytes)
+	sc.act = act
+	rc.act = act
+	rc.payload = sc.payload
+	rc.bytes = sc.bytes
+	rc.src = sc.proc.name
+	rc.dst = rc.proc.name
+	sc.dst = rc.proc.name
+	for _, w := range sc.matchWaiters {
+		k.wake(w)
+	}
+	sc.matchWaiters = nil
+	for _, w := range rc.matchWaiters {
+		k.wake(w)
+	}
+	rc.matchWaiters = nil
+}

@@ -1,0 +1,102 @@
+package simx
+
+// maxMinSolver computes the max-min fair bandwidth allocation of a set of
+// flows over the links they cross. This is the analytical contention model
+// SimGrid validates against the GTNetS packet-level simulator: at every
+// instant, each flow receives the largest share such that no link capacity
+// is exceeded and no flow can gain without another losing.
+//
+// Algorithm (progressive filling): repeatedly find the most constrained link
+// — the one whose remaining capacity divided by its number of unallocated
+// flows is smallest — freeze that fair share onto those flows, subtract it
+// from every link they cross, and continue until every flow is allocated.
+type maxMinSolver struct {
+	links []*Link
+	cap   []float64 // remaining capacity per link
+	nflow []int     // unallocated flows per link
+}
+
+// solve assigns activity.allocated for every flow in the set.
+func (s *maxMinSolver) solve(flows map[*activity]struct{}) {
+	// Collect the links in use and index them.
+	s.links = s.links[:0]
+	for a := range flows {
+		for _, l := range a.links {
+			l.idx = -1
+		}
+	}
+	for a := range flows {
+		for _, l := range a.links {
+			if l.idx == -1 {
+				l.idx = len(s.links)
+				s.links = append(s.links, l)
+			}
+		}
+	}
+	if cap(s.cap) < len(s.links) {
+		s.cap = make([]float64, len(s.links))
+		s.nflow = make([]int, len(s.links))
+	}
+	s.cap = s.cap[:len(s.links)]
+	s.nflow = s.nflow[:len(s.links)]
+	for i, l := range s.links {
+		s.cap[i] = l.Bandwidth
+		s.nflow[i] = 0
+	}
+
+	unalloc := make(map[*activity]struct{}, len(flows))
+	for a := range flows {
+		a.allocated = 0
+		if len(a.links) == 0 {
+			// Should not happen (loopback always provides a link), but keep
+			// the solver total: an unconstrained flow gets "infinite" share
+			// represented by the largest link bandwidth seen.
+			continue
+		}
+		unalloc[a] = struct{}{}
+		for _, l := range a.links {
+			s.nflow[l.idx]++
+		}
+	}
+
+	for len(unalloc) > 0 {
+		// Find the bottleneck link.
+		best := -1
+		bestShare := 0.0
+		for i := range s.links {
+			if s.nflow[i] == 0 {
+				continue
+			}
+			share := s.cap[i] / float64(s.nflow[i])
+			if best == -1 || share < bestShare {
+				best = i
+				bestShare = share
+			}
+		}
+		if best == -1 {
+			break
+		}
+		// Freeze the share onto every unallocated flow crossing it.
+		for a := range unalloc {
+			crosses := false
+			for _, l := range a.links {
+				if l.idx == best {
+					crosses = true
+					break
+				}
+			}
+			if !crosses {
+				continue
+			}
+			a.allocated = bestShare
+			for _, l := range a.links {
+				s.cap[l.idx] -= bestShare
+				if s.cap[l.idx] < 0 {
+					s.cap[l.idx] = 0
+				}
+				s.nflow[l.idx]--
+			}
+			delete(unalloc, a)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package simx
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// buildFlows creates synthetic comm activities over the given links.
+func buildFlows(routes [][]*Link) map[*activity]struct{} {
+	flows := make(map[*activity]struct{})
+	for _, r := range routes {
+		flows[&activity{kind: actComm, links: r, bwFactor: 1}] = struct{}{}
+	}
+	return flows
+}
+
+func TestMaxMinSingleFlowGetsFullLink(t *testing.T) {
+	l := &Link{Name: "l", Bandwidth: 100}
+	flows := buildFlows([][]*Link{{l}})
+	var s maxMinSolver
+	s.solve(flows)
+	for a := range flows {
+		if !close(a.allocated, 100) {
+			t.Fatalf("allocated = %g, want 100", a.allocated)
+		}
+	}
+}
+
+func TestMaxMinEqualSharing(t *testing.T) {
+	l := &Link{Name: "l", Bandwidth: 90}
+	flows := buildFlows([][]*Link{{l}, {l}, {l}})
+	var s maxMinSolver
+	s.solve(flows)
+	for a := range flows {
+		if !close(a.allocated, 30) {
+			t.Fatalf("allocated = %g, want 30", a.allocated)
+		}
+	}
+}
+
+func TestMaxMinTextbookTwoLinks(t *testing.T) {
+	// Classic example: flow 0 crosses links A and B, flow 1 crosses A,
+	// flow 2 crosses B. A has 10, B has 20.
+	// Progressive filling: A is bottleneck (10/2 = 5 < 20/2 = 10):
+	// flows 0,1 get 5. B has 15 left for flow 2: 15.
+	la := &Link{Name: "A", Bandwidth: 10}
+	lb := &Link{Name: "B", Bandwidth: 20}
+	f0 := &activity{kind: actComm, links: []*Link{la, lb}, bwFactor: 1}
+	f1 := &activity{kind: actComm, links: []*Link{la}, bwFactor: 1}
+	f2 := &activity{kind: actComm, links: []*Link{lb}, bwFactor: 1}
+	flows := map[*activity]struct{}{f0: {}, f1: {}, f2: {}}
+	var s maxMinSolver
+	s.solve(flows)
+	if !close(f0.allocated, 5) || !close(f1.allocated, 5) || !close(f2.allocated, 15) {
+		t.Fatalf("allocations = %g, %g, %g; want 5, 5, 15",
+			f0.allocated, f1.allocated, f2.allocated)
+	}
+}
+
+func TestMaxMinLongFlowPenalised(t *testing.T) {
+	// A flow crossing two congested links gets the min of both fair shares.
+	la := &Link{Name: "A", Bandwidth: 10}
+	lb := &Link{Name: "B", Bandwidth: 4}
+	long := &activity{kind: actComm, links: []*Link{la, lb}, bwFactor: 1}
+	short := &activity{kind: actComm, links: []*Link{la}, bwFactor: 1}
+	flows := map[*activity]struct{}{long: {}, short: {}}
+	var s maxMinSolver
+	s.solve(flows)
+	// B alone constrains long to 4; A then gives short 10-4=6.
+	if !close(long.allocated, 4) || !close(short.allocated, 6) {
+		t.Fatalf("long = %g short = %g; want 4, 6", long.allocated, short.allocated)
+	}
+}
+
+// Property 1: no link's capacity is exceeded.
+// Property 2: every flow's allocation is positive.
+// Property 3 (max-min): every flow crosses at least one saturated link
+// where it is among the maximally-allocated flows (otherwise it could grow).
+func TestMaxMinInvariants(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nLinks := 1 + rng.Intn(6)
+		links := make([]*Link, nLinks)
+		for i := range links {
+			links[i] = &Link{Name: "l", Bandwidth: 1 + rng.Float64()*99}
+		}
+		nFlows := 1 + rng.Intn(10)
+		routes := make([][]*Link, nFlows)
+		for i := range routes {
+			used := rng.Perm(nLinks)[:1+rng.Intn(nLinks)]
+			for _, li := range used {
+				routes[i] = append(routes[i], links[li])
+			}
+		}
+		flows := buildFlows(routes)
+		var s maxMinSolver
+		s.solve(flows)
+
+		// Property 2.
+		for a := range flows {
+			if a.allocated <= 0 {
+				return false
+			}
+		}
+		// Property 1.
+		load := make(map[*Link]float64)
+		for a := range flows {
+			for _, l := range a.links {
+				load[l] += a.allocated
+			}
+		}
+		for l, used := range load {
+			if used > l.Bandwidth*(1+1e-9) {
+				return false
+			}
+		}
+		// Property 3.
+		for a := range flows {
+			bottlenecked := false
+			for _, l := range a.links {
+				saturated := load[l] >= l.Bandwidth*(1-1e-9)
+				if !saturated {
+					continue
+				}
+				isMax := true
+				for b := range flows {
+					if b == a {
+						continue
+					}
+					for _, bl := range b.links {
+						if bl == l && b.allocated > a.allocated*(1+1e-9) {
+							isMax = false
+						}
+					}
+				}
+				if isMax {
+					bottlenecked = true
+					break
+				}
+			}
+			if !bottlenecked {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxMinRepeatedSolveReusesState(t *testing.T) {
+	// The solver is reused across reshares; make sure state resets cleanly.
+	l := &Link{Name: "l", Bandwidth: 100}
+	var s maxMinSolver
+	for i := 1; i <= 5; i++ {
+		routes := make([][]*Link, i)
+		for j := range routes {
+			routes[j] = []*Link{l}
+		}
+		flows := buildFlows(routes)
+		s.solve(flows)
+		for a := range flows {
+			if !close(a.allocated, 100/float64(i)) {
+				t.Fatalf("round %d: allocated = %g, want %g", i, a.allocated, 100/float64(i))
+			}
+		}
+	}
+}

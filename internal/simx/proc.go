@@ -1,0 +1,175 @@
+package simx
+
+import "fmt"
+
+// procState tracks where a process is in its life-cycle.
+type procState uint8
+
+const (
+	stateCreated procState = iota
+	stateRunnable
+	stateRunning
+	stateBlocked
+	stateFinished
+)
+
+// Proc is a simulated process: a goroutine scheduled cooperatively by the
+// kernel. All simulation calls (Execute, Send, Recv, ...) must be made from
+// the process's own body function.
+type Proc struct {
+	k    *Kernel
+	name string
+	host *Host
+
+	state       procState
+	blockReason string
+
+	resume chan struct{} // kernel -> process handoff
+	yield  chan struct{} // process -> kernel handoff
+
+	body func(*Proc)
+}
+
+// Spawn creates a process named name running body on host. Processes start
+// in spawn order when Run is called. The host must already be declared.
+func (k *Kernel) Spawn(name string, host *Host, body func(*Proc)) *Proc {
+	if host == nil {
+		panic("simx: Spawn with nil host")
+	}
+	p := &Proc{
+		k:      k,
+		name:   name,
+		host:   host,
+		state:  stateCreated,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+		body:   body,
+	}
+	k.procs = append(k.procs, p)
+	k.living++
+	k.runq = append(k.runq, p)
+	p.state = stateRunnable
+	go func() {
+		<-p.resume
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					// Surface the panic as a Run error instead of killing
+					// the whole program; the kernel aborts the simulation.
+					if p.k.procPanic == nil {
+						p.k.procPanic = fmt.Errorf("simx: process %q panicked: %v", p.name, r)
+					}
+				}
+			}()
+			p.body(p)
+		}()
+		p.state = stateFinished
+		p.k.living--
+		p.yield <- struct{}{}
+	}()
+	return p
+}
+
+// step runs p until it blocks or finishes.
+func (k *Kernel) step(p *Proc) {
+	if p.state != stateRunnable {
+		panic("simx: stepping process that is not runnable: " + p.name)
+	}
+	p.state = stateRunning
+	p.resume <- struct{}{}
+	<-p.yield
+	if p.state == stateRunning {
+		panic("simx: process yielded without blocking or finishing: " + p.name)
+	}
+}
+
+// block suspends the calling process until the kernel wakes it. Must be
+// called from the process goroutine.
+func (p *Proc) block(reason string) {
+	p.state = stateBlocked
+	p.blockReason = reason
+	p.k.blocked++
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// Name returns the process name.
+func (p *Proc) Name() string { return p.name }
+
+// Host returns the host the process runs on.
+func (p *Proc) Host() *Host { return p.host }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() float64 { return p.k.now }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Execute simulates a computation of the given volume (flops) on the
+// process's host, blocking until it completes. Concurrent bursts on the same
+// host share its power fairly.
+func (p *Proc) Execute(flops float64) {
+	a := p.k.startCompute(p, p.host, flops)
+	a.waiters = append(a.waiters, p)
+	p.block(fmt.Sprintf("computing %g flops", flops))
+}
+
+// Sleep suspends the process for the given simulated duration.
+func (p *Proc) Sleep(seconds float64) {
+	a := p.k.startSleep(p, seconds)
+	a.waiters = append(a.waiters, p)
+	p.block(fmt.Sprintf("sleeping %gs", seconds))
+}
+
+// Send posts a message of the given size to the mailbox and blocks until
+// the transfer has completed (rendezvous + full transmission), matching the
+// synchronous MPI_Send semantics used by the replay tool.
+func (p *Proc) Send(mailbox string, bytes float64, payload any) {
+	c := p.k.post(p, mailbox, bytes, payload, false)
+	p.WaitComm(c)
+}
+
+// ISend posts a message asynchronously and returns a handle that can be
+// waited on. The transfer starts when a matching receive is posted.
+func (p *Proc) ISend(mailbox string, bytes float64, payload any) *Comm {
+	return p.k.post(p, mailbox, bytes, payload, false)
+}
+
+// ISendDetached posts a fire-and-forget message: no handle, the kernel
+// finishes the transfer in the background.
+func (p *Proc) ISendDetached(mailbox string, bytes float64, payload any) {
+	p.k.post(p, mailbox, bytes, payload, true)
+}
+
+// Recv blocks until a message is received from the mailbox and returns its
+// payload.
+func (p *Proc) Recv(mailbox string) any {
+	c := p.IRecv(mailbox)
+	p.WaitComm(c)
+	return c.payload
+}
+
+// IRecv posts a receive request asynchronously and returns a handle.
+func (p *Proc) IRecv(mailbox string) *Comm {
+	return p.k.postRecv(p, mailbox)
+}
+
+// WaitComm blocks until the communication completes. Safe to call on an
+// already-completed handle.
+func (p *Proc) WaitComm(c *Comm) {
+	if c == nil {
+		panic("simx: WaitComm(nil)")
+	}
+	for !c.matched() {
+		// The comm has no activity yet: the peer has not posted. Block on
+		// the request itself; the mailbox wakes us at match time, then we
+		// wait for the transfer.
+		c.addMatchWaiter(p)
+		p.block("waiting match on comm")
+	}
+	if c.act.done {
+		return
+	}
+	c.act.waiters = append(c.act.waiters, p)
+	p.block(fmt.Sprintf("waiting comm %s->%s (%g bytes)", c.src, c.dst, c.bytes))
+}

@@ -1,0 +1,105 @@
+package simx
+
+import "fmt"
+
+// Host is a computing resource: a node of the simulated platform. Its Speed
+// is the per-core computing power in flop/s. Concurrent compute activities
+// share the host fairly: with n activities on c cores each runs at
+// Speed*min(1, c/n) — the mechanism behind the linear slowdown of the
+// paper's Folding acquisition mode.
+type Host struct {
+	Name  string
+	Speed float64 // flop/s per core
+	Cores int
+
+	computes map[*activity]struct{}
+	loop     *Link // private loopback link for intra-host communications
+}
+
+// Link is a network resource with a nominal bandwidth (byte/s) and latency
+// (seconds). Concurrent flows crossing a link share its bandwidth according
+// to the kernel's max-min fairness model.
+type Link struct {
+	Name      string
+	Bandwidth float64
+	Latency   float64
+
+	// index assigned by the max-min solver for fast lookups.
+	idx int
+}
+
+// Route is an ordered sequence of links connecting two hosts. Latency is the
+// sum of link latencies (plus any fixed extra the platform defines).
+type Route struct {
+	Links   []*Link
+	Latency float64
+}
+
+// AddHost declares a host. Speed is per-core flop/s.
+func (k *Kernel) AddHost(name string, speed float64, cores int) *Host {
+	if _, dup := k.hosts[name]; dup {
+		panic("simx: duplicate host " + name)
+	}
+	if cores < 1 {
+		cores = 1
+	}
+	h := &Host{
+		Name:     name,
+		Speed:    speed,
+		Cores:    cores,
+		computes: make(map[*activity]struct{}),
+		loop: &Link{
+			Name:      name + "_loopback",
+			Bandwidth: k.LoopbackBandwidth,
+			Latency:   k.LoopbackLatency,
+		},
+	}
+	k.hosts[name] = h
+	return h
+}
+
+// Host returns the named host or nil.
+func (k *Kernel) Host(name string) *Host { return k.hosts[name] }
+
+// Hosts returns the number of declared hosts.
+func (k *Kernel) Hosts() int { return len(k.hosts) }
+
+// AddLink declares a network link.
+func (k *Kernel) AddLink(name string, bandwidth, latency float64) *Link {
+	if _, dup := k.links[name]; dup {
+		panic("simx: duplicate link " + name)
+	}
+	l := &Link{Name: name, Bandwidth: bandwidth, Latency: latency}
+	k.links[name] = l
+	return l
+}
+
+// Link returns the named link or nil.
+func (k *Kernel) Link(name string) *Link { return k.links[name] }
+
+// AddRoute declares the route used by transfers from src to dst. Routes are
+// directional; callers wanting symmetry add both directions. The route
+// latency is the sum of the link latencies.
+func (k *Kernel) AddRoute(src, dst string, links []*Link) {
+	if k.hosts[src] == nil || k.hosts[dst] == nil {
+		panic(fmt.Sprintf("simx: route between undeclared hosts %q -> %q", src, dst))
+	}
+	lat := 0.0
+	for _, l := range links {
+		lat += l.Latency
+	}
+	k.routes[src+"|"+dst] = &Route{Links: links, Latency: lat}
+}
+
+// routeBetween resolves the route for a transfer, falling back to the
+// host-private loopback when source and destination coincide.
+func (k *Kernel) routeBetween(src, dst *Host) *Route {
+	if src == dst {
+		return &Route{Links: []*Link{src.loop}, Latency: src.loop.Latency}
+	}
+	r := k.routes[src.Name+"|"+dst.Name]
+	if r == nil {
+		panic(fmt.Sprintf("simx: no route from %q to %q", src.Name, dst.Name))
+	}
+	return r
+}

@@ -1,0 +1,172 @@
+package smpi
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("empty model should be rejected")
+	}
+	if _, err := New([]Segment{{MaxBytes: 100, LatFactor: 1, BwFactor: 1}}); err == nil {
+		t.Error("model without unbounded segment should be rejected")
+	}
+	if _, err := New([]Segment{{MaxBytes: math.Inf(1), LatFactor: 0, BwFactor: 1}}); err == nil {
+		t.Error("zero latency factor should be rejected")
+	}
+	if _, err := New([]Segment{
+		{MaxBytes: 100, LatFactor: 1, BwFactor: 1},
+		{MaxBytes: 100, LatFactor: 1, BwFactor: 1},
+		{MaxBytes: math.Inf(1), LatFactor: 1, BwFactor: 1},
+	}); err == nil {
+		t.Error("duplicate boundary should be rejected")
+	}
+}
+
+func TestNewSortsSegments(t *testing.T) {
+	m := MustNew([]Segment{
+		{MaxBytes: math.Inf(1), LatFactor: 3, BwFactor: 3},
+		{MaxBytes: 10, LatFactor: 1, BwFactor: 1},
+		{MaxBytes: 100, LatFactor: 2, BwFactor: 2},
+	})
+	segs := m.Segments()
+	if segs[0].MaxBytes != 10 || segs[1].MaxBytes != 100 {
+		t.Fatalf("segments not sorted: %+v", segs)
+	}
+}
+
+func TestFactorsSegmentSelection(t *testing.T) {
+	m := Default()
+	cases := []struct {
+		bytes   float64
+		wantLat float64
+		wantBw  float64
+	}{
+		{0, 1.0, 0.60},
+		{512, 1.0, 0.60},
+		{1023, 1.0, 0.60},
+		{1024, 1.9, 0.88},
+		{63 * 1024, 1.9, 0.88},
+		{64 * 1024, 2.2, 0.94},
+		{1e9, 2.2, 0.94},
+	}
+	for _, c := range cases {
+		lat, bw := m.Factors(c.bytes)
+		if lat != c.wantLat || bw != c.wantBw {
+			t.Errorf("Factors(%g) = (%g,%g), want (%g,%g)",
+				c.bytes, lat, bw, c.wantLat, c.wantBw)
+		}
+	}
+}
+
+func TestIdentityModel(t *testing.T) {
+	m := Identity()
+	for _, b := range []float64{0, 1, 1e3, 1e6, 1e9} {
+		lat, bw := m.Factors(b)
+		if lat != 1 || bw != 1 {
+			t.Fatalf("Identity().Factors(%g) = (%g,%g)", b, lat, bw)
+		}
+	}
+}
+
+func TestPredictTime(t *testing.T) {
+	m := Identity()
+	got := m.PredictTime(1e6, 1e-4, 1e8)
+	want := 1e-4 + 1e6/1e8
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("PredictTime = %g, want %g", got, want)
+	}
+}
+
+func TestPredictTimeMonotonicInSize(t *testing.T) {
+	// The default model must give non-decreasing times with message size
+	// within each segment; across segment borders the time should also not
+	// drop dramatically (protocol switches cost, not gain).
+	m := Default()
+	prev := 0.0
+	for s := 1.0; s < 1e8; s *= 1.5 {
+		tt := m.PredictTime(s, 1e-5, 1.25e8)
+		if tt < prev*0.5 {
+			t.Fatalf("time dropped sharply at %g bytes: %g -> %g", s, prev, tt)
+		}
+		prev = tt
+	}
+}
+
+func TestFitRecoversKnownModel(t *testing.T) {
+	// Generate synthetic ping-pong samples from a known model, then fit and
+	// verify the factors are recovered.
+	truth := MustNew([]Segment{
+		{MaxBytes: 1024, LatFactor: 1.2, BwFactor: 0.5},
+		{MaxBytes: 65536, LatFactor: 2.0, BwFactor: 0.9},
+		{MaxBytes: math.Inf(1), LatFactor: 3.0, BwFactor: 0.95},
+	})
+	latency, bandwidth := 2e-5, 1.25e8
+	var samples []Sample
+	for s := 1.0; s < 1e7; s *= 1.3 {
+		samples = append(samples, Sample{Bytes: s, Time: truth.PredictTime(s, latency, bandwidth)})
+	}
+	fitted, err := Fit(samples, []float64{1024, 65536}, latency, bandwidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []float64{100, 5000, 1e6} {
+		wl, wb := truth.Factors(b)
+		gl, gb := fitted.Factors(b)
+		if math.Abs(wl-gl)/wl > 0.05 || math.Abs(wb-gb)/wb > 0.05 {
+			t.Errorf("at %g bytes: fitted (%g,%g), want (%g,%g)", b, gl, gb, wl, wb)
+		}
+	}
+}
+
+func TestFitRejectsSparseSegments(t *testing.T) {
+	samples := []Sample{{Bytes: 10, Time: 1e-5}, {Bytes: 20, Time: 2e-5}}
+	if _, err := Fit(samples, []float64{1024}, 1e-5, 1e8); err == nil {
+		t.Error("expected error for segment with < 2 samples")
+	}
+}
+
+func TestFitRejectsBadBase(t *testing.T) {
+	samples := []Sample{{10, 1e-5}, {20, 2e-5}, {2000, 1e-4}, {4000, 2e-4}}
+	if _, err := Fit(samples, []float64{1024}, 0, 1e8); err == nil {
+		t.Error("expected error for zero latency")
+	}
+	if _, err := Fit(samples, []float64{1024}, 1e-5, -1); err == nil {
+		t.Error("expected error for negative bandwidth")
+	}
+}
+
+func TestLeastSquaresExact(t *testing.T) {
+	// y = 3 + 2x fitted exactly.
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 + 2*x
+	}
+	a, b := leastSquares(xs, ys)
+	if math.Abs(a-3) > 1e-9 || math.Abs(b-2) > 1e-9 {
+		t.Fatalf("fit = (%g, %g), want (3, 2)", a, b)
+	}
+}
+
+// Property: Factors is piece-wise constant and consistent with the segment
+// list for any size.
+func TestFactorsConsistencyProperty(t *testing.T) {
+	m := Default()
+	segs := m.Segments()
+	f := func(raw uint32) bool {
+		b := float64(raw)
+		lat, bw := m.Factors(b)
+		for _, s := range segs {
+			if b < s.MaxBytes {
+				return lat == s.LatFactor && bw == s.BwFactor
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,131 @@
+package tau
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"tireplay/internal/mpi"
+	"tireplay/internal/platform"
+)
+
+// AcquisitionFiles lists what one instrumented execution left on disk.
+type AcquisitionFiles struct {
+	Dir        string
+	TraceFiles []string // tautrace.<rank>.0.0.trc, indexed by rank
+	EventFiles []string // events.<rank>.edf, indexed by rank
+	Events     []int64  // records written per rank
+	TraceBytes int64    // total size of the binary trace files
+}
+
+// acquireCommon wires per-rank trace writers and runs the program through
+// the given engine runner.
+func acquireCommon(dir string, nprocs int, overhead float64,
+	run func(wrap func(int, mpi.Comm) mpi.Comm, prog mpi.Program) (float64, error),
+	prog mpi.Program) (float64, *AcquisitionFiles, error) {
+
+	if nprocs <= 0 {
+		return 0, nil, fmt.Errorf("tau: acquisition with %d processes", nprocs)
+	}
+	files := &AcquisitionFiles{
+		Dir:        dir,
+		TraceFiles: make([]string, nprocs),
+		EventFiles: make([]string, nprocs),
+		Events:     make([]int64, nprocs),
+	}
+	osFiles := make([]*os.File, nprocs)
+	writers := make([]*TraceWriter, nprocs)
+	for r := 0; r < nprocs; r++ {
+		p := filepath.Join(dir, TraceFileName(r))
+		f, err := os.Create(p)
+		if err != nil {
+			return 0, nil, err
+		}
+		osFiles[r] = f
+		writers[r] = NewTraceWriter(f, r)
+		files.TraceFiles[r] = p
+	}
+	closeAll := func() {
+		for _, f := range osFiles {
+			if f != nil {
+				f.Close()
+			}
+		}
+	}
+
+	wrap := func(rank int, c mpi.Comm) mpi.Comm {
+		return Instrument(c, writers[rank], overhead)
+	}
+	makespan, err := run(wrap, WrapProgram(prog))
+	if err != nil {
+		closeAll()
+		return 0, nil, err
+	}
+
+	for r := 0; r < nprocs; r++ {
+		if err := writers[r].Flush(); err != nil {
+			closeAll()
+			return 0, nil, err
+		}
+		files.Events[r] = writers[r].Events()
+		files.TraceBytes += writers[r].BytesWritten()
+		if err := osFiles[r].Close(); err != nil {
+			return 0, nil, err
+		}
+		osFiles[r] = nil
+
+		ep := filepath.Join(dir, EventFileName(r))
+		ef, err := os.Create(ep)
+		if err != nil {
+			return 0, nil, err
+		}
+		if err := WriteEDF(ef, StandardEDF()); err != nil {
+			ef.Close()
+			return 0, nil, err
+		}
+		if err := ef.Close(); err != nil {
+			return 0, nil, err
+		}
+		files.EventFiles[r] = ep
+	}
+	return makespan, files, nil
+}
+
+// AcquireLive executes prog under instrumentation on the live engine,
+// writing TAU trace and event files into dir. It returns the instrumented
+// makespan and the file inventory.
+func AcquireLive(dir string, cfg mpi.LiveConfig, overheadPerEvent float64,
+	prog mpi.Program) (float64, *AcquisitionFiles, error) {
+	return acquireCommon(dir, cfg.Procs, overheadPerEvent,
+		func(wrap func(int, mpi.Comm) mpi.Comm, p mpi.Program) (float64, error) {
+			return mpi.RunLiveWrapped(cfg, wrap, p)
+		}, prog)
+}
+
+// AcquireSim executes prog under instrumentation on the simulation engine
+// over the given platform and deployment, writing TAU files into dir. The
+// build's kernel is consumed by the run.
+func AcquireSim(dir string, b *platform.Build, depl *platform.Deployment,
+	cfg mpi.SimConfig, overheadPerEvent float64, prog mpi.Program) (float64, *AcquisitionFiles, error) {
+	return acquireCommon(dir, len(depl.Processes), overheadPerEvent,
+		func(wrap func(int, mpi.Comm) mpi.Comm, p mpi.Program) (float64, error) {
+			return mpi.RunSimWrapped(b, depl, cfg, wrap, p)
+		}, prog)
+}
+
+// InstrumentedTimeSim runs prog instrumented on the simulation engine but
+// discards the trace records: it returns only the instrumented execution
+// time. The Table 2 campaigns use it — they compare execution times across
+// acquisition modes without needing the trace files themselves.
+func InstrumentedTimeSim(b *platform.Build, depl *platform.Deployment,
+	cfg mpi.SimConfig, overheadPerEvent float64, prog mpi.Program) (float64, error) {
+	writers := make([]*TraceWriter, len(depl.Processes))
+	for i := range writers {
+		writers[i] = NewTraceWriter(io.Discard, i)
+	}
+	wrap := func(rank int, c mpi.Comm) mpi.Comm {
+		return Instrument(c, writers[rank], overheadPerEvent)
+	}
+	return mpi.RunSimWrapped(b, depl, cfg, wrap, WrapProgram(prog))
+}

@@ -1,0 +1,108 @@
+package tau
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// EDFEntry describes one traced function or trigger event, mirroring the
+// event files of Section 4.3: numerical id, group ("MPI" for MPI functions,
+// "TAUEVENT" for counters), a tag distinguishing TAU events from user ones,
+// the function name, and the parameter keyword — "EntryExit" for functions
+// bracketed by entry and exit events, "TriggerValue" for monotonic counters.
+type EDFEntry struct {
+	ID    int
+	Group string
+	Tag   int
+	Name  string
+	Kind  string // "EntryExit" or "TriggerValue"
+}
+
+// StandardEDF returns the event definitions the instrumentation layer emits:
+// every MPI state plus the PAPI flop counter and the message-size trigger.
+func StandardEDF() []EDFEntry {
+	var out []EDFEntry
+	for _, id := range AllStates() {
+		out = append(out, EDFEntry{ID: id, Group: "MPI", Tag: 0, Name: StateName(id), Kind: "EntryExit"})
+	}
+	out = append(out,
+		EDFEntry{ID: EventPAPIFlops, Group: "TAUEVENT", Tag: 1, Name: EventName(EventPAPIFlops), Kind: "TriggerValue"},
+		EDFEntry{ID: EventMsgSize, Group: "TAUEVENT", Tag: 0, Name: EventName(EventMsgSize), Kind: "TriggerValue"},
+	)
+	return out
+}
+
+// WriteEDF renders an event file, e.g.:
+//
+//	14 dynamic_trace_events
+//	# FunctionId Group Tag "Name" Parameters
+//	49 MPI 0 "MPI_Send()" EntryExit
+//	1 TAUEVENT 1 "PAPI_FP_OPS" TriggerValue
+func WriteEDF(w io.Writer, entries []EDFEntry) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%d dynamic_trace_events\n", len(entries))
+	fmt.Fprintf(bw, "# FunctionId Group Tag \"Name\" Parameters\n")
+	for _, e := range entries {
+		fmt.Fprintf(bw, "%d %s %d %q %s\n", e.ID, e.Group, e.Tag, e.Name, e.Kind)
+	}
+	return bw.Flush()
+}
+
+// ParseEDF reads an event file back into entries.
+func ParseEDF(r io.Reader) ([]EDFEntry, error) {
+	sc := bufio.NewScanner(r)
+	var out []EDFEntry
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if line == 1 && strings.Contains(text, "dynamic_trace_events") {
+			continue
+		}
+		e, err := parseEDFLine(text)
+		if err != nil {
+			return nil, fmt.Errorf("tau: edf line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseEDFLine(text string) (EDFEntry, error) {
+	// Format: id group tag "name with spaces" kind
+	open := strings.IndexByte(text, '"')
+	close := strings.LastIndexByte(text, '"')
+	if open < 0 || close <= open {
+		return EDFEntry{}, fmt.Errorf("missing quoted name in %q", text)
+	}
+	head := strings.Fields(text[:open])
+	if len(head) != 3 {
+		return EDFEntry{}, fmt.Errorf("want id group tag before name in %q", text)
+	}
+	id, err := strconv.Atoi(head[0])
+	if err != nil {
+		return EDFEntry{}, fmt.Errorf("bad id %q", head[0])
+	}
+	tag, err := strconv.Atoi(head[2])
+	if err != nil {
+		return EDFEntry{}, fmt.Errorf("bad tag %q", head[2])
+	}
+	kind := strings.TrimSpace(text[close+1:])
+	if kind == "" {
+		return EDFEntry{}, fmt.Errorf("missing parameters keyword in %q", text)
+	}
+	name, err := strconv.Unquote(text[open : close+1])
+	if err != nil {
+		name = text[open+1 : close]
+	}
+	return EDFEntry{ID: id, Group: head[1], Tag: tag, Name: name, Kind: kind}, nil
+}

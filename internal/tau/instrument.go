@@ -1,0 +1,224 @@
+package tau
+
+import "tireplay/internal/mpi"
+
+// Message metadata constants: the instrumentation uses a fixed tag and the
+// world communicator, as in the paper's single-communicator prototype
+// (MPI_Comm_split is not implemented, Section 3).
+const (
+	msgTag    = 1
+	worldComm = 0
+)
+
+// TracedComm wraps an mpi.Comm so every MPI operation is recorded in the
+// TAU binary trace of its rank. The record pattern around each call follows
+// Figure 3 of the paper: EnterState, a PAPI_FP_OPS EventTrigger ending the
+// preceding CPU burst, the operation's message records, a second PAPI
+// trigger starting the next burst, and LeaveState.
+type TracedComm struct {
+	inner    mpi.Comm
+	tw       *TraceWriter
+	overhead float64 // tracing overhead per record, in seconds
+	enabled  bool
+}
+
+var _ mpi.Comm = (*TracedComm)(nil)
+
+// Instrument wraps inner so its MPI activity is recorded to tw.
+// overheadPerEvent is the tracing perturbation added to the rank's clock for
+// every record written (the "Tracing overhead" component of Figure 7).
+func Instrument(inner mpi.Comm, tw *TraceWriter, overheadPerEvent float64) *TracedComm {
+	return &TracedComm{inner: inner, tw: tw, overhead: overheadPerEvent, enabled: true}
+}
+
+// EnableInstrumentation resumes recording; the counterpart of the
+// TAU_ENABLE_INSTRUMENTATION macro of Section 4.1.
+func (t *TracedComm) EnableInstrumentation() { t.enabled = true }
+
+// DisableInstrumentation suspends recording: operations still execute but
+// leave no trace records, as with TAU's selective instrumentation.
+func (t *TracedComm) DisableInstrumentation() { t.enabled = false }
+
+// tick charges the tracing overhead of one record to the rank's clock.
+func (t *TracedComm) tick() {
+	if t.overhead > 0 {
+		t.inner.Delay(t.overhead)
+	}
+}
+
+func (t *TracedComm) enter(state int) {
+	if !t.enabled {
+		return
+	}
+	t.tw.EnterState(t.inner.Now(), state)
+	t.tick()
+	t.tw.EventTrigger(t.inner.Now(), EventPAPIFlops, t.inner.FlopCount())
+	t.tick()
+}
+
+func (t *TracedComm) leave(state int) {
+	if !t.enabled {
+		return
+	}
+	t.tw.EventTrigger(t.inner.Now(), EventPAPIFlops, t.inner.FlopCount())
+	t.tick()
+	t.tw.LeaveState(t.inner.Now(), state)
+	t.tick()
+}
+
+// Begin records the start-of-execution states: MPI_Init and the
+// MPI_Comm_size call whose extraction produces the comm_size action that
+// must precede any collective in the time-independent trace.
+func (t *TracedComm) Begin() {
+	t.enter(StateMPIInit)
+	t.leave(StateMPIInit)
+	t.enter(StateMPICommSize)
+	if t.enabled {
+		t.tw.EventTrigger(t.inner.Now(), EventMsgSize, float64(t.inner.Size()))
+		t.tick()
+	}
+	t.leave(StateMPICommSize)
+}
+
+// End records MPI_Finalize, whose entry PAPI trigger closes the final CPU
+// burst of the rank.
+func (t *TracedComm) End() {
+	t.enter(StateMPIFinalize)
+	t.leave(StateMPIFinalize)
+}
+
+// Rank returns the wrapped rank.
+func (t *TracedComm) Rank() int { return t.inner.Rank() }
+
+// Size returns the world size.
+func (t *TracedComm) Size() int { return t.inner.Size() }
+
+// Now returns the rank's virtual time.
+func (t *TracedComm) Now() float64 { return t.inner.Now() }
+
+// FlopCount returns the virtual PAPI counter.
+func (t *TracedComm) FlopCount() float64 { return t.inner.FlopCount() }
+
+// Compute executes an uninstrumented CPU burst; it produces no trace record
+// — the PAPI triggers at the surrounding MPI calls capture its volume.
+func (t *TracedComm) Compute(flops float64) { t.inner.Compute(flops) }
+
+// Delay forwards a clock advance.
+func (t *TracedComm) Delay(seconds float64) { t.inner.Delay(seconds) }
+
+// Send records and performs a blocking send.
+func (t *TracedComm) Send(dst int, bytes float64) {
+	t.enter(StateMPISend)
+	if t.enabled {
+		t.tw.EventTrigger(t.inner.Now(), EventMsgSize, bytes)
+		t.tick()
+		t.tw.SendMessage(t.inner.Now(), dst, 0, bytes, msgTag, worldComm)
+		t.tick()
+	}
+	t.inner.Send(dst, bytes)
+	t.leave(StateMPISend)
+}
+
+// Isend records and starts an asynchronous send.
+func (t *TracedComm) Isend(dst int, bytes float64) mpi.Request {
+	t.enter(StateMPIIsend)
+	if t.enabled {
+		t.tw.EventTrigger(t.inner.Now(), EventMsgSize, bytes)
+		t.tick()
+		t.tw.SendMessage(t.inner.Now(), dst, 0, bytes, msgTag, worldComm)
+		t.tick()
+	}
+	req := t.inner.Isend(dst, bytes)
+	t.leave(StateMPIIsend)
+	return req
+}
+
+// Recv records and performs a blocking receive.
+func (t *TracedComm) Recv(src int) float64 {
+	t.enter(StateMPIRecv)
+	bytes := t.inner.Recv(src)
+	if t.enabled {
+		t.tw.RecvMessage(t.inner.Now(), src, 0, bytes, msgTag, worldComm)
+		t.tick()
+	}
+	t.leave(StateMPIRecv)
+	return bytes
+}
+
+// Irecv records and posts an asynchronous receive. No RecvMessage record is
+// written here: it appears within the matching MPI_Wait, which is why
+// tau2simgrid needs its lookup pass (Section 4.3).
+func (t *TracedComm) Irecv(src int) mpi.Request {
+	t.enter(StateMPIIrecv)
+	req := t.inner.Irecv(src)
+	t.leave(StateMPIIrecv)
+	return req
+}
+
+// Wait records and completes an asynchronous operation; receive completions
+// carry the RecvMessage record providing the Irecv's source and size.
+func (t *TracedComm) Wait(req mpi.Request) mpi.Completion {
+	t.enter(StateMPIWait)
+	comp := t.inner.Wait(req)
+	if t.enabled && comp.IsRecv {
+		t.tw.RecvMessage(t.inner.Now(), comp.Peer, 0, comp.Bytes, msgTag, worldComm)
+		t.tick()
+	}
+	t.leave(StateMPIWait)
+	return comp
+}
+
+// Bcast records and performs a broadcast.
+func (t *TracedComm) Bcast(bytes float64) {
+	t.enter(StateMPIBcast)
+	if t.enabled {
+		t.tw.EventTrigger(t.inner.Now(), EventMsgSize, bytes)
+		t.tick()
+	}
+	t.inner.Bcast(bytes)
+	t.leave(StateMPIBcast)
+}
+
+// Reduce records and performs a reduction; the PAPI trigger pair around the
+// call captures the reduction's computation volume (vcomp).
+func (t *TracedComm) Reduce(vcomm, vcomp float64) {
+	t.enter(StateMPIReduce)
+	if t.enabled {
+		t.tw.EventTrigger(t.inner.Now(), EventMsgSize, vcomm)
+		t.tick()
+	}
+	t.inner.Reduce(vcomm, vcomp)
+	t.leave(StateMPIReduce)
+}
+
+// Allreduce records and performs an all-reduce.
+func (t *TracedComm) Allreduce(vcomm, vcomp float64) {
+	t.enter(StateMPIAllreduce)
+	if t.enabled {
+		t.tw.EventTrigger(t.inner.Now(), EventMsgSize, vcomm)
+		t.tick()
+	}
+	t.inner.Allreduce(vcomm, vcomp)
+	t.leave(StateMPIAllreduce)
+}
+
+// Barrier records and performs a barrier.
+func (t *TracedComm) Barrier() {
+	t.enter(StateMPIBarrier)
+	t.inner.Barrier()
+	t.leave(StateMPIBarrier)
+}
+
+// WrapProgram surrounds a program with Begin/End so traces carry the
+// MPI_Init, MPI_Comm_size and MPI_Finalize brackets.
+func WrapProgram(prog mpi.Program) mpi.Program {
+	return func(c mpi.Comm) {
+		if tc, ok := c.(*TracedComm); ok {
+			tc.Begin()
+			prog(c)
+			tc.End()
+			return
+		}
+		prog(c)
+	}
+}

@@ -1,0 +1,216 @@
+package tau
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tireplay/internal/mpi"
+)
+
+func TestEDFRoundTrip(t *testing.T) {
+	entries := StandardEDF()
+	var buf bytes.Buffer
+	if err := WriteEDF(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseEDF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(entries) {
+		t.Fatalf("entries = %d, want %d", len(again), len(entries))
+	}
+	for i := range entries {
+		if entries[i] != again[i] {
+			t.Errorf("entry %d: %+v != %+v", i, entries[i], again[i])
+		}
+	}
+}
+
+func TestEDFMatchesPaperShape(t *testing.T) {
+	// The paper shows: 49 MPI 0 "MPI_Send() " EntryExit
+	//                   1 TAUEVENT 1 "PAPI_FP_OPS" TriggerValue
+	var buf bytes.Buffer
+	if err := WriteEDF(&buf, StandardEDF()); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, `49 MPI 0 "MPI_Send()" EntryExit`) {
+		t.Errorf("missing MPI_Send definition:\n%s", s)
+	}
+	if !strings.Contains(s, `1 TAUEVENT 1 "PAPI_FP_OPS" TriggerValue`) {
+		t.Errorf("missing PAPI definition:\n%s", s)
+	}
+}
+
+func TestParseEDFRejectsGarbage(t *testing.T) {
+	for _, doc := range []string{
+		"49 MPI zero \"X\" EntryExit\n",
+		"49 MPI 0 X EntryExit\n",
+		"49 MPI 0 \"X\"\n",
+		"nope\n",
+	} {
+		if _, err := ParseEDF(strings.NewReader(doc)); err == nil {
+			t.Errorf("ParseEDF(%q): expected error", doc)
+		}
+	}
+}
+
+func TestTraceWriterCounts(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf, 3)
+	tw.EnterState(1.0, StateMPISend)
+	tw.EventTrigger(1.1, EventPAPIFlops, 12345)
+	tw.SendMessage(1.2, 0, 0, 163840, 1, 0)
+	tw.EventTrigger(1.3, EventPAPIFlops, 12345)
+	tw.LeaveState(1.4, StateMPISend)
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if tw.Events() != 5 {
+		t.Fatalf("Events = %d", tw.Events())
+	}
+	if tw.BytesWritten() == 0 || int64(buf.Len()) != tw.BytesWritten() {
+		t.Fatalf("BytesWritten = %d, buffer = %d", tw.BytesWritten(), buf.Len())
+	}
+}
+
+func TestFileNames(t *testing.T) {
+	if TraceFileName(7) != "tautrace.7.0.0.trc" {
+		t.Errorf("TraceFileName = %q", TraceFileName(7))
+	}
+	if EventFileName(7) != "events.7.edf" {
+		t.Errorf("EventFileName = %q", EventFileName(7))
+	}
+}
+
+func TestStateNamesComplete(t *testing.T) {
+	for _, id := range AllStates() {
+		if strings.HasPrefix(StateName(id), "state_") {
+			t.Errorf("state %d has no name", id)
+		}
+	}
+	for _, id := range AllEvents() {
+		if strings.HasPrefix(EventName(id), "event_") {
+			t.Errorf("event %d has no name", id)
+		}
+	}
+}
+
+// fakeComm is a minimal Comm for wrapper-level tests.
+type fakeComm struct {
+	rank, size int
+	clock      float64
+	flops      float64
+	calls      []string
+}
+
+func (f *fakeComm) Rank() int          { return f.rank }
+func (f *fakeComm) Size() int          { return f.size }
+func (f *fakeComm) Now() float64       { return f.clock }
+func (f *fakeComm) FlopCount() float64 { return f.flops }
+func (f *fakeComm) Compute(v float64) {
+	f.flops += v
+	f.clock += v / 1e9
+	f.calls = append(f.calls, "compute")
+}
+func (f *fakeComm) Delay(s float64) { f.clock += s }
+func (f *fakeComm) Send(dst int, b float64) {
+	f.clock += 1e-5
+	f.calls = append(f.calls, "send")
+}
+func (f *fakeComm) Isend(dst int, b float64) mpi.Request {
+	f.calls = append(f.calls, "isend")
+	return "isend-req"
+}
+func (f *fakeComm) Recv(src int) float64 {
+	f.clock += 1e-5
+	f.calls = append(f.calls, "recv")
+	return 64
+}
+func (f *fakeComm) Irecv(src int) mpi.Request {
+	f.calls = append(f.calls, "irecv")
+	return "irecv-req"
+}
+func (f *fakeComm) Wait(r mpi.Request) mpi.Completion {
+	f.calls = append(f.calls, "wait")
+	if r == "irecv-req" {
+		return mpi.Completion{IsRecv: true, Peer: 2, Bytes: 64}
+	}
+	return mpi.Completion{Peer: 1, Bytes: 32}
+}
+func (f *fakeComm) Bcast(b float64)          { f.calls = append(f.calls, "bcast") }
+func (f *fakeComm) Reduce(vc, vp float64)    { f.flops += vp; f.calls = append(f.calls, "reduce") }
+func (f *fakeComm) Allreduce(vc, vp float64) { f.flops += vp; f.calls = append(f.calls, "allreduce") }
+func (f *fakeComm) Barrier()                 { f.calls = append(f.calls, "barrier") }
+
+func TestInstrumentForwardsOperations(t *testing.T) {
+	var buf bytes.Buffer
+	inner := &fakeComm{rank: 1, size: 4}
+	tc := Instrument(inner, NewTraceWriter(&buf, 1), 0)
+	tc.Begin()
+	tc.Compute(1e6)
+	tc.Send(0, 128)
+	r := tc.Irecv(2)
+	tc.Wait(r)
+	tc.Barrier()
+	tc.End()
+	want := []string{"compute", "send", "irecv", "wait", "barrier"}
+	if len(inner.calls) != len(want) {
+		t.Fatalf("calls = %v", inner.calls)
+	}
+	for i, w := range want {
+		if inner.calls[i] != w {
+			t.Fatalf("calls = %v", inner.calls)
+		}
+	}
+	if tc.Rank() != 1 || tc.Size() != 4 || tc.FlopCount() != 1e6 {
+		t.Fatal("passthrough accessors wrong")
+	}
+}
+
+func TestInstrumentOverheadAdvancesClock(t *testing.T) {
+	var buf bytes.Buffer
+	inner := &fakeComm{rank: 0, size: 2}
+	tc := Instrument(inner, NewTraceWriter(&buf, 0), 1e-6)
+	tc.Send(1, 128)
+	// Send writes 6 records (enter, papi, size, sendmsg, papi, leave), each
+	// charged 1 us, plus the fake send's own 10 us.
+	want := 6e-6 + 1e-5
+	if diff := inner.clock - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("clock = %g, want %g", inner.clock, want)
+	}
+}
+
+func TestDisableInstrumentationStopsRecords(t *testing.T) {
+	var buf bytes.Buffer
+	inner := &fakeComm{rank: 0, size: 2}
+	tw := NewTraceWriter(&buf, 0)
+	tc := Instrument(inner, tw, 0)
+	tc.DisableInstrumentation()
+	tc.Send(1, 128)
+	tc.Barrier()
+	if tw.Events() != 0 {
+		t.Fatalf("disabled instrumentation wrote %d events", tw.Events())
+	}
+	tc.EnableInstrumentation()
+	tc.Barrier()
+	if tw.Events() == 0 {
+		t.Fatal("re-enabled instrumentation wrote nothing")
+	}
+	// Operations still executed while disabled.
+	if len(inner.calls) != 3 {
+		t.Fatalf("calls = %v", inner.calls)
+	}
+}
+
+func TestWrapProgramOnPlainComm(t *testing.T) {
+	// WrapProgram must pass through non-traced comms unchanged.
+	ran := false
+	prog := WrapProgram(func(c mpi.Comm) { ran = true })
+	prog(&fakeComm{rank: 0, size: 1})
+	if !ran {
+		t.Fatal("wrapped program did not run")
+	}
+}

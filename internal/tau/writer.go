@@ -1,0 +1,155 @@
+package tau
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary trace format: header then a stream of records.
+//
+//	magic "TAUTRC" | version byte | node uvarint
+//
+// Records start with a kind byte; times are 8-byte little-endian float64
+// seconds, identifiers are unsigned varints:
+//
+//	kindEnterState   time stateID
+//	kindLeaveState   time stateID
+//	kindEventTrigger time eventID value(float64)
+//	kindSendMessage  time dstNode dstThread size(float64) tag comm
+//	kindRecvMessage  time srcNode srcThread size(float64) tag comm
+const (
+	traceMagic   = "TAUTRC"
+	traceVersion = 1
+)
+
+// Record kinds in the binary trace stream.
+const (
+	kindEnterState byte = iota + 1
+	kindLeaveState
+	kindEventTrigger
+	kindSendMessage
+	kindRecvMessage
+)
+
+// TraceWriter streams TAU-style records for one rank.
+type TraceWriter struct {
+	node    int
+	bw      *bufio.Writer
+	scratch [binary.MaxVarintLen64]byte
+	err     error
+	events  int64
+	written int64
+}
+
+// NewTraceWriter starts a binary trace for the given node (rank).
+func NewTraceWriter(w io.Writer, node int) *TraceWriter {
+	tw := &TraceWriter{node: node, bw: bufio.NewWriterSize(w, 1<<16)}
+	tw.writeString(traceMagic)
+	tw.writeByte(traceVersion)
+	tw.writeUvarint(uint64(node))
+	return tw
+}
+
+func (tw *TraceWriter) writeString(s string) {
+	if tw.err != nil {
+		return
+	}
+	n, err := tw.bw.WriteString(s)
+	tw.written += int64(n)
+	tw.err = err
+}
+
+func (tw *TraceWriter) writeByte(b byte) {
+	if tw.err != nil {
+		return
+	}
+	tw.err = tw.bw.WriteByte(b)
+	tw.written++
+}
+
+func (tw *TraceWriter) writeUvarint(v uint64) {
+	if tw.err != nil {
+		return
+	}
+	n := binary.PutUvarint(tw.scratch[:], v)
+	m, err := tw.bw.Write(tw.scratch[:n])
+	tw.written += int64(m)
+	tw.err = err
+}
+
+func (tw *TraceWriter) writeFloat(v float64) {
+	if tw.err != nil {
+		return
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	n, err := tw.bw.Write(buf[:])
+	tw.written += int64(n)
+	tw.err = err
+}
+
+// EnterState records entry into an instrumented function.
+func (tw *TraceWriter) EnterState(t float64, stateID int) {
+	tw.writeByte(kindEnterState)
+	tw.writeFloat(t)
+	tw.writeUvarint(uint64(stateID))
+	tw.events++
+}
+
+// LeaveState records exit from an instrumented function.
+func (tw *TraceWriter) LeaveState(t float64, stateID int) {
+	tw.writeByte(kindLeaveState)
+	tw.writeFloat(t)
+	tw.writeUvarint(uint64(stateID))
+	tw.events++
+}
+
+// EventTrigger records a counter sample (TriggerValue semantics).
+func (tw *TraceWriter) EventTrigger(t float64, eventID int, value float64) {
+	tw.writeByte(kindEventTrigger)
+	tw.writeFloat(t)
+	tw.writeUvarint(uint64(eventID))
+	tw.writeFloat(value)
+	tw.events++
+}
+
+// SendMessage records an outgoing point-to-point message.
+func (tw *TraceWriter) SendMessage(t float64, dstNode, dstThread int, size float64, tag, comm int) {
+	tw.writeByte(kindSendMessage)
+	tw.writeFloat(t)
+	tw.writeUvarint(uint64(dstNode))
+	tw.writeUvarint(uint64(dstThread))
+	tw.writeFloat(size)
+	tw.writeUvarint(uint64(tag))
+	tw.writeUvarint(uint64(comm))
+	tw.events++
+}
+
+// RecvMessage records an incoming point-to-point message.
+func (tw *TraceWriter) RecvMessage(t float64, srcNode, srcThread int, size float64, tag, comm int) {
+	tw.writeByte(kindRecvMessage)
+	tw.writeFloat(t)
+	tw.writeUvarint(uint64(srcNode))
+	tw.writeUvarint(uint64(srcThread))
+	tw.writeFloat(size)
+	tw.writeUvarint(uint64(tag))
+	tw.writeUvarint(uint64(comm))
+	tw.events++
+}
+
+// Events reports the number of records written.
+func (tw *TraceWriter) Events() int64 { return tw.events }
+
+// BytesWritten reports the bytes emitted, including buffered ones.
+func (tw *TraceWriter) BytesWritten() int64 { return tw.written }
+
+// Flush drains the buffer and reports any deferred write error.
+func (tw *TraceWriter) Flush() error {
+	if tw.err != nil {
+		return fmt.Errorf("tau: trace write for node %d: %w", tw.node, tw.err)
+	}
+	return tw.bw.Flush()
+}

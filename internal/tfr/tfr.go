@@ -1,0 +1,184 @@
+// Package tfr is the Trace Format Reader: the callback-based API used to
+// process the binary TAU traces, modelled on the TAU TFR library the paper's
+// tau2simgrid tool builds on (Section 4.3). Callers register callbacks for
+// the event kinds appearing in a trace file — entering/exiting a function,
+// triggering a counter, sending and receiving messages — and the reader
+// invokes them in file order.
+package tfr
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"tireplay/internal/tau"
+)
+
+// Callbacks holds the handlers invoked while reading a trace. Nil entries
+// are skipped. Definition callbacks fire first (from the event file), then
+// trace records in order, then EndTrace.
+type Callbacks struct {
+	// DefineState announces an EntryExit function definition.
+	DefineState func(id int, group, name string)
+	// DefineEvent announces a TriggerValue counter definition.
+	DefineEvent func(id int, name string)
+	// EnterState fires when the process enters an instrumented function.
+	EnterState func(time float64, node, tid, stateID int)
+	// LeaveState fires when the process exits an instrumented function.
+	LeaveState func(time float64, node, tid, stateID int)
+	// EventTrigger fires on a counter sample.
+	EventTrigger func(time float64, node, tid, eventID int, value float64)
+	// SendMessage fires on an outgoing message record.
+	SendMessage func(time float64, node, tid, dstNode, dstTid int, size float64, tag, comm int)
+	// RecvMessage fires on an incoming message record.
+	RecvMessage func(time float64, node, tid, srcNode, srcTid int, size float64, tag, comm int)
+	// EndTrace fires after the last record of the trace.
+	EndTrace func(node, tid int)
+}
+
+// ReadFiles processes a rank's event file then its binary trace file.
+func ReadFiles(trcPath, edfPath string, cb Callbacks) error {
+	if edfPath != "" {
+		ef, err := os.Open(edfPath)
+		if err != nil {
+			return err
+		}
+		entries, err := tau.ParseEDF(ef)
+		ef.Close()
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			switch e.Kind {
+			case "EntryExit":
+				if cb.DefineState != nil {
+					cb.DefineState(e.ID, e.Group, e.Name)
+				}
+			case "TriggerValue":
+				if cb.DefineEvent != nil {
+					cb.DefineEvent(e.ID, e.Name)
+				}
+			}
+		}
+	}
+	tf, err := os.Open(trcPath)
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	return Read(tf, cb)
+}
+
+// Read processes a binary trace stream.
+func Read(r io.Reader, cb Callbacks) error {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head := make([]byte, 7)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return fmt.Errorf("tfr: trace header: %w", err)
+	}
+	if string(head[:6]) != "TAUTRC" {
+		return fmt.Errorf("tfr: bad trace magic %q", head[:6])
+	}
+	if head[6] != 1 {
+		return fmt.Errorf("tfr: unsupported trace version %d", head[6])
+	}
+	node64, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fmt.Errorf("tfr: trace node id: %w", err)
+	}
+	node := int(node64)
+	const tid = 0
+
+	readFloat := func() (float64, error) {
+		var buf [8]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return 0, err
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+	}
+	readUvarint := func() (int, error) {
+		v, err := binary.ReadUvarint(br)
+		return int(v), err
+	}
+
+	for {
+		kind, err := br.ReadByte()
+		if errors.Is(err, io.EOF) {
+			if cb.EndTrace != nil {
+				cb.EndTrace(node, tid)
+			}
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		t, err := readFloat()
+		if err != nil {
+			return fmt.Errorf("tfr: record time: %w", err)
+		}
+		switch kind {
+		case 1: // EnterState
+			id, err := readUvarint()
+			if err != nil {
+				return err
+			}
+			if cb.EnterState != nil {
+				cb.EnterState(t, node, tid, id)
+			}
+		case 2: // LeaveState
+			id, err := readUvarint()
+			if err != nil {
+				return err
+			}
+			if cb.LeaveState != nil {
+				cb.LeaveState(t, node, tid, id)
+			}
+		case 3: // EventTrigger
+			id, err := readUvarint()
+			if err != nil {
+				return err
+			}
+			v, err := readFloat()
+			if err != nil {
+				return err
+			}
+			if cb.EventTrigger != nil {
+				cb.EventTrigger(t, node, tid, id, v)
+			}
+		case 4, 5: // SendMessage, RecvMessage
+			peer, err := readUvarint()
+			if err != nil {
+				return err
+			}
+			peerTid, err := readUvarint()
+			if err != nil {
+				return err
+			}
+			size, err := readFloat()
+			if err != nil {
+				return err
+			}
+			tag, err := readUvarint()
+			if err != nil {
+				return err
+			}
+			comm, err := readUvarint()
+			if err != nil {
+				return err
+			}
+			if kind == 4 {
+				if cb.SendMessage != nil {
+					cb.SendMessage(t, node, tid, peer, peerTid, size, tag, comm)
+				}
+			} else if cb.RecvMessage != nil {
+				cb.RecvMessage(t, node, tid, peer, peerTid, size, tag, comm)
+			}
+		default:
+			return fmt.Errorf("tfr: unknown record kind %d", kind)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package tfr
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tireplay/internal/tau"
+)
+
+// record captures one callback invocation for comparison.
+type record struct {
+	kind  string
+	time  float64
+	id    int
+	value float64
+	peer  int
+	size  float64
+}
+
+func collectAll(t *testing.T, trc []byte) []record {
+	t.Helper()
+	var got []record
+	cb := Callbacks{
+		EnterState: func(tm float64, node, tid, id int) {
+			got = append(got, record{kind: "enter", time: tm, id: id})
+		},
+		LeaveState: func(tm float64, node, tid, id int) {
+			got = append(got, record{kind: "leave", time: tm, id: id})
+		},
+		EventTrigger: func(tm float64, node, tid, id int, v float64) {
+			got = append(got, record{kind: "trigger", time: tm, id: id, value: v})
+		},
+		SendMessage: func(tm float64, node, tid, dst, dstTid int, size float64, tag, comm int) {
+			got = append(got, record{kind: "send", time: tm, peer: dst, size: size})
+		},
+		RecvMessage: func(tm float64, node, tid, src, srcTid int, size float64, tag, comm int) {
+			got = append(got, record{kind: "recv", time: tm, peer: src, size: size})
+		},
+		EndTrace: func(node, tid int) {
+			got = append(got, record{kind: "end", id: node})
+		},
+	}
+	if err := Read(bytes.NewReader(trc), cb); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tw := tau.NewTraceWriter(&buf, 1)
+	// Reproduce the callback listing of Figure 3 in the paper.
+	tw.EnterState(1.42947e+06, tau.StateMPISend)
+	tw.EventTrigger(1.42947e+06, tau.EventPAPIFlops, 164035532)
+	tw.EventTrigger(1.4295e+06, tau.EventMsgSize, 163840)
+	tw.SendMessage(1.4295e+06, 0, 0, 163840, 1, 0)
+	tw.EventTrigger(1.4299e+06, tau.EventPAPIFlops, 164035624)
+	tw.LeaveState(1.4299e+06, tau.StateMPISend)
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := collectAll(t, buf.Bytes())
+	want := []record{
+		{kind: "enter", time: 1.42947e+06, id: tau.StateMPISend},
+		{kind: "trigger", time: 1.42947e+06, id: tau.EventPAPIFlops, value: 164035532},
+		{kind: "trigger", time: 1.4295e+06, id: tau.EventMsgSize, value: 163840},
+		{kind: "send", time: 1.4295e+06, peer: 0, size: 163840},
+		{kind: "trigger", time: 1.4299e+06, id: tau.EventPAPIFlops, value: 164035624},
+		{kind: "leave", time: 1.4299e+06, id: tau.StateMPISend},
+		{kind: "end", id: 1},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("records = %d, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadRejectsBadHeader(t *testing.T) {
+	if err := Read(strings.NewReader("GARBAGE"), Callbacks{}); err == nil {
+		t.Fatal("expected magic error")
+	}
+	if err := Read(strings.NewReader("TAUTRC\xFF\x00"), Callbacks{}); err == nil {
+		t.Fatal("expected version error")
+	}
+	if err := Read(strings.NewReader(""), Callbacks{}); err == nil {
+		t.Fatal("expected short-header error")
+	}
+}
+
+func TestReadRejectsUnknownRecordKind(t *testing.T) {
+	var buf bytes.Buffer
+	tw := tau.NewTraceWriter(&buf, 0)
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteByte(0xEE) // bogus record kind
+	buf.Write(make([]byte, 8))
+	if err := Read(bytes.NewReader(buf.Bytes()), Callbacks{}); err == nil {
+		t.Fatal("expected unknown-kind error")
+	}
+}
+
+func TestNilCallbacksAreSafe(t *testing.T) {
+	var buf bytes.Buffer
+	tw := tau.NewTraceWriter(&buf, 0)
+	tw.EnterState(0, tau.StateMPIBarrier)
+	tw.EventTrigger(0, tau.EventPAPIFlops, 1)
+	tw.SendMessage(0, 1, 0, 8, 1, 0)
+	tw.RecvMessage(0, 1, 0, 8, 1, 0)
+	tw.LeaveState(0, tau.StateMPIBarrier)
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Read(bytes.NewReader(buf.Bytes()), Callbacks{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadFilesWithEDF(t *testing.T) {
+	dir := t.TempDir()
+	trcPath := filepath.Join(dir, tau.TraceFileName(0))
+	edfPath := filepath.Join(dir, tau.EventFileName(0))
+
+	tf, err := os.Create(trcPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw := tau.NewTraceWriter(tf, 0)
+	tw.EnterState(0, tau.StateMPIBarrier)
+	tw.LeaveState(1, tau.StateMPIBarrier)
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	tf.Close()
+
+	ef, err := os.Create(edfPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tau.WriteEDF(ef, tau.StandardEDF()); err != nil {
+		t.Fatal(err)
+	}
+	ef.Close()
+
+	var states, events, enters int
+	cb := Callbacks{
+		DefineState: func(id int, group, name string) { states++ },
+		DefineEvent: func(id int, name string) { events++ },
+		EnterState:  func(tm float64, node, tid, id int) { enters++ },
+	}
+	if err := ReadFiles(trcPath, edfPath, cb); err != nil {
+		t.Fatal(err)
+	}
+	if states != len(tau.AllStates()) || events != len(tau.AllEvents()) {
+		t.Fatalf("definitions: %d states, %d events", states, events)
+	}
+	if enters != 1 {
+		t.Fatalf("enters = %d", enters)
+	}
+}

@@ -1,0 +1,294 @@
+// Package trace implements the time-independent trace format at the heart
+// of the paper (Section 3): the execution of an MPI application is logged as
+// a list of actions per process, where each action records the *volume* of
+// the operation — a number of floating-point operations for CPU bursts, a
+// number of bytes for communications — instead of a time-stamp. Volumes do
+// not depend on the host platform, which decouples trace acquisition from
+// trace replay.
+//
+// The package provides the action model of Table 1, the textual codec used
+// throughout the paper (Figure 1), a compact binary codec (the future-work
+// item of Section 7), gzip containers, per-process file handling and trace
+// statistics.
+package trace
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ActionType enumerates the time-independent counterparts of the MPI
+// operations supported by the prototype (Table 1 of the paper).
+type ActionType uint8
+
+const (
+	// Compute is a CPU burst: "<id> compute <volume>" with volume in flops.
+	Compute ActionType = iota
+	// Send is a blocking send: "<id> send <dst_id> <volume>".
+	Send
+	// Isend is an asynchronous send: "<id> Isend <dst_id> <volume>".
+	Isend
+	// Recv is a blocking receive: "<id> recv <src_id> [<volume>]".
+	Recv
+	// Irecv is an asynchronous receive: "<id> Irecv <src_id> [<volume>]".
+	Irecv
+	// Bcast is a broadcast rooted at process 0: "<id> bcast <volume>".
+	Bcast
+	// Reduce is a reduction to process 0: "<id> reduce <vcomm> <vcomp>".
+	Reduce
+	// AllReduce is "<id> allReduce <vcomm> <vcomp>".
+	AllReduce
+	// Barrier is "<id> barrier".
+	Barrier
+	// CommSize declares the communicator size before any collective:
+	// "<id> comm_size <nproc>".
+	CommSize
+	// Wait completes the oldest pending asynchronous request: "<id> wait".
+	Wait
+
+	numActionTypes = iota
+)
+
+// names maps ActionType to its keyword in the textual format. Capitalisation
+// follows Table 1 of the paper ("Isend", "allReduce").
+var names = [numActionTypes]string{
+	Compute:   "compute",
+	Send:      "send",
+	Isend:     "Isend",
+	Recv:      "recv",
+	Irecv:     "Irecv",
+	Bcast:     "bcast",
+	Reduce:    "reduce",
+	AllReduce: "allReduce",
+	Barrier:   "barrier",
+	CommSize:  "comm_size",
+	Wait:      "wait",
+}
+
+// typesByName is the inverse of names. Lookup is case-sensitive first and
+// falls back to a lower-cased comparison, accepting "isend" or "allreduce".
+var typesByName = func() map[string]ActionType {
+	m := make(map[string]ActionType, 2*numActionTypes)
+	for t, n := range names {
+		m[n] = ActionType(t)
+		m[strings.ToLower(n)] = ActionType(t)
+	}
+	return m
+}()
+
+// String returns the keyword of the action type.
+func (t ActionType) String() string {
+	if int(t) < len(names) {
+		return names[t]
+	}
+	return fmt.Sprintf("ActionType(%d)", uint8(t))
+}
+
+// TypeFromName resolves a keyword to its ActionType.
+func TypeFromName(s string) (ActionType, bool) {
+	t, ok := typesByName[s]
+	if !ok {
+		t, ok = typesByName[strings.ToLower(s)]
+	}
+	return t, ok
+}
+
+// Action is one entry of a time-independent trace.
+type Action struct {
+	// Proc is the rank of the process performing the action.
+	Proc int
+	// Type is the kind of operation.
+	Type ActionType
+	// Peer is the destination rank for sends and the source rank for
+	// receives; -1 for all other actions.
+	Peer int
+	// Volume is the action's main volume: flops for Compute, bytes for the
+	// point-to-point and Bcast actions, the communication volume for Reduce
+	// and AllReduce, and the communicator size for CommSize.
+	Volume float64
+	// Volume2 is the computation volume of Reduce and AllReduce (vcomp).
+	Volume2 float64
+	// HasVolume records whether a receive carried an explicit volume; the
+	// paper's example (Figure 1) omits it since the matching send fixes the
+	// message size.
+	HasVolume bool
+}
+
+// Validate checks structural invariants of the action.
+func (a Action) Validate() error {
+	if a.Proc < 0 {
+		return fmt.Errorf("trace: negative process rank %d", a.Proc)
+	}
+	switch a.Type {
+	case Compute:
+		if a.Volume < 0 {
+			return fmt.Errorf("trace: negative compute volume %g", a.Volume)
+		}
+	case Send, Isend:
+		if a.Peer < 0 {
+			return fmt.Errorf("trace: %s without destination", a.Type)
+		}
+		if a.Volume < 0 {
+			return fmt.Errorf("trace: negative message size %g", a.Volume)
+		}
+	case Recv, Irecv:
+		if a.Peer < 0 {
+			return fmt.Errorf("trace: %s without source", a.Type)
+		}
+	case Bcast:
+		if a.Volume < 0 {
+			return fmt.Errorf("trace: negative bcast size %g", a.Volume)
+		}
+	case Reduce, AllReduce:
+		if a.Volume < 0 || a.Volume2 < 0 {
+			return fmt.Errorf("trace: negative %s volumes (%g, %g)", a.Type, a.Volume, a.Volume2)
+		}
+	case CommSize:
+		if a.Volume < 1 {
+			return fmt.Errorf("trace: comm_size %g < 1", a.Volume)
+		}
+	case Barrier, Wait:
+		// No payload.
+	default:
+		return fmt.Errorf("trace: unknown action type %d", a.Type)
+	}
+	return nil
+}
+
+// Format renders the action as one line of the textual time-independent
+// format, e.g. "p1 send p0 163840".
+func (a Action) Format() string {
+	var b strings.Builder
+	b.Grow(32)
+	b.WriteByte('p')
+	b.WriteString(strconv.Itoa(a.Proc))
+	b.WriteByte(' ')
+	b.WriteString(names[a.Type])
+	switch a.Type {
+	case Compute, Bcast:
+		b.WriteByte(' ')
+		b.WriteString(formatVolume(a.Volume))
+	case Send, Isend:
+		b.WriteString(" p")
+		b.WriteString(strconv.Itoa(a.Peer))
+		b.WriteByte(' ')
+		b.WriteString(formatVolume(a.Volume))
+	case Recv, Irecv:
+		b.WriteString(" p")
+		b.WriteString(strconv.Itoa(a.Peer))
+		if a.HasVolume {
+			b.WriteByte(' ')
+			b.WriteString(formatVolume(a.Volume))
+		}
+	case Reduce, AllReduce:
+		b.WriteByte(' ')
+		b.WriteString(formatVolume(a.Volume))
+		b.WriteByte(' ')
+		b.WriteString(formatVolume(a.Volume2))
+	case CommSize:
+		b.WriteByte(' ')
+		b.WriteString(strconv.Itoa(int(a.Volume)))
+	case Barrier, Wait:
+	}
+	return b.String()
+}
+
+// formatVolume renders volumes compactly ("1e+06" style for large values).
+func formatVolume(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// parseProcID accepts "p3" or "3" and returns the rank.
+func parseProcID(s string) (int, error) {
+	t := strings.TrimPrefix(s, "p")
+	v, err := strconv.Atoi(t)
+	if err != nil || v < 0 {
+		return -1, fmt.Errorf("trace: bad process id %q", s)
+	}
+	return v, nil
+}
+
+// ParseLine parses one line of the textual format. Empty lines and lines
+// starting with '#' yield ok=false with a nil error.
+func ParseLine(line string) (a Action, ok bool, err error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+		return Action{}, false, nil
+	}
+	if len(fields) < 2 {
+		return Action{}, false, fmt.Errorf("trace: truncated entry %q", line)
+	}
+	proc, err := parseProcID(fields[0])
+	if err != nil {
+		return Action{}, false, err
+	}
+	typ, known := TypeFromName(fields[1])
+	if !known {
+		return Action{}, false, fmt.Errorf("trace: unknown action %q", fields[1])
+	}
+	a = Action{Proc: proc, Type: typ, Peer: -1}
+	args := fields[2:]
+	need := func(n int) error {
+		if len(args) < n {
+			return fmt.Errorf("trace: %s entry %q needs %d argument(s)", typ, line, n)
+		}
+		return nil
+	}
+	switch typ {
+	case Compute, Bcast:
+		if err := need(1); err != nil {
+			return Action{}, false, err
+		}
+		if a.Volume, err = strconv.ParseFloat(args[0], 64); err != nil {
+			return Action{}, false, fmt.Errorf("trace: bad volume in %q: %w", line, err)
+		}
+	case Send, Isend:
+		if err := need(2); err != nil {
+			return Action{}, false, err
+		}
+		if a.Peer, err = parseProcID(args[0]); err != nil {
+			return Action{}, false, err
+		}
+		if a.Volume, err = strconv.ParseFloat(args[1], 64); err != nil {
+			return Action{}, false, fmt.Errorf("trace: bad volume in %q: %w", line, err)
+		}
+	case Recv, Irecv:
+		if err := need(1); err != nil {
+			return Action{}, false, err
+		}
+		if a.Peer, err = parseProcID(args[0]); err != nil {
+			return Action{}, false, err
+		}
+		if len(args) >= 2 {
+			if a.Volume, err = strconv.ParseFloat(args[1], 64); err != nil {
+				return Action{}, false, fmt.Errorf("trace: bad volume in %q: %w", line, err)
+			}
+			a.HasVolume = true
+		}
+	case Reduce, AllReduce:
+		if err := need(2); err != nil {
+			return Action{}, false, err
+		}
+		if a.Volume, err = strconv.ParseFloat(args[0], 64); err != nil {
+			return Action{}, false, fmt.Errorf("trace: bad vcomm in %q: %w", line, err)
+		}
+		if a.Volume2, err = strconv.ParseFloat(args[1], 64); err != nil {
+			return Action{}, false, fmt.Errorf("trace: bad vcomp in %q: %w", line, err)
+		}
+	case CommSize:
+		if err := need(1); err != nil {
+			return Action{}, false, err
+		}
+		n, err := strconv.Atoi(args[0])
+		if err != nil || n < 1 {
+			return Action{}, false, fmt.Errorf("trace: bad comm_size in %q", line)
+		}
+		a.Volume = float64(n)
+	case Barrier, Wait:
+	}
+	if err := a.Validate(); err != nil {
+		return Action{}, false, err
+	}
+	return a, true, nil
+}

@@ -1,0 +1,239 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// The binary codec is the future-work item of Section 7 ("we also aim at
+// exploring techniques to reduce the size of the traces, e.g., using a
+// binary format"). Records are self-describing and delta-friendly:
+//
+//	magic "TITB" | version byte | records...
+//
+// Each record starts with the action type byte, followed by the process
+// rank as an unsigned varint, the peer (when the type has one) as an
+// unsigned varint, and each volume as an 8-byte little-endian float64. A
+// receive with no explicit volume sets the high bit of the type byte.
+const (
+	binaryMagic   = "TITB"
+	binaryVersion = 1
+
+	flagNoVolume = 0x80
+)
+
+// sniffBinary peeks at the reader to detect the binary magic.
+func sniffBinary(br *bufio.Reader) (bool, error) {
+	head, err := br.Peek(len(binaryMagic))
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return false, nil // short file: treat as (possibly empty) text
+		}
+		return false, err
+	}
+	return string(head) == binaryMagic, nil
+}
+
+// BinaryWriter streams actions in the binary format.
+type BinaryWriter struct {
+	bw      *bufio.Writer
+	scratch [binary.MaxVarintLen64]byte
+	written int64
+	count   int64
+	started bool
+}
+
+// NewBinaryWriter wraps w; the header is emitted lazily on first write so an
+// unused writer produces no bytes.
+func NewBinaryWriter(w io.Writer) *BinaryWriter {
+	return &BinaryWriter{bw: bufio.NewWriterSize(w, 1<<16)}
+}
+
+func (bw *BinaryWriter) ensureHeader() error {
+	if bw.started {
+		return nil
+	}
+	bw.started = true
+	if _, err := bw.bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	if err := bw.bw.WriteByte(binaryVersion); err != nil {
+		return err
+	}
+	bw.written += int64(len(binaryMagic)) + 1
+	return nil
+}
+
+func (bw *BinaryWriter) putUvarint(v uint64) error {
+	n := binary.PutUvarint(bw.scratch[:], v)
+	_, err := bw.bw.Write(bw.scratch[:n])
+	bw.written += int64(n)
+	return err
+}
+
+func (bw *BinaryWriter) putFloat(v float64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	_, err := bw.bw.Write(buf[:])
+	bw.written += 8
+	return err
+}
+
+// Write appends one action record.
+func (bw *BinaryWriter) Write(a Action) error {
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	if err := bw.ensureHeader(); err != nil {
+		return err
+	}
+	tb := byte(a.Type)
+	if (a.Type == Recv || a.Type == Irecv) && !a.HasVolume {
+		tb |= flagNoVolume
+	}
+	if err := bw.bw.WriteByte(tb); err != nil {
+		return err
+	}
+	bw.written++
+	if err := bw.putUvarint(uint64(a.Proc)); err != nil {
+		return err
+	}
+	switch a.Type {
+	case Compute, Bcast, CommSize:
+		if err := bw.putFloat(a.Volume); err != nil {
+			return err
+		}
+	case Send, Isend:
+		if err := bw.putUvarint(uint64(a.Peer)); err != nil {
+			return err
+		}
+		if err := bw.putFloat(a.Volume); err != nil {
+			return err
+		}
+	case Recv, Irecv:
+		if err := bw.putUvarint(uint64(a.Peer)); err != nil {
+			return err
+		}
+		if a.HasVolume {
+			if err := bw.putFloat(a.Volume); err != nil {
+				return err
+			}
+		}
+	case Reduce, AllReduce:
+		if err := bw.putFloat(a.Volume); err != nil {
+			return err
+		}
+		if err := bw.putFloat(a.Volume2); err != nil {
+			return err
+		}
+	case Barrier, Wait:
+	}
+	bw.count++
+	return nil
+}
+
+// Flush drains the internal buffer.
+func (bw *BinaryWriter) Flush() error {
+	if err := bw.ensureHeader(); err != nil {
+		return err
+	}
+	return bw.bw.Flush()
+}
+
+// BytesWritten reports the bytes emitted so far (including the header).
+func (bw *BinaryWriter) BytesWritten() int64 { return bw.written }
+
+// Count reports the number of actions written.
+func (bw *BinaryWriter) Count() int64 { return bw.count }
+
+// EncodeBinary renders a full action list in the binary format.
+func EncodeBinary(w io.Writer, actions []Action) error {
+	bw := NewBinaryWriter(w)
+	for _, a := range actions {
+		if err := bw.Write(a); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeBinary reads every action from a binary-format stream.
+func DecodeBinary(r io.Reader) ([]Action, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(r, 1<<16)
+	}
+	head := make([]byte, len(binaryMagic)+1)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: binary header: %w", err)
+	}
+	if string(head[:len(binaryMagic)]) != binaryMagic {
+		return nil, fmt.Errorf("trace: bad binary magic %q", head[:len(binaryMagic)])
+	}
+	if head[len(binaryMagic)] != binaryVersion {
+		return nil, fmt.Errorf("trace: unsupported binary version %d", head[len(binaryMagic)])
+	}
+	var out []Action
+	for {
+		tb, err := br.ReadByte()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		noVol := tb&flagNoVolume != 0
+		typ := ActionType(tb &^ flagNoVolume)
+		if int(typ) >= numActionTypes {
+			return nil, fmt.Errorf("trace: bad binary action type %d", typ)
+		}
+		proc, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: binary rank: %w", err)
+		}
+		a := Action{Proc: int(proc), Type: typ, Peer: -1}
+		readFloat := func() (float64, error) {
+			var buf [8]byte
+			if _, err := io.ReadFull(br, buf[:]); err != nil {
+				return 0, err
+			}
+			return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+		}
+		switch typ {
+		case Compute, Bcast, CommSize:
+			if a.Volume, err = readFloat(); err != nil {
+				return nil, err
+			}
+		case Send, Isend, Recv, Irecv:
+			peer, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			a.Peer = int(peer)
+			if typ == Send || typ == Isend || !noVol {
+				if a.Volume, err = readFloat(); err != nil {
+					return nil, err
+				}
+				if typ == Recv || typ == Irecv {
+					a.HasVolume = true
+				}
+			}
+		case Reduce, AllReduce:
+			if a.Volume, err = readFloat(); err != nil {
+				return nil, err
+			}
+			if a.Volume2, err = readFloat(); err != nil {
+				return nil, err
+			}
+		case Barrier, Wait:
+		}
+		if err := a.Validate(); err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+}

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property: ParseLine never panics and never both fails and succeeds,
+// whatever bytes it is fed.
+func TestParseLineRobustnessProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		line := string(raw)
+		defer func() {
+			if recover() != nil {
+				t.Errorf("ParseLine(%q) panicked", line)
+			}
+		}()
+		a, ok, err := ParseLine(line)
+		if err != nil && ok {
+			return false
+		}
+		if ok {
+			// Anything accepted must be valid and re-parseable.
+			if a.Validate() != nil {
+				return false
+			}
+			b, ok2, err2 := ParseLine(a.Format())
+			return ok2 && err2 == nil && a == b
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: garbage with plausible prefixes is handled.
+func TestParseLineHostileInputs(t *testing.T) {
+	hostile := []string{
+		"p0",
+		"p0 ",
+		"p999999999999999999999 compute 1",
+		"p0 compute 1e999",
+		"p0 compute -1",
+		"p0 send p0",
+		"p0 send p1 NaN",
+		"p0 send p1 Inf",
+		"p0 recv",
+		"p-0 barrier",
+		"p0 comm_size 1.5",
+		"p0 allReduce 1",
+		strings.Repeat("p0 ", 1000),
+		"\x00\x01\x02",
+		"p0 compute 1 extra trailing fields are ignored",
+	}
+	for _, line := range hostile {
+		func() {
+			defer func() {
+				if recover() != nil {
+					t.Errorf("ParseLine(%q) panicked", line)
+				}
+			}()
+			a, ok, err := ParseLine(line)
+			if ok && err == nil {
+				if verr := a.Validate(); verr != nil {
+					t.Errorf("ParseLine(%q) accepted invalid action: %v", line, verr)
+				}
+			}
+		}()
+	}
+}
+
+// Property: DecodeBinary never panics on corrupted streams.
+func TestDecodeBinaryRobustnessProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	// Start from a valid stream and corrupt random bytes.
+	actions := make([]Action, 100)
+	for i := range actions {
+		actions[i] = randomAction(rng)
+	}
+	var valid bytes.Buffer
+	if err := EncodeBinary(&valid, actions); err != nil {
+		t.Fatal(err)
+	}
+	base := valid.Bytes()
+	for trial := 0; trial < 200; trial++ {
+		corrupted := append([]byte(nil), base...)
+		for k := 0; k < 1+rng.Intn(8); k++ {
+			corrupted[rng.Intn(len(corrupted))] ^= byte(1 + rng.Intn(255))
+		}
+		func() {
+			defer func() {
+				if recover() != nil {
+					t.Fatalf("DecodeBinary panicked on corrupted input (trial %d)", trial)
+				}
+			}()
+			_, _ = DecodeBinary(bytes.NewReader(corrupted))
+		}()
+	}
+	// Truncations as well.
+	for cut := 0; cut < len(base); cut += 7 {
+		func() {
+			defer func() {
+				if recover() != nil {
+					t.Fatalf("DecodeBinary panicked on truncation at %d", cut)
+				}
+			}()
+			_, _ = DecodeBinary(bytes.NewReader(base[:cut]))
+		}()
+	}
+}

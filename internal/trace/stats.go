@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stats aggregates what Table 3 of the paper reports about a trace: the
+// number of actions (in total and by type), the textual size, and the
+// volumes it carries.
+type Stats struct {
+	Actions   int64
+	ByType    [numActionTypes]int64
+	TextBytes int64 // size of the trace in the textual encoding
+	Flops     float64
+	CommBytes float64
+	MaxProc   int
+}
+
+// Observe folds one action into the statistics.
+func (s *Stats) Observe(a Action) {
+	s.Actions++
+	s.ByType[a.Type]++
+	s.TextBytes += int64(len(a.Format())) + 1 // newline
+	switch a.Type {
+	case Compute:
+		s.Flops += a.Volume
+	case Send, Isend:
+		s.CommBytes += a.Volume
+	case Bcast, Reduce, AllReduce:
+		s.CommBytes += a.Volume
+		s.Flops += a.Volume2
+	}
+	if a.Proc > s.MaxProc {
+		s.MaxProc = a.Proc
+	}
+}
+
+// Collect computes statistics over an action list.
+func Collect(actions []Action) Stats {
+	var s Stats
+	for _, a := range actions {
+		s.Observe(a)
+	}
+	return s
+}
+
+// Count returns the number of actions of the given type.
+func (s *Stats) Count(t ActionType) int64 {
+	if int(t) >= len(s.ByType) {
+		return 0
+	}
+	return s.ByType[t]
+}
+
+// Processes returns the number of distinct ranks, assuming contiguous
+// numbering from zero.
+func (s *Stats) Processes() int {
+	if s.Actions == 0 {
+		return 0
+	}
+	return s.MaxProc + 1
+}
+
+// String renders a short human-readable summary.
+func (s *Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d actions over %d processes (%.1f MiB text)",
+		s.Actions, s.Processes(), float64(s.TextBytes)/(1<<20))
+	var parts []string
+	for t := ActionType(0); int(t) < numActionTypes; t++ {
+		if n := s.ByType[t]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", t, n))
+		}
+	}
+	if len(parts) > 0 {
+		b.WriteString(": ")
+		b.WriteString(strings.Join(parts, " "))
+	}
+	return b.String()
+}

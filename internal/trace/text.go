@@ -1,0 +1,219 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Writer streams actions to an output in the textual format.
+type Writer struct {
+	bw      *bufio.Writer
+	written int64
+	count   int64
+}
+
+// NewWriter wraps w in a buffered trace writer.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Write appends one action.
+func (tw *Writer) Write(a Action) error {
+	line := a.Format()
+	n, err := tw.bw.WriteString(line)
+	if err != nil {
+		return err
+	}
+	if err := tw.bw.WriteByte('\n'); err != nil {
+		return err
+	}
+	tw.written += int64(n) + 1
+	tw.count++
+	return nil
+}
+
+// Flush drains the internal buffer.
+func (tw *Writer) Flush() error { return tw.bw.Flush() }
+
+// BytesWritten reports the number of bytes emitted so far (pre-compression).
+func (tw *Writer) BytesWritten() int64 { return tw.written }
+
+// Count reports the number of actions written.
+func (tw *Writer) Count() int64 { return tw.count }
+
+// WriteAll renders a full action list to w.
+func WriteAll(w io.Writer, actions []Action) error {
+	tw := NewWriter(w)
+	for _, a := range actions {
+		if err := tw.Write(a); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}
+
+// Scanner streams actions from a textual trace.
+type Scanner struct {
+	sc   *bufio.Scanner
+	line int
+	cur  Action
+	err  error
+}
+
+// NewScanner wraps r in a trace scanner.
+func NewScanner(r io.Reader) *Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	return &Scanner{sc: sc}
+}
+
+// Scan advances to the next action, skipping blanks and comments. It returns
+// false at end of input or on error; check Err.
+func (s *Scanner) Scan() bool {
+	if s.err != nil {
+		return false
+	}
+	for s.sc.Scan() {
+		s.line++
+		a, ok, err := ParseLine(s.sc.Text())
+		if err != nil {
+			s.err = fmt.Errorf("line %d: %w", s.line, err)
+			return false
+		}
+		if ok {
+			s.cur = a
+			return true
+		}
+	}
+	s.err = s.sc.Err()
+	return false
+}
+
+// Action returns the action read by the last successful Scan.
+func (s *Scanner) Action() Action { return s.cur }
+
+// Err returns the first error encountered.
+func (s *Scanner) Err() error { return s.err }
+
+// ParseAll reads every action from r.
+func ParseAll(r io.Reader) ([]Action, error) {
+	var out []Action
+	s := NewScanner(r)
+	for s.Scan() {
+		out = append(out, s.Action())
+	}
+	return out, s.Err()
+}
+
+// ProcessFileName returns the conventional per-process trace file name used
+// throughout the paper: "SG_process<rank>.trace".
+func ProcessFileName(rank int) string {
+	return fmt.Sprintf("SG_process%d.trace", rank)
+}
+
+// WriteSplit writes one trace file per process under dir, named with
+// ProcessFileName, and returns the file paths indexed by rank. Ranks with no
+// actions still get an (empty) file so deployments stay aligned.
+func WriteSplit(dir string, nprocs int, actions []Action) ([]string, error) {
+	writers := make([]*Writer, nprocs)
+	files := make([]*os.File, nprocs)
+	paths := make([]string, nprocs)
+	for r := 0; r < nprocs; r++ {
+		p := filepath.Join(dir, ProcessFileName(r))
+		f, err := os.Create(p)
+		if err != nil {
+			return nil, err
+		}
+		files[r] = f
+		writers[r] = NewWriter(f)
+		paths[r] = p
+	}
+	cleanup := func() {
+		for _, f := range files {
+			if f != nil {
+				f.Close()
+			}
+		}
+	}
+	for _, a := range actions {
+		if a.Proc < 0 || a.Proc >= nprocs {
+			cleanup()
+			return nil, fmt.Errorf("trace: action for rank %d outside 0..%d", a.Proc, nprocs-1)
+		}
+		if err := writers[a.Proc].Write(a); err != nil {
+			cleanup()
+			return nil, err
+		}
+	}
+	for r := 0; r < nprocs; r++ {
+		if err := writers[r].Flush(); err != nil {
+			cleanup()
+			return nil, err
+		}
+		if err := files[r].Close(); err != nil {
+			return nil, err
+		}
+		files[r] = nil
+	}
+	return paths, nil
+}
+
+// ReadFile loads every action of a trace file; transparently decompresses
+// ".gz" files and decodes the binary format based on its magic header.
+func ReadFile(path string) ([]Action, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("trace: %s: %w", path, err)
+		}
+		defer gz.Close()
+		r = gz
+	}
+	br := bufio.NewReaderSize(r, 1<<16)
+	if isBinary, err := sniffBinary(br); err != nil {
+		return nil, fmt.Errorf("trace: %s: %w", path, err)
+	} else if isBinary {
+		return DecodeBinary(br)
+	}
+	actions, err := ParseAll(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %s: %w", path, err)
+	}
+	return actions, nil
+}
+
+// WriteFile writes actions to path in the textual format; a ".gz" suffix
+// enables gzip compression (the containment measurement of Section 6.5).
+func WriteFile(path string, actions []Action) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var w io.Writer = f
+	var gz *gzip.Writer
+	if strings.HasSuffix(path, ".gz") {
+		gz = gzip.NewWriter(f)
+		w = gz
+	}
+	if err := WriteAll(w, actions); err != nil {
+		return err
+	}
+	if gz != nil {
+		if err := gz.Close(); err != nil {
+			return err
+		}
+	}
+	return f.Close()
+}

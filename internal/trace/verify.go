@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VerifyError describes an inconsistency found in a set of per-process
+// traces.
+type VerifyError struct {
+	Proc    int
+	Index   int // action index within the process trace, -1 for global
+	Problem string
+}
+
+func (e VerifyError) Error() string {
+	if e.Index >= 0 {
+		return fmt.Sprintf("trace: p%d action %d: %s", e.Proc, e.Index, e.Problem)
+	}
+	return fmt.Sprintf("trace: p%d: %s", e.Proc, e.Problem)
+}
+
+// Verify checks the cross-process consistency of a trace before replay:
+//
+//   - every action is structurally valid and owned by its process;
+//   - peers are within the world;
+//   - per ordered pair, the number of messages sent equals the number of
+//     receives posted (a mismatch guarantees a stalled replay);
+//   - each process posts at least as many waits as asynchronous receives,
+//     and never waits with no request pending;
+//   - every process declares the same comm_size, equal to the world size;
+//   - all processes perform the same sequence of collective operations
+//     (MPI would deadlock or crash otherwise).
+//
+// It returns every problem found (possibly empty).
+func Verify(perRank [][]Action) []VerifyError {
+	n := len(perRank)
+	var errs []VerifyError
+	report := func(proc, idx int, format string, args ...any) {
+		errs = append(errs, VerifyError{Proc: proc, Index: idx, Problem: fmt.Sprintf(format, args...)})
+	}
+
+	sends := make(map[[2]int]int) // (src,dst) -> messages sent
+	recvs := make(map[[2]int]int) // (src,dst) -> receives posted
+	collectives := make([][]string, n)
+
+	for rank, actions := range perRank {
+		pendingIrecv := 0
+		for idx, a := range actions {
+			if err := a.Validate(); err != nil {
+				report(rank, idx, "invalid action: %v", err)
+				continue
+			}
+			if a.Proc != rank {
+				report(rank, idx, "action belongs to p%d", a.Proc)
+				continue
+			}
+			switch a.Type {
+			case Send, Isend:
+				if a.Peer >= n {
+					report(rank, idx, "destination p%d outside world of %d", a.Peer, n)
+					continue
+				}
+				if a.Peer == rank {
+					report(rank, idx, "self message")
+					continue
+				}
+				sends[[2]int{rank, a.Peer}]++
+			case Recv, Irecv:
+				if a.Peer >= n {
+					report(rank, idx, "source p%d outside world of %d", a.Peer, n)
+					continue
+				}
+				recvs[[2]int{a.Peer, rank}]++
+				if a.Type == Irecv {
+					pendingIrecv++
+				}
+			case Wait:
+				if pendingIrecv == 0 {
+					report(rank, idx, "wait with no pending Irecv")
+					continue
+				}
+				pendingIrecv--
+			case CommSize:
+				if int(a.Volume) != n {
+					report(rank, idx, "comm_size %d but world has %d processes", int(a.Volume), n)
+				}
+			case Bcast, Reduce, AllReduce, Barrier:
+				collectives[rank] = append(collectives[rank],
+					fmt.Sprintf("%s/%g/%g", a.Type, a.Volume, a.Volume2))
+			}
+		}
+		if pendingIrecv > 0 {
+			report(rank, -1, "%d Irecv(s) never completed by a wait", pendingIrecv)
+		}
+	}
+
+	// Point-to-point matching per ordered pair.
+	pairs := make(map[[2]int]struct{})
+	for p := range sends {
+		pairs[p] = struct{}{}
+	}
+	for p := range recvs {
+		pairs[p] = struct{}{}
+	}
+	sorted := make([][2]int, 0, len(pairs))
+	for p := range pairs {
+		sorted = append(sorted, p)
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i][0] != sorted[j][0] {
+			return sorted[i][0] < sorted[j][0]
+		}
+		return sorted[i][1] < sorted[j][1]
+	})
+	for _, p := range sorted {
+		if sends[p] != recvs[p] {
+			errs = append(errs, VerifyError{Proc: p[0], Index: -1, Problem: fmt.Sprintf(
+				"p%d sends %d message(s) to p%d but p%d posts %d receive(s)",
+				p[0], sends[p], p[1], p[1], recvs[p])})
+		}
+	}
+
+	// Collective sequences must agree across processes.
+	for rank := 1; rank < n; rank++ {
+		if len(collectives[rank]) != len(collectives[0]) {
+			errs = append(errs, VerifyError{Proc: rank, Index: -1, Problem: fmt.Sprintf(
+				"%d collective(s) but p0 has %d", len(collectives[rank]), len(collectives[0]))})
+			continue
+		}
+		for i := range collectives[rank] {
+			if collectives[rank][i] != collectives[0][i] {
+				errs = append(errs, VerifyError{Proc: rank, Index: -1, Problem: fmt.Sprintf(
+					"collective %d is %s but p0 has %s", i, collectives[rank][i], collectives[0][i])})
+				break
+			}
+		}
+	}
+	return errs
+}

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func verifyDoc(t *testing.T, doc string, n int) []VerifyError {
+	t.Helper()
+	actions, err := ParseAll(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perRank := make([][]Action, n)
+	for _, a := range actions {
+		perRank[a.Proc] = append(perRank[a.Proc], a)
+	}
+	return Verify(perRank)
+}
+
+func TestVerifyCleanTrace(t *testing.T) {
+	const doc = `p0 comm_size 2
+p0 compute 10
+p0 send p1 100
+p0 Irecv p1
+p0 wait
+p0 barrier
+p1 comm_size 2
+p1 recv p0
+p1 Isend p0 50
+p1 barrier
+`
+	if errs := verifyDoc(t, doc, 2); len(errs) != 0 {
+		t.Fatalf("clean trace flagged: %v", errs)
+	}
+}
+
+func TestVerifyUnmatchedSend(t *testing.T) {
+	const doc = `p0 send p1 100
+p1 barrier
+p0 barrier
+`
+	errs := verifyDoc(t, doc, 2)
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "posts 0 receive") {
+		t.Fatalf("errs = %v", errs)
+	}
+}
+
+func TestVerifyDanglingIrecv(t *testing.T) {
+	const doc = `p0 Irecv p1
+p1 send p0 10
+`
+	errs := verifyDoc(t, doc, 2)
+	found := false
+	for _, e := range errs {
+		if strings.Contains(e.Error(), "never completed") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("dangling Irecv not reported: %v", errs)
+	}
+}
+
+func TestVerifyWaitWithoutIrecv(t *testing.T) {
+	const doc = "p0 wait\n"
+	errs := verifyDoc(t, doc, 1)
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "no pending Irecv") {
+		t.Fatalf("errs = %v", errs)
+	}
+}
+
+func TestVerifyCommSizeMismatch(t *testing.T) {
+	const doc = "p0 comm_size 8\n"
+	errs := verifyDoc(t, doc, 1)
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "world has 1") {
+		t.Fatalf("errs = %v", errs)
+	}
+}
+
+func TestVerifyCollectiveDivergence(t *testing.T) {
+	const doc = `p0 bcast 100
+p1 bcast 200
+`
+	errs := verifyDoc(t, doc, 2)
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "collective 0") {
+		t.Fatalf("errs = %v", errs)
+	}
+
+	const missing = `p0 bcast 100
+p0 barrier
+p1 bcast 100
+`
+	errs = verifyDoc(t, missing, 2)
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "1 collective(s) but p0 has 2") {
+		t.Fatalf("errs = %v", errs)
+	}
+}
+
+func TestVerifyPeerOutOfRange(t *testing.T) {
+	const doc = "p0 send p9 10\n"
+	errs := verifyDoc(t, doc, 1)
+	if len(errs) == 0 || !strings.Contains(errs[0].Error(), "outside world") {
+		t.Fatalf("errs = %v", errs)
+	}
+}
+
+func TestVerifySelfMessage(t *testing.T) {
+	perRank := [][]Action{{{Proc: 0, Type: Send, Peer: 0, Volume: 1}}}
+	errs := Verify(perRank)
+	if len(errs) == 0 || !strings.Contains(errs[0].Error(), "self message") {
+		t.Fatalf("errs = %v", errs)
+	}
+}
+
+func TestVerifyForeignAction(t *testing.T) {
+	perRank := [][]Action{{{Proc: 1, Type: Barrier, Peer: -1}}, nil}
+	errs := Verify(perRank)
+	if len(errs) == 0 || !strings.Contains(errs[0].Error(), "belongs to p1") {
+		t.Fatalf("errs = %v", errs)
+	}
+}

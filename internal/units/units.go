@@ -1,0 +1,148 @@
+// Package units provides parsing and formatting of the physical quantities
+// used throughout the trace-replay framework: computation volumes in floating
+// point operations (flops), communication volumes in bytes, rates in flop/s
+// and byte/s, and simulated durations in seconds.
+//
+// The accepted syntax follows the conventions of SimGrid platform files
+// ("1.17E9", "1.25E8") extended with the usual binary and decimal suffixes
+// ("32.5GiB", "1GB", "2.6GHz" for flop rates expressed per cycle-equivalent).
+package units
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Binary (IEC) and decimal (SI) multipliers used by the suffix parser.
+const (
+	KiB = 1 << 10
+	MiB = 1 << 20
+	GiB = 1 << 30
+	TiB = 1 << 40
+
+	KB = 1e3
+	MB = 1e6
+	GB = 1e9
+	TB = 1e12
+)
+
+// suffixes maps a unit suffix to its multiplier. Longest match wins.
+var suffixes = []struct {
+	name string
+	mult float64
+}{
+	{"KiB", KiB}, {"MiB", MiB}, {"GiB", GiB}, {"TiB", TiB},
+	{"kB", KB}, {"KB", KB}, {"MB", MB}, {"GB", GB}, {"TB", TB},
+	{"Kf", 1e3}, {"Mf", 1e6}, {"Gf", 1e9}, {"Tf", 1e12},
+	{"kHz", 1e3}, {"MHz", 1e6}, {"GHz", 1e9},
+	{"k", 1e3}, {"K", 1e3}, {"M", 1e6}, {"G", 1e9}, {"T", 1e12},
+	{"B", 1}, {"f", 1},
+}
+
+// ParseQuantity parses a value with an optional multiplier suffix, e.g.
+// "1.25E8", "32.5GiB", "1e6", "2.6GHz". Unit names ("B", "f", "Hz") only
+// scale the value; dimensional correctness is the caller's concern.
+func ParseQuantity(s string) (float64, error) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return 0, fmt.Errorf("units: empty quantity")
+	}
+	mult := 1.0
+	// Longest-suffix match, but only when the remainder still parses as a
+	// number. This keeps scientific notation ("1.25E8") intact: its trailing
+	// "8" is a digit, so no suffix strip applies.
+	for _, suf := range suffixes {
+		if strings.HasSuffix(t, suf.name) {
+			head := strings.TrimSpace(strings.TrimSuffix(t, suf.name))
+			if head == "" {
+				continue
+			}
+			if _, err := strconv.ParseFloat(head, 64); err == nil {
+				t = head
+				mult = suf.mult
+				break
+			}
+		}
+	}
+	v, err := strconv.ParseFloat(t, 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: cannot parse quantity %q: %w", s, err)
+	}
+	return v * mult, nil
+}
+
+// MustParse is ParseQuantity that panics on error; intended for
+// compile-time-constant strings in tests and builders.
+func MustParse(s string) float64 {
+	v, err := ParseQuantity(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// FormatBytes renders a byte count with binary suffixes, e.g. "32.5 GiB".
+func FormatBytes(b float64) string {
+	switch {
+	case math.Abs(b) >= TiB:
+		return fmt.Sprintf("%.2f TiB", b/TiB)
+	case math.Abs(b) >= GiB:
+		return fmt.Sprintf("%.2f GiB", b/GiB)
+	case math.Abs(b) >= MiB:
+		return fmt.Sprintf("%.2f MiB", b/MiB)
+	case math.Abs(b) >= KiB:
+		return fmt.Sprintf("%.2f KiB", b/KiB)
+	default:
+		return fmt.Sprintf("%.0f B", b)
+	}
+}
+
+// FormatFlops renders a flop count with SI suffixes, e.g. "1.00 Mflop".
+func FormatFlops(f float64) string {
+	switch {
+	case math.Abs(f) >= 1e12:
+		return fmt.Sprintf("%.2f Tflop", f/1e12)
+	case math.Abs(f) >= 1e9:
+		return fmt.Sprintf("%.2f Gflop", f/1e9)
+	case math.Abs(f) >= 1e6:
+		return fmt.Sprintf("%.2f Mflop", f/1e6)
+	case math.Abs(f) >= 1e3:
+		return fmt.Sprintf("%.2f Kflop", f/1e3)
+	default:
+		return fmt.Sprintf("%.0f flop", f)
+	}
+}
+
+// FormatRate renders a rate (flop/s or B/s) with SI suffixes and the given
+// unit name, e.g. FormatRate(1.25e8, "B/s") = "125.00 MB/s".
+func FormatRate(r float64, unit string) string {
+	switch {
+	case math.Abs(r) >= 1e12:
+		return fmt.Sprintf("%.2f T%s", r/1e12, unit)
+	case math.Abs(r) >= 1e9:
+		return fmt.Sprintf("%.2f G%s", r/1e9, unit)
+	case math.Abs(r) >= 1e6:
+		return fmt.Sprintf("%.2f M%s", r/1e6, unit)
+	case math.Abs(r) >= 1e3:
+		return fmt.Sprintf("%.2f K%s", r/1e3, unit)
+	default:
+		return fmt.Sprintf("%.2f %s", r, unit)
+	}
+}
+
+// FormatSeconds renders a simulated duration, switching between
+// micro/milli/plain seconds for readability in reports.
+func FormatSeconds(s float64) string {
+	switch {
+	case s == 0:
+		return "0 s"
+	case math.Abs(s) < 1e-3:
+		return fmt.Sprintf("%.2f us", s*1e6)
+	case math.Abs(s) < 1:
+		return fmt.Sprintf("%.2f ms", s*1e3)
+	default:
+		return fmt.Sprintf("%.2f s", s)
+	}
+}

@@ -1,0 +1,174 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestParseQuantityPlainNumbers(t *testing.T) {
+	cases := map[string]float64{
+		"0":        0,
+		"1":        1,
+		"1e6":      1e6,
+		"1.25E8":   1.25e8,
+		"1.17E9":   1.17e9,
+		"16.67E-6": 16.67e-6,
+		"-3.5":     -3.5,
+	}
+	for in, want := range cases {
+		got, err := ParseQuantity(in)
+		if err != nil {
+			t.Fatalf("ParseQuantity(%q): %v", in, err)
+		}
+		if !almostEqual(got, want) {
+			t.Errorf("ParseQuantity(%q) = %g, want %g", in, got, want)
+		}
+	}
+}
+
+func TestParseQuantitySuffixes(t *testing.T) {
+	cases := map[string]float64{
+		"1KiB":     1024,
+		"1 KiB":    1024,
+		"32.5GiB":  32.5 * GiB,
+		"252.5GiB": 252.5 * GiB,
+		"1.2GiB":   1.2 * GiB,
+		"1GB":      1e9,
+		"10MB":     1e7,
+		"2.6GHz":   2.6e9,
+		"1Mf":      1e6,
+		"100B":     100,
+		"5k":       5e3,
+		"3M":       3e6,
+	}
+	for in, want := range cases {
+		got, err := ParseQuantity(in)
+		if err != nil {
+			t.Fatalf("ParseQuantity(%q): %v", in, err)
+		}
+		if !almostEqual(got, want) {
+			t.Errorf("ParseQuantity(%q) = %g, want %g", in, got, want)
+		}
+	}
+}
+
+func TestParseQuantityErrors(t *testing.T) {
+	for _, in := range []string{"", "   ", "GiB", "abc", "12xyz", "--3"} {
+		if _, err := ParseQuantity(in); err == nil {
+			t.Errorf("ParseQuantity(%q): expected error, got none", in)
+		}
+	}
+}
+
+func TestParseQuantityScientificNotSuffixed(t *testing.T) {
+	// "1.25E8" must parse as scientific notation, not as 1.25 "E8".
+	got, err := ParseQuantity("1.25E8")
+	if err != nil || got != 1.25e8 {
+		t.Fatalf("got %g, %v; want 1.25e8", got, err)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse on invalid input did not panic")
+		}
+	}()
+	MustParse("not a number")
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[float64]string{
+		0:          "0 B",
+		512:        "512 B",
+		1024:       "1.00 KiB",
+		1536:       "1.50 KiB",
+		1 << 20:    "1.00 MiB",
+		1 << 30:    "1.00 GiB",
+		1 << 40:    "1.00 TiB",
+		32.5 * GiB: "32.50 GiB",
+	}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Errorf("FormatBytes(%g) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFormatFlops(t *testing.T) {
+	cases := map[float64]string{
+		1:    "1 flop",
+		1e3:  "1.00 Kflop",
+		1e6:  "1.00 Mflop",
+		1e9:  "1.00 Gflop",
+		1e12: "1.00 Tflop",
+	}
+	for in, want := range cases {
+		if got := FormatFlops(in); got != want {
+			t.Errorf("FormatFlops(%g) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFormatRate(t *testing.T) {
+	if got := FormatRate(1.25e8, "B/s"); got != "125.00 MB/s" {
+		t.Errorf("FormatRate = %q", got)
+	}
+	if got := FormatRate(1.17e9, "flop/s"); got != "1.17 Gflop/s" {
+		t.Errorf("FormatRate = %q", got)
+	}
+	if got := FormatRate(42, "B/s"); got != "42.00 B/s" {
+		t.Errorf("FormatRate = %q", got)
+	}
+}
+
+func TestFormatSeconds(t *testing.T) {
+	cases := map[float64]string{
+		0:        "0 s",
+		1e-6:     "1.00 us",
+		16.67e-6: "16.67 us",
+		1e-3:     "1.00 ms",
+		0.5:      "500.00 ms",
+		20.73:    "20.73 s",
+	}
+	for in, want := range cases {
+		if got := FormatSeconds(in); got != want {
+			t.Errorf("FormatSeconds(%g) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// Property: formatting a byte count and re-parsing the leading quantity stays
+// within the 2-decimal rounding tolerance of the original.
+func TestFormatParseRoundTripProperty(t *testing.T) {
+	f := func(raw uint32) bool {
+		b := float64(raw)
+		s := FormatBytes(b)
+		// Reconstruct: strip the space before the unit for the parser.
+		compact := ""
+		for _, part := range []rune(s) {
+			if part != ' ' {
+				compact += string(part)
+			}
+		}
+		v, err := ParseQuantity(compact)
+		if err != nil {
+			return false
+		}
+		if b == 0 {
+			return v == 0
+		}
+		return math.Abs(v-b)/math.Max(b, 1) < 0.01
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
