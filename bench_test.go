@@ -3,6 +3,30 @@
 // DESIGN.md) plus the ablation benchmarks for the design choices the
 // framework makes. Benchmarks run the quick scale by default; the
 // cmd/experiments tool runs the paper scale.
+//
+// # Simulation fast-path benchmarks
+//
+// The kernel- and codec-level benchmarks live next to the code they
+// measure: BenchmarkMaxMinSolve and BenchmarkKernelReshare in
+// internal/simx, BenchmarkScanBytes and BenchmarkParseLine in
+// internal/trace. Reference numbers on the CI-class machine (Intel Xeon
+// @2.70GHz, go1.24) before and after the fast-path kernel rework (partial
+// max-min resharing, intrusive flow/compute sets, pooled activities and
+// events, byte-level trace scanning); medians of interleaved
+// same-conditions runs of the identical benchmark bodies:
+//
+//	benchmark                     before              after            speedup
+//	MaxMinSolve/flows-8         1115 ns/op  0 allocs   311 ns/op  0 allocs  3.6x
+//	MaxMinSolve/flows-64       20357 ns/op  3 allocs  4982 ns/op  0 allocs  4.1x
+//	MaxMinSolve/flows-512      78214 ns/op  3 allocs 14364 ns/op  0 allocs  5.3x
+//	KernelReshare/hosts-8       2.15 ms/op  7458 all  0.92 ms/op  1877 all  2.4x
+//	KernelReshare/hosts-32     19.50 ms/op 57756 all  8.95 ms/op  7326 all  2.2x
+//	ScanBytes (50k actions)    12.85 ms/op  2/line    5.57 ms/op  0/line   2.3x
+//	                           87.2 MB/s             201.2 MB/s
+//
+// The replay-level effect shows up in BenchmarkFigure9ReplayTime below
+// (actions/s) without any change to the SimulatedTime metrics the paper's
+// figures report.
 package tireplay_bench
 
 import (

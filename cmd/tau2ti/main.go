@@ -52,9 +52,9 @@ func main() {
 		name := trace.ProcessFileName(rank)
 		switch *format {
 		case "gzip":
-			name += ".gz"
+			name = trace.GzipFileName(rank)
 		case "binary":
-			name = fmt.Sprintf("SG_process%d.tib", rank)
+			name = trace.BinaryFileName(rank)
 		case "text":
 		default:
 			fail(fmt.Errorf("unknown format %q", *format))

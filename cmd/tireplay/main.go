@@ -69,7 +69,7 @@ func main() {
 		}
 		files := make([]string, *procs)
 		for r := range files {
-			files[r] = filepath.Join(*dir, trace.ProcessFileName(r))
+			files[r] = resolveTraceFile(*dir, r)
 		}
 		d, err = d.WithTraceArgs(files)
 		if err != nil {
@@ -116,6 +116,23 @@ func main() {
 		fmt.Println()
 		prof.Render(os.Stdout, res.SimulatedTime)
 	}
+}
+
+// resolveTraceFile locates rank r's trace under dir, accepting the three
+// encodings tau2ti emits: text, gzip and binary.
+func resolveTraceFile(dir string, r int) string {
+	plain := filepath.Join(dir, trace.ProcessFileName(r))
+	for _, name := range []string{trace.ProcessFileName(r), trace.GzipFileName(r), trace.BinaryFileName(r)} {
+		if p := filepath.Join(dir, name); fileExists(p) {
+			return p
+		}
+	}
+	return plain // let the replay report the missing plain name
+}
+
+func fileExists(p string) bool {
+	_, err := os.Stat(p)
+	return err == nil
 }
 
 func fail(err error) {

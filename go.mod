@@ -1,0 +1,3 @@
+module tireplay
+
+go 1.24

@@ -18,15 +18,29 @@ type Event struct {
 type Queue struct {
 	heap []*Event
 	seq  int
+	free []*Event // recycled events reused by Push
 }
 
 // Len reports the number of pending events.
 func (q *Queue) Len() int { return len(q.heap) }
 
 // Push schedules payload at time t and returns the event handle, which can
-// later be passed to Remove for cancellation.
+// later be passed to Remove for cancellation. Events previously returned to
+// the queue with Recycle are reused, so steady-state push/pop cycles perform
+// no heap allocation.
 func (q *Queue) Push(t float64, payload any) *Event {
-	ev := &Event{Time: t, Payload: payload, seq: q.seq, pos: len(q.heap)}
+	var ev *Event
+	if n := len(q.free); n > 0 {
+		ev = q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+	} else {
+		ev = new(Event)
+	}
+	ev.Time = t
+	ev.Payload = payload
+	ev.seq = q.seq
+	ev.pos = len(q.heap)
 	q.seq++
 	q.heap = append(q.heap, ev)
 	q.up(len(q.heap) - 1)
@@ -70,6 +84,17 @@ func (q *Queue) Remove(ev *Event) bool {
 	q.removeAt(ev.pos)
 	ev.pos = -1
 	return true
+}
+
+// Recycle returns a fired or removed event to the queue's free list for
+// reuse by a later Push. The handle must not be used afterwards. Recycling
+// an event still pending in the queue is a no-op (the queue owns it).
+func (q *Queue) Recycle(ev *Event) {
+	if ev == nil || ev.pos >= 0 {
+		return
+	}
+	ev.Payload = nil
+	q.free = append(q.free, ev)
 }
 
 func (q *Queue) removeAt(i int) {

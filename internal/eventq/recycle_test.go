@@ -1,0 +1,83 @@
+package eventq
+
+import "testing"
+
+// TestRecycleReusesEvents verifies that recycled events are handed back by
+// Push and that a recycled handle cannot disturb the queue.
+func TestRecycleReusesEvents(t *testing.T) {
+	var q Queue
+	ev := q.Push(1, "a")
+	if got := q.Pop(); got != ev {
+		t.Fatalf("popped %v", got)
+	}
+	q.Recycle(ev)
+	ev2 := q.Push(2, "b")
+	if ev2 != ev {
+		t.Fatal("push did not reuse the recycled event")
+	}
+	// Recycling a pending event must be refused: the queue still owns it.
+	q.Recycle(ev2)
+	if q.Len() != 1 || q.Peek() != ev2 {
+		t.Fatal("recycling a pending event corrupted the queue")
+	}
+	if got := q.Pop(); got != ev2 || got.Payload != "b" {
+		t.Fatalf("popped %+v", got)
+	}
+	// Removed events can be recycled too.
+	ev3 := q.Push(3, "c")
+	if !q.Remove(ev3) {
+		t.Fatal("remove failed")
+	}
+	q.Recycle(ev3)
+	if ev4 := q.Push(4, "d"); ev4 != ev3 {
+		t.Fatal("push did not reuse the removed event")
+	}
+}
+
+// TestPushPopZeroAllocs guards the allocation-free steady state of the
+// queue: once the heap and free list are warm, schedule/fire cycles of
+// replay-like shape must not touch the garbage collector.
+func TestPushPopZeroAllocs(t *testing.T) {
+	var q Queue
+	// Pre-boxed payload: the kernel passes *activity pointers, which do not
+	// allocate on conversion to any.
+	var payload any = "p"
+	// Warm up heap capacity and the free list.
+	evs := make([]*Event, 64)
+	for i := range evs {
+		evs[i] = q.Push(float64(i), payload)
+	}
+	for range evs {
+		q.Recycle(q.Pop())
+	}
+	n := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			q.Recycle(q.Pop())
+			q.Push(float64(i), payload)
+		}
+	})
+	if n != 0 {
+		t.Fatalf("push/pop allocates %v times per run", n)
+	}
+}
+
+// TestPushPopRescheduleZeroAllocs mirrors the kernel's reshare pattern:
+// remove + recycle + push, the hottest queue cycle.
+func TestPushPopRescheduleZeroAllocs(t *testing.T) {
+	var q Queue
+	evs := make([]*Event, 32)
+	for i := range evs {
+		evs[i] = q.Push(float64(i), nil)
+	}
+	n := testing.AllocsPerRun(100, func() {
+		for i := range evs {
+			if q.Remove(evs[i]) {
+				q.Recycle(evs[i])
+			}
+			evs[i] = q.Push(float64(i), nil)
+		}
+	})
+	if n != 0 {
+		t.Fatalf("reschedule cycle allocates %v times per run", n)
+	}
+}

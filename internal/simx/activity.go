@@ -25,7 +25,9 @@ const (
 
 // activity is a unit of simulated work: a compute burst, a data transfer, or
 // a sleep. It progresses at a rate set by the kernel's sharing models and
-// completes via an event in the kernel queue.
+// completes via an event in the kernel queue. Activities are pooled by the
+// kernel: completed ones return to a free list, so steady-state replay
+// creates no garbage per action.
 type activity struct {
 	kind  actKind
 	phase phase
@@ -40,8 +42,15 @@ type activity struct {
 	start      float64
 	done       bool
 
+	// pos is the activity's index in the set it currently belongs to —
+	// Kernel.flows for transfers, Host.computes for compute bursts — the
+	// same position-index trick eventq.Event uses for O(1) cancellation.
+	// -1 while the activity is in no set.
+	pos int
+	// mark is the kernel's visit epoch during component traversal.
+	mark uint64
+
 	host  *Host   // compute only
-	route *Route  // comm only
 	links []*Link // route links (comm), cached for the solver
 
 	ownerName string // proc that created it (compute, sleep)
@@ -50,24 +59,48 @@ type activity struct {
 
 	doneEv  *eventq.Event
 	waiters []*Proc
-	onDone  func() // internal completion hook (mailbox bookkeeping)
+	// comms are the send- and receive-side handles of a transfer; at
+	// completion they are detached so the activity can be recycled while
+	// handles remain queryable.
+	comms [2]*Comm
+}
+
+// newActivity takes an activity from the kernel pool (or allocates one) and
+// resets it to a zero state, keeping the waiters backing array.
+func (k *Kernel) newActivity() *activity {
+	n := len(k.actPool)
+	if n == 0 {
+		return &activity{pos: -1}
+	}
+	a := k.actPool[n-1]
+	k.actPool[n-1] = nil
+	k.actPool = k.actPool[:n-1]
+	waiters := a.waiters[:0]
+	*a = activity{pos: -1, waiters: waiters}
+	return a
+}
+
+// freeActivity returns a completed activity to the pool. The caller must
+// have removed it from every kernel set and detached every external handle.
+func (k *Kernel) freeActivity(a *activity) {
+	k.actPool = append(k.actPool, a)
 }
 
 // startCompute creates and registers a compute activity on h.
 func (k *Kernel) startCompute(p *Proc, h *Host, flops float64) *activity {
-	a := &activity{
-		kind:       actCompute,
-		phase:      phaseCompute,
-		volume:     flops,
-		remaining:  flops,
-		lastUpdate: k.now,
-		start:      k.now,
-		host:       h,
-		ownerName:  p.name,
-		bwFactor:   1,
-	}
+	a := k.newActivity()
+	a.kind = actCompute
+	a.phase = phaseCompute
+	a.volume = flops
+	a.remaining = flops
+	a.lastUpdate = k.now
+	a.start = k.now
+	a.host = h
+	a.ownerName = p.name
+	a.bwFactor = 1
 	k.settleHost(h)
-	h.computes[a] = struct{}{}
+	a.pos = len(h.computes)
+	h.computes = append(h.computes, a)
 	if flops <= 0 {
 		// Zero-work burst: complete "immediately" through the event queue to
 		// preserve deterministic ordering with same-time events.
@@ -84,14 +117,13 @@ func (k *Kernel) startSleep(p *Proc, seconds float64) *activity {
 	if seconds < 0 {
 		seconds = 0
 	}
-	a := &activity{
-		kind:       actSleep,
-		phase:      phaseSleep,
-		lastUpdate: k.now,
-		start:      k.now,
-		ownerName:  p.name,
-		bwFactor:   1,
-	}
+	a := k.newActivity()
+	a.kind = actSleep
+	a.phase = phaseSleep
+	a.lastUpdate = k.now
+	a.start = k.now
+	a.ownerName = p.name
+	a.bwFactor = 1
 	a.doneEv = k.queue.Push(k.now+seconds, a)
 	return a
 }
@@ -105,19 +137,17 @@ func (k *Kernel) startTransfer(src, dst *Host, srcName, dstName string, bytes fl
 	if k.rateModel != nil {
 		latF, bwF = k.rateModel(bytes)
 	}
-	a := &activity{
-		kind:       actComm,
-		phase:      phaseLatency,
-		volume:     bytes,
-		remaining:  bytes,
-		lastUpdate: k.now,
-		start:      k.now,
-		route:      route,
-		links:      route.Links,
-		srcName:    srcName,
-		dstName:    dstName,
-		bwFactor:   bwF,
-	}
+	a := k.newActivity()
+	a.kind = actComm
+	a.phase = phaseLatency
+	a.volume = bytes
+	a.remaining = bytes
+	a.lastUpdate = k.now
+	a.start = k.now
+	a.links = route.Links
+	a.srcName = srcName
+	a.dstName = dstName
+	a.bwFactor = bwF
 	a.doneEv = k.queue.Push(k.now+route.Latency*latF, a)
 	return a
 }

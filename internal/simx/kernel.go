@@ -18,6 +18,40 @@
 // process runs at a time and control returns to the kernel whenever the
 // process blocks on a simulation call, which keeps simulations fully
 // deterministic.
+//
+// # Kernel performance notes
+//
+// The hot path of a replay is the pair of bandwidth-sharing updates done
+// when a transfer joins or leaves the contended flow set. The kernel keeps
+// that path allocation-free, and confines the expensive work — the max-min
+// solve and the event rescheduling — to the flows actually affected (the
+// per-transition bookkeeping that remains is one sequential pointer scan of
+// the active-flow list):
+//
+//   - Flow and compute sets are intrusive slices: every activity stores its
+//     index (activity.pos) in the set that holds it, the same position-index
+//     trick eventq.Event uses, so membership updates are O(1) or one
+//     memmove, and iteration is in deterministic start order.
+//
+//   - Resharing is partial. Max-min fair allocations decompose by connected
+//     components of the flow/link sharing graph: flows that share no link
+//     (directly or transitively) with a changed flow cannot see their rate
+//     change. When a flow joins or leaves, the kernel walks only the
+//     connected component of the changed flow (via per-link flow lists),
+//     settles and re-solves those flows, and leaves every other component's
+//     rates and completion events untouched. The fair shares are
+//     bit-identical to a global re-solve (the solver processes the
+//     component's flows in the same relative order with the same link
+//     capacities); simulated times agree to the ulp, exactly when every
+//     transition touches one component and otherwise up to floating-point
+//     reassociation of the untouched components' progress updates (see
+//     TestPartialReshareMatchesGlobal and its Ring variant).
+//
+//   - Activities and queue events are pooled on free lists, so steady-state
+//     replay performs no per-action heap allocation in the kernel.
+//
+// SetGlobalReshare(true) restores the reference full-reshare path, which is
+// useful to cross-check simulations and benchmark the gain.
 package simx
 
 import (
@@ -64,9 +98,25 @@ type Kernel struct {
 
 	mailboxes map[string]*Mailbox
 
-	flows     map[*activity]struct{} // comm activities in transfer phase
+	// flows holds the comm activities in transfer phase, in start order;
+	// each activity records its index in pos.
+	flows     []*activity
 	rateModel RateModel
 	tracer    Tracer
+
+	// globalReshare disables partial resharing: every flow transition
+	// settles and re-solves the full flow set. This is the reference path
+	// used by equivalence tests and benchmarks.
+	globalReshare bool
+
+	// Partial-reshare scratch: BFS epoch, frontier stack and the collected
+	// component, reused across transitions.
+	epoch     uint64
+	compStack []*activity
+	comp      []*activity
+
+	// actPool recycles completed activities.
+	actPool []*activity
 
 	// DefaultLoopback is used for communications between two processes on
 	// the same host (e.g. folded acquisitions); it is modelled as a private
@@ -84,7 +134,6 @@ func New() *Kernel {
 		links:             make(map[string]*Link),
 		routes:            make(map[string]*Route),
 		mailboxes:         make(map[string]*Mailbox),
-		flows:             make(map[*activity]struct{}),
 		LoopbackBandwidth: 10e9, // 10 GB/s shared-memory copy rate
 		LoopbackLatency:   1e-7, // 100 ns
 	}
@@ -99,6 +148,12 @@ func (k *Kernel) SetRateModel(m RateModel) { k.rateModel = m }
 
 // SetTracer installs an observer of completed activities.
 func (k *Kernel) SetTracer(t Tracer) { k.tracer = t }
+
+// SetGlobalReshare switches the kernel to the reference sharing path that
+// re-solves the complete flow set on every transition. The default partial
+// path produces bit-identical simulated times; this switch exists to verify
+// that claim and to measure the speedup.
+func (k *Kernel) SetGlobalReshare(on bool) { k.globalReshare = on }
 
 // DeadlockError reports a simulation that cannot progress: the event queue
 // is empty while processes are still blocked.
@@ -137,12 +192,13 @@ func (k *Kernel) Run() (float64, error) {
 		}
 		k.now = ev.Time
 		k.handleEvent(ev)
+		k.queue.Recycle(ev)
 	}
 	if k.blocked > 0 {
 		var blocked []string
 		for _, p := range k.procs {
 			if p.state == stateBlocked {
-				blocked = append(blocked, p.name+": "+p.blockReason)
+				blocked = append(blocked, p.name+": "+p.blockReason())
 			}
 		}
 		sort.Strings(blocked)
@@ -157,17 +213,17 @@ func (k *Kernel) handleEvent(ev *eventq.Event) {
 	if !ok {
 		panic("simx: unknown event payload")
 	}
+	a.doneEv = nil // the fired event is the activity's completion event
 	switch a.phase {
 	case phaseLatency:
 		// Latency paid: the transfer joins the contended flow set.
 		a.phase = phaseTransfer
+		a.lastUpdate = k.now
 		if a.remaining <= 0 {
 			k.completeActivity(a)
 			return
 		}
-		k.settleFlows()
-		k.flows[a] = struct{}{}
-		k.reshareFlows()
+		k.reshareTransition(a, true)
 	case phaseTransfer, phaseCompute, phaseSleep:
 		k.completeActivity(a)
 	default:
@@ -175,37 +231,46 @@ func (k *Kernel) handleEvent(ev *eventq.Event) {
 	}
 }
 
-// completeActivity finishes a and wakes its waiters.
+// completeActivity finishes a and wakes its waiters. The activity is
+// recycled: no reference may survive this call.
 func (k *Kernel) completeActivity(a *activity) {
 	switch a.kind {
 	case actCompute:
 		h := a.host
-		delete(h.computes, a)
+		k.removeCompute(h, a)
 		k.settleHost(h)
 		k.reshareHost(h)
 		if k.tracer != nil {
 			k.tracer.Compute(a.ownerName, h.Name, a.volume, a.start, k.now)
 		}
 	case actComm:
-		if a.phase == phaseTransfer {
-			k.settleFlows()
-			delete(k.flows, a)
-			k.reshareFlows()
+		// pos >= 0 distinguishes contended transfers from zero-byte ones
+		// that completed straight out of the latency phase.
+		if a.phase == phaseTransfer && a.pos >= 0 {
+			k.reshareTransition(a, false)
 		}
 		if k.tracer != nil {
 			k.tracer.Comm(a.srcName, a.dstName, a.volume, a.start, k.now)
+		}
+		// Detach the comm handles so they stay queryable after the
+		// activity is recycled.
+		for i, c := range a.comms {
+			if c != nil {
+				c.done = true
+				c.act = nil
+				a.comms[i] = nil
+			}
 		}
 	case actSleep:
 		// Nothing to release.
 	}
 	a.done = true
-	for _, w := range a.waiters {
+	for i, w := range a.waiters {
 		k.wake(w)
+		a.waiters[i] = nil
 	}
-	a.waiters = nil
-	if a.onDone != nil {
-		a.onDone()
-	}
+	a.waiters = a.waiters[:0]
+	k.freeActivity(a)
 }
 
 // wake moves a blocked process back onto the run queue.
@@ -214,14 +279,28 @@ func (k *Kernel) wake(p *Proc) {
 		panic("simx: waking process that is not blocked: " + p.name)
 	}
 	p.state = stateRunnable
-	p.blockReason = ""
+	p.blockKind = blockNone
+	p.blockComm = nil
 	k.blocked--
 	k.runq = append(k.runq, p)
 }
 
+// removeCompute takes a out of h's compute set in O(1) via its position.
+func (k *Kernel) removeCompute(h *Host, a *activity) {
+	last := len(h.computes) - 1
+	if a.pos != last {
+		moved := h.computes[last]
+		h.computes[a.pos] = moved
+		moved.pos = a.pos
+	}
+	h.computes[last] = nil
+	h.computes = h.computes[:last]
+	a.pos = -1
+}
+
 // settleHost updates the progress of every compute activity on h up to now.
 func (k *Kernel) settleHost(h *Host) {
-	for a := range h.computes {
+	for _, a := range h.computes {
 		a.remaining -= a.rate * (k.now - a.lastUpdate)
 		if a.remaining < 0 {
 			a.remaining = 0
@@ -241,15 +320,114 @@ func (k *Kernel) reshareHost(h *Host) {
 	if n > h.Cores {
 		share = h.Speed * float64(h.Cores) / float64(n)
 	}
-	for a := range h.computes {
+	for _, a := range h.computes {
 		a.rate = share
 		k.reschedule(a, a.remaining/a.rate)
 	}
 }
 
-// settleFlows updates the progress of every flow up to now.
-func (k *Kernel) settleFlows() {
-	for a := range k.flows {
+// addFlow appends a to the contended flow set and to the flow list of every
+// link it crosses.
+func (k *Kernel) addFlow(a *activity) {
+	a.pos = len(k.flows)
+	k.flows = append(k.flows, a)
+	for _, l := range a.links {
+		l.flows = append(l.flows, a)
+	}
+}
+
+// removeFlow takes a out of the flow set, preserving the start order of the
+// remaining flows (the solver's floating-point accumulation order), and out
+// of its links' flow lists.
+func (k *Kernel) removeFlow(a *activity) {
+	copy(k.flows[a.pos:], k.flows[a.pos+1:])
+	last := len(k.flows) - 1
+	for i := a.pos; i < last; i++ {
+		k.flows[i].pos = i
+	}
+	k.flows[last] = nil
+	k.flows = k.flows[:last]
+	a.pos = -1
+	for _, l := range a.links {
+		for i, f := range l.flows {
+			if f == a {
+				llast := len(l.flows) - 1
+				l.flows[i] = l.flows[llast]
+				l.flows[llast] = nil
+				l.flows = l.flows[:llast]
+				break
+			}
+		}
+	}
+}
+
+// reshareTransition handles a flow joining (joining=true) or leaving the
+// contended set: it settles and re-solves only the connected component of
+// flows sharing links with a, leaving disjoint components untouched.
+func (k *Kernel) reshareTransition(a *activity, joining bool) {
+	if k.globalReshare {
+		k.settleFlows(k.flows)
+		if joining {
+			k.addFlow(a)
+		} else {
+			k.removeFlow(a)
+		}
+		k.reshareFlows(k.flows)
+		return
+	}
+
+	// Mark the connected component reachable from a through shared links.
+	k.epoch++
+	e := k.epoch
+	a.mark = e
+	k.compStack = append(k.compStack[:0], a)
+	for n := len(k.compStack); n > 0; n = len(k.compStack) {
+		f := k.compStack[n-1]
+		k.compStack[n-1] = nil
+		k.compStack = k.compStack[:n-1]
+		for _, l := range f.links {
+			if l.mark == e {
+				continue
+			}
+			l.mark = e
+			for _, g := range l.flows {
+				if g.mark != e {
+					g.mark = e
+					k.compStack = append(k.compStack, g)
+				}
+			}
+		}
+	}
+
+	// Update membership first, then settle and gather the marked flows in
+	// one pass over the flow list, in start order, so the solver's
+	// arithmetic matches what a global solve would do. Settling after the
+	// membership change is safe: rates have not been touched yet, and a
+	// itself needs no settling (it either just joined with lastUpdate=now
+	// and rate 0, or just completed and is gone from the list).
+	if joining {
+		k.addFlow(a)
+	} else {
+		k.removeFlow(a)
+	}
+	k.comp = k.comp[:0]
+	for _, f := range k.flows {
+		if f.mark != e {
+			continue
+		}
+		f.remaining -= f.rate * (k.now - f.lastUpdate)
+		if f.remaining < 0 {
+			f.remaining = 0
+		}
+		f.lastUpdate = k.now
+		k.comp = append(k.comp, f)
+	}
+	k.reshareFlows(k.comp)
+}
+
+// settleFlows updates the progress of the given flows up to now.
+func (k *Kernel) settleFlows(flows []*activity) {
+	for _, a := range flows {
 		a.remaining -= a.rate * (k.now - a.lastUpdate)
 		if a.remaining < 0 {
 			a.remaining = 0
@@ -258,14 +436,14 @@ func (k *Kernel) settleFlows() {
 	}
 }
 
-// reshareFlows recomputes the max-min fair allocation over all active flows
+// reshareFlows recomputes the max-min fair allocation over the given flows
 // and reschedules their completion events.
-func (k *Kernel) reshareFlows() {
-	if len(k.flows) == 0 {
+func (k *Kernel) reshareFlows(flows []*activity) {
+	if len(flows) == 0 {
 		return
 	}
-	k.maxmin.solve(k.flows)
-	for a := range k.flows {
+	k.maxmin.solve(flows)
+	for _, a := range flows {
 		// The bandwidth factor models protocol efficiency: the flow occupies
 		// its allocated share but progresses at bwFactor times it.
 		rate := a.allocated * a.bwFactor
@@ -280,7 +458,9 @@ func (k *Kernel) reshareFlows() {
 // reschedule moves a's completion event to now+dt.
 func (k *Kernel) reschedule(a *activity, dt float64) {
 	if a.doneEv != nil {
-		k.queue.Remove(a.doneEv)
+		if k.queue.Remove(a.doneEv) {
+			k.queue.Recycle(a.doneEv)
+		}
 	}
 	if math.IsInf(dt, 0) || math.IsNaN(dt) {
 		panic(fmt.Sprintf("simx: invalid completion delay %g for activity of %q", dt, a.ownerName))

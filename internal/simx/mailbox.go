@@ -15,8 +15,11 @@ type Mailbox struct {
 // communication, returned by the asynchronous mailbox operations and
 // consumed by WaitComm. The send side and the receive side each hold their
 // own handle; the two are joined to one transfer activity at match time.
+// At completion the kernel detaches the handle from the (recycled) activity,
+// so a Comm stays queryable for as long as the caller keeps it.
 type Comm struct {
-	act     *activity
+	act     *activity // non-nil only while matched and in flight
+	done    bool
 	payload any
 	bytes   float64
 	src     string
@@ -28,7 +31,7 @@ type Comm struct {
 }
 
 // Done reports whether the communication has fully completed.
-func (c *Comm) Done() bool { return c.act != nil && c.act.done }
+func (c *Comm) Done() bool { return c.done }
 
 // Payload returns the data attached by the sender; valid after completion.
 func (c *Comm) Payload() any { return c.payload }
@@ -44,7 +47,7 @@ func (c *Comm) Src() string { return c.src }
 // Dst returns the name of the receiving process (empty until matched).
 func (c *Comm) Dst() string { return c.dst }
 
-func (c *Comm) matched() bool { return c.act != nil }
+func (c *Comm) matched() bool { return c.done || c.act != nil }
 
 func (c *Comm) addMatchWaiter(p *Proc) {
 	c.matchWaiters = append(c.matchWaiters, p)
@@ -102,6 +105,8 @@ func (k *Kernel) match(sc, rc *Comm) {
 	act := k.startTransfer(sc.proc.host, rc.proc.host, sc.proc.name, rc.proc.name, sc.bytes)
 	sc.act = act
 	rc.act = act
+	act.comms[0] = sc
+	act.comms[1] = rc
 	rc.payload = sc.payload
 	rc.bytes = sc.bytes
 	rc.src = sc.proc.name

@@ -1,5 +1,7 @@
 package simx
 
+import "math"
+
 // maxMinSolver computes the max-min fair bandwidth allocation of a set of
 // flows over the links they cross. This is the analytical contention model
 // SimGrid validates against the GTNetS packet-level simulator: at every
@@ -10,26 +12,39 @@ package simx
 // — the one whose remaining capacity divided by its number of unallocated
 // flows is smallest — freeze that fair share onto those flows, subtract it
 // from every link they cross, and continue until every flow is allocated.
+//
+// The solver iterates flows strictly in the order of the slice it is given,
+// which the kernel keeps in flow start order; together with the persistent
+// scratch buffers this makes every solve allocation-free and bit-for-bit
+// reproducible run to run (floating-point accumulation in cap[i] happens in
+// one fixed order).
 type maxMinSolver struct {
-	links []*Link
-	cap   []float64 // remaining capacity per link
-	nflow []int     // unallocated flows per link
+	links   []*Link
+	cap     []float64   // remaining capacity per link
+	nflow   []int       // unallocated flows per link
+	unalloc []*activity // flows not yet frozen, in input order
 }
 
-// solve assigns activity.allocated for every flow in the set.
-func (s *maxMinSolver) solve(flows map[*activity]struct{}) {
+// solve assigns activity.allocated for every flow in the slice. The flow
+// order determines the floating-point accumulation order and must be stable
+// across runs for deterministic simulations.
+func (s *maxMinSolver) solve(flows []*activity) {
 	// Collect the links in use and index them.
 	s.links = s.links[:0]
-	for a := range flows {
+	for _, a := range flows {
 		for _, l := range a.links {
 			l.idx = -1
 		}
 	}
-	for a := range flows {
+	maxBW := 0.0
+	for _, a := range flows {
 		for _, l := range a.links {
 			if l.idx == -1 {
 				l.idx = len(s.links)
 				s.links = append(s.links, l)
+				if l.Bandwidth > maxBW {
+					maxBW = l.Bandwidth
+				}
 			}
 		}
 	}
@@ -44,22 +59,27 @@ func (s *maxMinSolver) solve(flows map[*activity]struct{}) {
 		s.nflow[i] = 0
 	}
 
-	unalloc := make(map[*activity]struct{}, len(flows))
-	for a := range flows {
-		a.allocated = 0
+	s.unalloc = s.unalloc[:0]
+	for _, a := range flows {
 		if len(a.links) == 0 {
 			// Should not happen (loopback always provides a link), but keep
 			// the solver total: an unconstrained flow gets "infinite" share
-			// represented by the largest link bandwidth seen.
+			// represented by the largest link bandwidth seen, so the
+			// transfer completes instead of hanging at a zero rate.
+			a.allocated = maxBW
+			if a.allocated == 0 {
+				a.allocated = math.MaxFloat64
+			}
 			continue
 		}
-		unalloc[a] = struct{}{}
+		a.allocated = 0
+		s.unalloc = append(s.unalloc, a)
 		for _, l := range a.links {
 			s.nflow[l.idx]++
 		}
 	}
 
-	for len(unalloc) > 0 {
+	for len(s.unalloc) > 0 {
 		// Find the bottleneck link.
 		best := -1
 		bestShare := 0.0
@@ -76,8 +96,11 @@ func (s *maxMinSolver) solve(flows map[*activity]struct{}) {
 		if best == -1 {
 			break
 		}
-		// Freeze the share onto every unallocated flow crossing it.
-		for a := range unalloc {
+		// Freeze the share onto every unallocated flow crossing it,
+		// compacting the remaining flows in place so their relative order
+		// (and hence the arithmetic order of later rounds) is preserved.
+		kept := s.unalloc[:0]
+		for _, a := range s.unalloc {
 			crosses := false
 			for _, l := range a.links {
 				if l.idx == best {
@@ -86,6 +109,7 @@ func (s *maxMinSolver) solve(flows map[*activity]struct{}) {
 				}
 			}
 			if !crosses {
+				kept = append(kept, a)
 				continue
 			}
 			a.allocated = bestShare
@@ -96,7 +120,11 @@ func (s *maxMinSolver) solve(flows map[*activity]struct{}) {
 				}
 				s.nflow[l.idx]--
 			}
-			delete(unalloc, a)
 		}
+		// Drop the trailing references so freed flows are not pinned.
+		for i := len(kept); i < len(s.unalloc); i++ {
+			s.unalloc[i] = nil
+		}
+		s.unalloc = kept
 	}
 }

@@ -7,10 +7,10 @@ import (
 )
 
 // buildFlows creates synthetic comm activities over the given links.
-func buildFlows(routes [][]*Link) map[*activity]struct{} {
-	flows := make(map[*activity]struct{})
+func buildFlows(routes [][]*Link) []*activity {
+	flows := make([]*activity, 0, len(routes))
 	for _, r := range routes {
-		flows[&activity{kind: actComm, links: r, bwFactor: 1}] = struct{}{}
+		flows = append(flows, &activity{kind: actComm, links: r, bwFactor: 1})
 	}
 	return flows
 }
@@ -20,7 +20,7 @@ func TestMaxMinSingleFlowGetsFullLink(t *testing.T) {
 	flows := buildFlows([][]*Link{{l}})
 	var s maxMinSolver
 	s.solve(flows)
-	for a := range flows {
+	for _, a := range flows {
 		if !close(a.allocated, 100) {
 			t.Fatalf("allocated = %g, want 100", a.allocated)
 		}
@@ -32,7 +32,7 @@ func TestMaxMinEqualSharing(t *testing.T) {
 	flows := buildFlows([][]*Link{{l}, {l}, {l}})
 	var s maxMinSolver
 	s.solve(flows)
-	for a := range flows {
+	for _, a := range flows {
 		if !close(a.allocated, 30) {
 			t.Fatalf("allocated = %g, want 30", a.allocated)
 		}
@@ -49,7 +49,7 @@ func TestMaxMinTextbookTwoLinks(t *testing.T) {
 	f0 := &activity{kind: actComm, links: []*Link{la, lb}, bwFactor: 1}
 	f1 := &activity{kind: actComm, links: []*Link{la}, bwFactor: 1}
 	f2 := &activity{kind: actComm, links: []*Link{lb}, bwFactor: 1}
-	flows := map[*activity]struct{}{f0: {}, f1: {}, f2: {}}
+	flows := []*activity{f0, f1, f2}
 	var s maxMinSolver
 	s.solve(flows)
 	if !close(f0.allocated, 5) || !close(f1.allocated, 5) || !close(f2.allocated, 15) {
@@ -64,7 +64,7 @@ func TestMaxMinLongFlowPenalised(t *testing.T) {
 	lb := &Link{Name: "B", Bandwidth: 4}
 	long := &activity{kind: actComm, links: []*Link{la, lb}, bwFactor: 1}
 	short := &activity{kind: actComm, links: []*Link{la}, bwFactor: 1}
-	flows := map[*activity]struct{}{long: {}, short: {}}
+	flows := []*activity{long, short}
 	var s maxMinSolver
 	s.solve(flows)
 	// B alone constrains long to 4; A then gives short 10-4=6.
@@ -98,14 +98,14 @@ func TestMaxMinInvariants(t *testing.T) {
 		s.solve(flows)
 
 		// Property 2.
-		for a := range flows {
+		for _, a := range flows {
 			if a.allocated <= 0 {
 				return false
 			}
 		}
 		// Property 1.
 		load := make(map[*Link]float64)
-		for a := range flows {
+		for _, a := range flows {
 			for _, l := range a.links {
 				load[l] += a.allocated
 			}
@@ -116,7 +116,7 @@ func TestMaxMinInvariants(t *testing.T) {
 			}
 		}
 		// Property 3.
-		for a := range flows {
+		for _, a := range flows {
 			bottlenecked := false
 			for _, l := range a.links {
 				saturated := load[l] >= l.Bandwidth*(1-1e-9)
@@ -124,7 +124,7 @@ func TestMaxMinInvariants(t *testing.T) {
 					continue
 				}
 				isMax := true
-				for b := range flows {
+				for _, b := range flows {
 					if b == a {
 						continue
 					}
@@ -161,7 +161,7 @@ func TestMaxMinRepeatedSolveReusesState(t *testing.T) {
 		}
 		flows := buildFlows(routes)
 		s.solve(flows)
-		for a := range flows {
+		for _, a := range flows {
 			if !close(a.allocated, 100/float64(i)) {
 				t.Fatalf("round %d: allocated = %g, want %g", i, a.allocated, 100/float64(i))
 			}

@@ -21,8 +21,13 @@ type Proc struct {
 	name string
 	host *Host
 
-	state       procState
-	blockReason string
+	state procState
+
+	// Block diagnostics, kept as raw data so the hot path never formats
+	// strings; DeadlockError renders them lazily.
+	blockKind blockKind
+	blockComm *Comm   // set for blockComm / blockMatch
+	blockVol  float64 // flops or seconds for blockCompute / blockSleep
 
 	resume chan struct{} // kernel -> process handoff
 	yield  chan struct{} // process -> kernel handoff
@@ -83,14 +88,42 @@ func (k *Kernel) step(p *Proc) {
 	}
 }
 
+// blockKind says what a blocked process is waiting for.
+type blockKind uint8
+
+const (
+	blockNone blockKind = iota
+	blockCompute
+	blockSleep
+	blockMatch
+	blockComm
+)
+
 // block suspends the calling process until the kernel wakes it. Must be
 // called from the process goroutine.
-func (p *Proc) block(reason string) {
+func (p *Proc) block(kind blockKind) {
 	p.state = stateBlocked
-	p.blockReason = reason
+	p.blockKind = kind
 	p.k.blocked++
 	p.yield <- struct{}{}
 	<-p.resume
+}
+
+// blockReason renders the block diagnostics; only called when building a
+// DeadlockError, so the simulation hot path pays no formatting cost.
+func (p *Proc) blockReason() string {
+	switch p.blockKind {
+	case blockCompute:
+		return fmt.Sprintf("computing %g flops", p.blockVol)
+	case blockSleep:
+		return fmt.Sprintf("sleeping %gs", p.blockVol)
+	case blockMatch:
+		return "waiting match on comm"
+	case blockComm:
+		c := p.blockComm
+		return fmt.Sprintf("waiting comm %s->%s (%g bytes)", c.src, c.dst, c.bytes)
+	}
+	return "blocked"
 }
 
 // Name returns the process name.
@@ -111,14 +144,16 @@ func (p *Proc) Kernel() *Kernel { return p.k }
 func (p *Proc) Execute(flops float64) {
 	a := p.k.startCompute(p, p.host, flops)
 	a.waiters = append(a.waiters, p)
-	p.block(fmt.Sprintf("computing %g flops", flops))
+	p.blockVol = flops
+	p.block(blockCompute)
 }
 
 // Sleep suspends the process for the given simulated duration.
 func (p *Proc) Sleep(seconds float64) {
 	a := p.k.startSleep(p, seconds)
 	a.waiters = append(a.waiters, p)
-	p.block(fmt.Sprintf("sleeping %gs", seconds))
+	p.blockVol = seconds
+	p.block(blockSleep)
 }
 
 // Send posts a message of the given size to the mailbox and blocks until
@@ -165,11 +200,13 @@ func (p *Proc) WaitComm(c *Comm) {
 		// the request itself; the mailbox wakes us at match time, then we
 		// wait for the transfer.
 		c.addMatchWaiter(p)
-		p.block("waiting match on comm")
+		p.blockComm = c
+		p.block(blockMatch)
 	}
-	if c.act.done {
+	if c.done {
 		return
 	}
 	c.act.waiters = append(c.act.waiters, p)
-	p.block(fmt.Sprintf("waiting comm %s->%s (%g bytes)", c.src, c.dst, c.bytes))
+	p.blockComm = c
+	p.block(blockComm)
 }

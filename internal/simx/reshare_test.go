@@ -1,0 +1,305 @@
+package simx
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// traceEvent is one completed activity as seen by a test tracer.
+type traceEvent struct {
+	kind       string
+	a, b       string
+	vol        float64
+	start, end float64
+}
+
+// recTracer records every completion for bit-level comparison of runs.
+type recTracer struct{ events []traceEvent }
+
+func (t *recTracer) Compute(proc, host string, flops, start, end float64) {
+	t.events = append(t.events, traceEvent{"compute", proc, host, flops, start, end})
+}
+func (t *recTracer) Comm(src, dst string, bytes, start, end float64) {
+	t.events = append(t.events, traceEvent{"comm", src, dst, bytes, start, end})
+}
+
+// sorted returns the events in a canonical order keyed on the stable fields
+// (who did what), so two runs whose timestamps differ by ulps still align
+// pairwise for comparison.
+func (t *recTracer) sorted() []traceEvent {
+	out := append([]traceEvent(nil), t.events...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.kind != b.kind {
+			return a.kind < b.kind
+		}
+		if a.a != b.a {
+			return a.a < b.a
+		}
+		if a.b != b.b {
+			return a.b < b.b
+		}
+		return a.start < b.start
+	})
+	return out
+}
+
+// ulpsApart returns the distance between a and b in units in the last place.
+func ulpsApart(a, b float64) int {
+	if a == b {
+		return 0
+	}
+	n := 0
+	for x := math.Min(a, b); x < math.Max(a, b) && n <= 64; n++ {
+		x = math.Nextafter(x, math.Inf(1))
+	}
+	return n
+}
+
+// randomContendedRun builds a random multi-hop platform (clusters of hosts
+// behind uplinks sharing a backbone) with random staggered transfers and
+// compute bursts, runs it, and returns the makespan and the sorted
+// completion record.
+func randomContendedRun(t *testing.T, seed int64, global bool) (float64, []traceEvent) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	k := New()
+	k.SetGlobalReshare(global)
+	tr := &recTracer{}
+	k.SetTracer(tr)
+
+	nHosts := 3 + rng.Intn(6)
+	backbone := k.AddLink("bb", (1+rng.Float64())*1e9, 1e-6)
+	uplinks := make([]*Link, nHosts)
+	names := make([]string, nHosts)
+	for i := 0; i < nHosts; i++ {
+		names[i] = fmt.Sprintf("h%d", i)
+		k.AddHost(names[i], 1e9, 1+rng.Intn(2))
+		uplinks[i] = k.AddLink(fmt.Sprintf("up%d", i), (1+rng.Float64())*1.25e8, 1e-7)
+	}
+	for i := 0; i < nHosts; i++ {
+		for j := 0; j < nHosts; j++ {
+			if i == j {
+				continue
+			}
+			// Half the pairs route only over their uplinks (disjoint from
+			// pairs on other uplinks), half cross the shared backbone, so
+			// the flow graph has several connected components that merge
+			// and split as transfers come and go.
+			links := []*Link{uplinks[i], uplinks[j]}
+			if (i+j)%2 == 0 {
+				links = []*Link{uplinks[i], backbone, uplinks[j]}
+			}
+			k.AddRoute(names[i], names[j], links)
+		}
+	}
+
+	// A random ring shift keeps the pattern a permutation (no deadlocks)
+	// while still exercising different contention graphs per seed.
+	shift := 1 + rng.Intn(nHosts-1)
+	rounds := 2 + rng.Intn(4)
+	for p := 0; p < nHosts; p++ {
+		src := p
+		dst := (p + shift) % nHosts
+		sender := (p - shift + nHosts) % nHosts
+		sleep := rng.Float64() * 1e-3
+		bytes := 1e4 + rng.Float64()*5e6
+		flops := 1e5 + rng.Float64()*1e7
+		k.Spawn(fmt.Sprintf("p%d", p), k.Host(names[src]), func(pr *Proc) {
+			mb := fmt.Sprintf("m%d>%d", src, dst)
+			peer := fmt.Sprintf("m%d>%d", sender, src)
+			pr.Sleep(sleep)
+			for r := 0; r < rounds; r++ {
+				c := pr.ISend(mb, bytes, nil)
+				pr.Recv(peer)
+				pr.WaitComm(c)
+				pr.Execute(flops)
+			}
+		})
+	}
+	end, err := k.Run()
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	return end, tr.sorted()
+}
+
+// ringKernel builds a deterministic contended ring exchange over a shared
+// backbone; every flow contends with its neighbours, so every transition
+// reshapes bandwidth.
+func ringKernel(n int, global bool) (*Kernel, *recTracer) {
+	k := New()
+	k.SetGlobalReshare(global)
+	tr := &recTracer{}
+	k.SetTracer(tr)
+	backbone := k.AddLink("bb", 1.25e9, 1e-6)
+	uplinks := make([]*Link, n)
+	for i := 0; i < n; i++ {
+		k.AddHost(fmt.Sprintf("h%d", i), 1e9, 1)
+		uplinks[i] = k.AddLink(fmt.Sprintf("up%d", i), 1.25e8, 1e-7)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				k.AddRoute(fmt.Sprintf("h%d", i), fmt.Sprintf("h%d", j),
+					[]*Link{uplinks[i], backbone, uplinks[j]})
+			}
+		}
+	}
+	for p := 0; p < n; p++ {
+		src := p
+		dst := (p + 1) % n
+		k.Spawn(fmt.Sprintf("p%d", p), k.Host(fmt.Sprintf("h%d", src)), func(pr *Proc) {
+			mb := fmt.Sprintf("m%d>%d", src, dst)
+			peer := fmt.Sprintf("m%d>%d", (src+n-1)%n, src)
+			for r := 0; r < 12; r++ {
+				c := pr.ISend(mb, 1e6+float64(src)*1e4, nil)
+				pr.Recv(peer)
+				pr.WaitComm(c)
+				pr.Execute(1e6 + float64(src)*1e3)
+			}
+		})
+	}
+	return k, tr
+}
+
+// TestPartialReshareMatchesGlobal verifies the partial-reshare invariant on
+// random multi-hop topologies with merging and splitting components: the
+// fair shares are identical, so every simulated time must agree with the
+// reference full re-solve to within a few ulps (untouched components settle
+// their remaining-work counters at different instants, which reassociates
+// the floating-point accumulation but cannot change the modelled times).
+func TestPartialReshareMatchesGlobal(t *testing.T) {
+	const maxUlps = 16
+	for seed := int64(1); seed <= 25; seed++ {
+		endP, evP := randomContendedRun(t, seed, false)
+		endG, evG := randomContendedRun(t, seed, true)
+		if ulpsApart(endP, endG) > maxUlps {
+			t.Fatalf("seed %d: partial makespan %v != global %v (diff %g)",
+				seed, endP, endG, math.Abs(endP-endG))
+		}
+		if len(evP) != len(evG) {
+			t.Fatalf("seed %d: %d events (partial) vs %d (global)", seed, len(evP), len(evG))
+		}
+		for i := range evP {
+			p, g := evP[i], evG[i]
+			if p.kind != g.kind || p.a != g.a || p.b != g.b || p.vol != g.vol ||
+				ulpsApart(p.start, g.start) > maxUlps || ulpsApart(p.end, g.end) > maxUlps {
+				t.Fatalf("seed %d event %d: partial %+v != global %+v", seed, i, p, g)
+			}
+		}
+	}
+}
+
+// TestPartialReshareMatchesGlobalRing runs the deterministic contended ring
+// under both paths and compares every completion bit for bit.
+func TestPartialReshareMatchesGlobalRing(t *testing.T) {
+	for _, n := range []int{2, 3, 8, 16} {
+		kp, trp := ringKernel(n, false)
+		endP, errP := kp.Run()
+		kg, trg := ringKernel(n, true)
+		endG, errG := kg.Run()
+		if errP != nil || errG != nil {
+			t.Fatalf("n=%d: errs %v / %v", n, errP, errG)
+		}
+		if endP != endG {
+			t.Fatalf("n=%d: partial makespan %v != global %v", n, endP, endG)
+		}
+		sp, sg := trp.sorted(), trg.sorted()
+		for i := range sp {
+			if sp[i] != sg[i] {
+				t.Fatalf("n=%d event %d: %+v != %+v", n, i, sp[i], sg[i])
+			}
+		}
+	}
+}
+
+// TestRepeatedRunDeterminism verifies run-to-run bit-level determinism on a
+// contended topology: with intrusive ordered sets there is no map iteration
+// left to randomize floating-point accumulation order.
+func TestRepeatedRunDeterminism(t *testing.T) {
+	var refEnd float64
+	var refEv []traceEvent
+	for run := 0; run < 5; run++ {
+		k, tr := ringKernel(9, false)
+		end, err := k.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run == 0 {
+			refEnd = end
+			refEv = append([]traceEvent(nil), tr.events...)
+			continue
+		}
+		if end != refEnd {
+			t.Fatalf("run %d: makespan %v != %v", run, end, refEnd)
+		}
+		if len(tr.events) != len(refEv) {
+			t.Fatalf("run %d: %d events != %d", run, len(tr.events), len(refEv))
+		}
+		for i := range refEv {
+			if tr.events[i] != refEv[i] {
+				t.Fatalf("run %d event %d: %+v != %+v", run, i, tr.events[i], refEv[i])
+			}
+		}
+	}
+}
+
+// TestSolverRepeatedSolveDeterministic re-solves an identical flow slice and
+// demands bit-identical allocations every time.
+func TestSolverRepeatedSolveDeterministic(t *testing.T) {
+	flows, _ := benchFlows(64, 16)
+	var s maxMinSolver
+	s.solve(flows)
+	ref := make([]float64, len(flows))
+	for i, a := range flows {
+		ref[i] = a.allocated
+	}
+	for round := 0; round < 10; round++ {
+		s.solve(flows)
+		for i, a := range flows {
+			if a.allocated != ref[i] {
+				t.Fatalf("round %d flow %d: %v != %v", round, i, a.allocated, ref[i])
+			}
+		}
+	}
+}
+
+// TestUnconstrainedFlowGetsLargestBandwidth covers the documented fallback:
+// a flow crossing no links must receive the largest link bandwidth seen by
+// the solve — not a zero share that would hang the transfer.
+func TestUnconstrainedFlowGetsLargestBandwidth(t *testing.T) {
+	la := &Link{Name: "a", Bandwidth: 50}
+	lb := &Link{Name: "b", Bandwidth: 200}
+	free := &activity{kind: actComm, bwFactor: 1} // no links
+	f1 := &activity{kind: actComm, links: []*Link{la}, bwFactor: 1}
+	f2 := &activity{kind: actComm, links: []*Link{lb}, bwFactor: 1}
+	var s maxMinSolver
+	s.solve([]*activity{f1, free, f2})
+	if free.allocated != 200 {
+		t.Fatalf("unconstrained flow allocated %v, want 200 (largest bandwidth seen)", free.allocated)
+	}
+	if f1.allocated != 50 || f2.allocated != 200 {
+		t.Fatalf("constrained flows got %v, %v", f1.allocated, f2.allocated)
+	}
+	// With no links anywhere the share degenerates to "effectively
+	// infinite" but stays finite so rate arithmetic cannot produce NaNs.
+	lone := &activity{kind: actComm, bwFactor: 1}
+	s.solve([]*activity{lone})
+	if lone.allocated != math.MaxFloat64 {
+		t.Fatalf("linkless-only solve allocated %v", lone.allocated)
+	}
+}
+
+// TestSolveZeroAllocs guards the solver's allocation-free steady state.
+func TestSolveZeroAllocs(t *testing.T) {
+	flows, _ := benchFlows(64, 16)
+	var s maxMinSolver
+	s.solve(flows) // warm scratch
+	if n := testing.AllocsPerRun(100, func() { s.solve(flows) }); n != 0 {
+		t.Fatalf("solve allocates %v times per run", n)
+	}
+}

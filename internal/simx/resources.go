@@ -12,8 +12,11 @@ type Host struct {
 	Speed float64 // flop/s per core
 	Cores int
 
-	computes map[*activity]struct{}
-	loop     *Link // private loopback link for intra-host communications
+	// computes holds the running compute activities in start order; each
+	// activity records its index in pos, so removal is O(1) without a map.
+	computes []*activity
+	loop     *Link  // private loopback link for intra-host communications
+	loopRt   *Route // cached single-link route over loop
 }
 
 // Link is a network resource with a nominal bandwidth (byte/s) and latency
@@ -26,6 +29,12 @@ type Link struct {
 
 	// index assigned by the max-min solver for fast lookups.
 	idx int
+	// flows lists the transfers currently crossing the link; it is the
+	// adjacency structure the kernel walks to find the connected component
+	// affected by a flow joining or leaving (partial resharing).
+	flows []*activity
+	// mark is the kernel's visit epoch during component traversal.
+	mark uint64
 }
 
 // Route is an ordered sequence of links connecting two hosts. Latency is the
@@ -44,16 +53,16 @@ func (k *Kernel) AddHost(name string, speed float64, cores int) *Host {
 		cores = 1
 	}
 	h := &Host{
-		Name:     name,
-		Speed:    speed,
-		Cores:    cores,
-		computes: make(map[*activity]struct{}),
+		Name:  name,
+		Speed: speed,
+		Cores: cores,
 		loop: &Link{
 			Name:      name + "_loopback",
 			Bandwidth: k.LoopbackBandwidth,
 			Latency:   k.LoopbackLatency,
 		},
 	}
+	h.loopRt = &Route{Links: []*Link{h.loop}, Latency: h.loop.Latency}
 	k.hosts[name] = h
 	return h
 }
@@ -95,7 +104,7 @@ func (k *Kernel) AddRoute(src, dst string, links []*Link) {
 // host-private loopback when source and destination coincide.
 func (k *Kernel) routeBetween(src, dst *Host) *Route {
 	if src == dst {
-		return &Route{Links: []*Link{src.loop}, Latency: src.loop.Latency}
+		return src.loopRt
 	}
 	r := k.routes[src.Name+"|"+dst.Name]
 	if r == nil {

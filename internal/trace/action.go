@@ -199,96 +199,9 @@ func formatVolume(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
-// parseProcID accepts "p3" or "3" and returns the rank.
-func parseProcID(s string) (int, error) {
-	t := strings.TrimPrefix(s, "p")
-	v, err := strconv.Atoi(t)
-	if err != nil || v < 0 {
-		return -1, fmt.Errorf("trace: bad process id %q", s)
-	}
-	return v, nil
-}
-
 // ParseLine parses one line of the textual format. Empty lines and lines
-// starting with '#' yield ok=false with a nil error.
+// starting with '#' yield ok=false with a nil error. It is the string
+// convenience wrapper over ParseLineBytes, the allocation-free fast path.
 func ParseLine(line string) (a Action, ok bool, err error) {
-	fields := strings.Fields(line)
-	if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
-		return Action{}, false, nil
-	}
-	if len(fields) < 2 {
-		return Action{}, false, fmt.Errorf("trace: truncated entry %q", line)
-	}
-	proc, err := parseProcID(fields[0])
-	if err != nil {
-		return Action{}, false, err
-	}
-	typ, known := TypeFromName(fields[1])
-	if !known {
-		return Action{}, false, fmt.Errorf("trace: unknown action %q", fields[1])
-	}
-	a = Action{Proc: proc, Type: typ, Peer: -1}
-	args := fields[2:]
-	need := func(n int) error {
-		if len(args) < n {
-			return fmt.Errorf("trace: %s entry %q needs %d argument(s)", typ, line, n)
-		}
-		return nil
-	}
-	switch typ {
-	case Compute, Bcast:
-		if err := need(1); err != nil {
-			return Action{}, false, err
-		}
-		if a.Volume, err = strconv.ParseFloat(args[0], 64); err != nil {
-			return Action{}, false, fmt.Errorf("trace: bad volume in %q: %w", line, err)
-		}
-	case Send, Isend:
-		if err := need(2); err != nil {
-			return Action{}, false, err
-		}
-		if a.Peer, err = parseProcID(args[0]); err != nil {
-			return Action{}, false, err
-		}
-		if a.Volume, err = strconv.ParseFloat(args[1], 64); err != nil {
-			return Action{}, false, fmt.Errorf("trace: bad volume in %q: %w", line, err)
-		}
-	case Recv, Irecv:
-		if err := need(1); err != nil {
-			return Action{}, false, err
-		}
-		if a.Peer, err = parseProcID(args[0]); err != nil {
-			return Action{}, false, err
-		}
-		if len(args) >= 2 {
-			if a.Volume, err = strconv.ParseFloat(args[1], 64); err != nil {
-				return Action{}, false, fmt.Errorf("trace: bad volume in %q: %w", line, err)
-			}
-			a.HasVolume = true
-		}
-	case Reduce, AllReduce:
-		if err := need(2); err != nil {
-			return Action{}, false, err
-		}
-		if a.Volume, err = strconv.ParseFloat(args[0], 64); err != nil {
-			return Action{}, false, fmt.Errorf("trace: bad vcomm in %q: %w", line, err)
-		}
-		if a.Volume2, err = strconv.ParseFloat(args[1], 64); err != nil {
-			return Action{}, false, fmt.Errorf("trace: bad vcomp in %q: %w", line, err)
-		}
-	case CommSize:
-		if err := need(1); err != nil {
-			return Action{}, false, err
-		}
-		n, err := strconv.Atoi(args[0])
-		if err != nil || n < 1 {
-			return Action{}, false, fmt.Errorf("trace: bad comm_size in %q", line)
-		}
-		a.Volume = float64(n)
-	case Barrier, Wait:
-	}
-	if err := a.Validate(); err != nil {
-		return Action{}, false, err
-	}
-	return a, true, nil
+	return ParseLineBytes([]byte(line))
 }

@@ -1,0 +1,363 @@
+package trace
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// This file is the byte-level fast path of the textual codec: ParseLineBytes
+// parses one trace line without converting it to a string and without
+// allocating, which is what lets file-based replays stream millions of
+// actions per second. ParseLine and the Scanner are thin layers over it.
+
+// maxLineFields bounds the number of fields any action line can need; extra
+// trailing fields are ignored, matching the historical parser.
+const maxLineFields = 4
+
+// asciiSpace flags the ASCII whitespace bytes; a table lookup is the
+// cheapest per-byte classification in the tokenizer, the hottest loop of
+// trace scanning.
+var asciiSpace = [256]bool{' ': true, '\t': true, '\r': true, '\n': true, '\v': true, '\f': true}
+
+// splitFieldsBytes tokenizes line on ASCII whitespace into at most
+// maxLineFields fields, returning the field count. Fields beyond the cap are
+// ignored (trailing garbage has always been tolerated).
+func splitFieldsBytes(line []byte, fields *[maxLineFields][]byte) int {
+	n := 0
+	i := 0
+	for {
+		for i < len(line) && asciiSpace[line[i]] {
+			i++
+		}
+		if i >= len(line) || n == maxLineFields {
+			break
+		}
+		start := i
+		for i < len(line) && !asciiSpace[line[i]] {
+			i++
+		}
+		fields[n] = line[start:i]
+		n++
+	}
+	return n
+}
+
+// parseProcIDBytes accepts "p3" or "3" and returns the rank.
+func parseProcIDBytes(s []byte) (int, error) {
+	t := s
+	if len(t) > 0 && t[0] == 'p' {
+		t = t[1:]
+	}
+	v, ok := parseIntBytes(t)
+	if !ok || v < 0 {
+		return -1, fmt.Errorf("trace: bad process id %q", s)
+	}
+	return v, nil
+}
+
+// parseIntBytes parses a decimal integer with an optional sign, mirroring
+// strconv.Atoi for the inputs traces contain. Inputs longer than 18 digits
+// are rejected (they would not be valid ranks or sizes anyway).
+func parseIntBytes(s []byte) (int, bool) {
+	if len(s) == 0 {
+		return 0, false
+	}
+	neg := false
+	if s[0] == '+' || s[0] == '-' {
+		neg = s[0] == '-'
+		s = s[1:]
+	}
+	if len(s) == 0 || len(s) > 18 {
+		return 0, false
+	}
+	n := int64(0)
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int64(c-'0')
+	}
+	if neg {
+		n = -n
+	}
+	// Reject values a 32-bit int cannot hold, matching strconv.Atoi's
+	// ErrRange behavior on those platforms.
+	if n > int64(maxInt) || n < -int64(maxInt)-1 {
+		return 0, false
+	}
+	return int(n), true
+}
+
+const maxInt = int(^uint(0) >> 1)
+
+// pow10tab holds the exactly-representable powers of ten used by the float
+// fast path.
+var pow10tab = [23]float64{
+	1e0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11,
+	1e12, 1e13, 1e14, 1e15, 1e16, 1e17, 1e18, 1e19, 1e20, 1e21, 1e22,
+}
+
+// parseFloatBytes parses a float64 from b without allocating. The fast path
+// covers the decimal forms the trace writer emits (digits, optional point,
+// optional e-notation); it is exact — Clinger's criterion: when the mantissa
+// fits in 2^53 and the scaling power of ten is itself exact, one rounded
+// multiply or divide yields the correctly rounded result, bit-identical to
+// strconv.ParseFloat. Anything unusual (hex floats, huge mantissas, inf/NaN
+// spellings) falls back to strconv on a copied string.
+func parseFloatBytes(b []byte) (float64, error) {
+	if len(b) == 0 {
+		return strconv.ParseFloat("", 64)
+	}
+	i := 0
+	neg := false
+	if b[i] == '+' || b[i] == '-' {
+		neg = b[i] == '-'
+		i++
+	}
+	mant := uint64(0)
+	digits := 0 // significant digits accumulated into mant (≤ 19 fits uint64)
+	frac := 0   // digits after the decimal point folded into mant
+	sawDigit := false
+	for i < len(b) && b[i] == '0' { // leading zeros carry no mantissa digits
+		sawDigit = true
+		i++
+	}
+	for ; i < len(b); i++ {
+		c := b[i]
+		if c < '0' || c > '9' {
+			break
+		}
+		sawDigit = true
+		mant = mant*10 + uint64(c-'0')
+		digits++
+		if digits > 19 {
+			return parseFloatSlow(b)
+		}
+	}
+	if i < len(b) && b[i] == '.' {
+		i++
+		if mant == 0 {
+			// Zeros right after the point shift the exponent only.
+			for i < len(b) && b[i] == '0' {
+				sawDigit = true
+				frac++
+				i++
+			}
+		}
+		for ; i < len(b); i++ {
+			c := b[i]
+			if c < '0' || c > '9' {
+				break
+			}
+			sawDigit = true
+			mant = mant*10 + uint64(c-'0')
+			digits++
+			frac++
+			if digits > 19 {
+				return parseFloatSlow(b)
+			}
+		}
+	}
+	if !sawDigit {
+		return parseFloatSlow(b)
+	}
+	exp := -frac
+	if i < len(b) && (b[i] == 'e' || b[i] == 'E') {
+		i++
+		eneg := false
+		if i < len(b) && (b[i] == '+' || b[i] == '-') {
+			eneg = b[i] == '-'
+			i++
+		}
+		if i >= len(b) {
+			return parseFloatSlow(b)
+		}
+		e := 0
+		for ; i < len(b); i++ {
+			c := b[i]
+			if c < '0' || c > '9' {
+				return parseFloatSlow(b)
+			}
+			if e < 10000 {
+				e = e*10 + int(c-'0')
+			}
+		}
+		if eneg {
+			exp -= e
+		} else {
+			exp += e
+		}
+	}
+	if i != len(b) {
+		return parseFloatSlow(b)
+	}
+	// Exactness window: mantissa must be a 53-bit integer and the power of
+	// ten an exactly-representable float.
+	if mant>>53 != 0 || exp < -22 || exp > 22 {
+		return parseFloatSlow(b)
+	}
+	f := float64(mant)
+	if exp > 0 {
+		f *= pow10tab[exp]
+	} else if exp < 0 {
+		f /= pow10tab[-exp]
+	}
+	if neg {
+		f = -f
+	}
+	return f, nil
+}
+
+// parseFloatSlow is the allocation-paying fallback for inputs outside the
+// fast path; it defines the accepted grammar (strconv's).
+func parseFloatSlow(b []byte) (float64, error) {
+	return strconv.ParseFloat(string(b), 64)
+}
+
+// eqFold reports whether s equals the all-lowercase keyword kw under ASCII
+// case folding. Keywords contain no byte that a non-ASCII rune could fold
+// to, so this matches the historical ToLower-based comparison exactly.
+func eqFold(s []byte, kw string) bool {
+	for i := 0; i < len(kw); i++ {
+		c := s[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != kw[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// typeFromBytes resolves an action keyword without allocating or hashing,
+// including the historical case-insensitive acceptance ("isend",
+// "ALLREDUCE"). Dispatch on length keeps it to a couple of byte compares.
+func typeFromBytes(s []byte) (ActionType, bool) {
+	switch len(s) {
+	case 4:
+		switch {
+		case eqFold(s, "send"):
+			return Send, true
+		case eqFold(s, "recv"):
+			return Recv, true
+		case eqFold(s, "wait"):
+			return Wait, true
+		}
+	case 5:
+		switch {
+		case eqFold(s, "isend"):
+			return Isend, true
+		case eqFold(s, "irecv"):
+			return Irecv, true
+		case eqFold(s, "bcast"):
+			return Bcast, true
+		}
+	case 6:
+		if eqFold(s, "reduce") {
+			return Reduce, true
+		}
+	case 7:
+		switch {
+		case eqFold(s, "compute"):
+			return Compute, true
+		case eqFold(s, "barrier"):
+			return Barrier, true
+		}
+	case 9:
+		switch {
+		case eqFold(s, "allreduce"):
+			return AllReduce, true
+		case eqFold(s, "comm_size"):
+			return CommSize, true
+		}
+	}
+	return 0, false
+}
+
+// ParseLineBytes parses one line of the textual format without allocating in
+// the common case. Empty lines and lines starting with '#' yield ok=false
+// with a nil error. It accepts exactly the grammar of ParseLine and produces
+// bit-identical volumes.
+func ParseLineBytes(line []byte) (a Action, ok bool, err error) {
+	var fields [maxLineFields][]byte
+	n := splitFieldsBytes(line, &fields)
+	if n == 0 || fields[0][0] == '#' {
+		return Action{}, false, nil
+	}
+	if n < 2 {
+		return Action{}, false, fmt.Errorf("trace: truncated entry %q", line)
+	}
+	proc, err := parseProcIDBytes(fields[0])
+	if err != nil {
+		return Action{}, false, err
+	}
+	typ, known := typeFromBytes(fields[1])
+	if !known {
+		return Action{}, false, fmt.Errorf("trace: unknown action %q", fields[1])
+	}
+	a = Action{Proc: proc, Type: typ, Peer: -1}
+	args := fields[2:n]
+	need := func(want int) error {
+		if len(args) < want {
+			return fmt.Errorf("trace: %s entry %q needs %d argument(s)", typ, line, want)
+		}
+		return nil
+	}
+	switch typ {
+	case Compute, Bcast:
+		if err := need(1); err != nil {
+			return Action{}, false, err
+		}
+		if a.Volume, err = parseFloatBytes(args[0]); err != nil {
+			return Action{}, false, fmt.Errorf("trace: bad volume in %q: %w", line, err)
+		}
+	case Send, Isend:
+		if err := need(2); err != nil {
+			return Action{}, false, err
+		}
+		if a.Peer, err = parseProcIDBytes(args[0]); err != nil {
+			return Action{}, false, err
+		}
+		if a.Volume, err = parseFloatBytes(args[1]); err != nil {
+			return Action{}, false, fmt.Errorf("trace: bad volume in %q: %w", line, err)
+		}
+	case Recv, Irecv:
+		if err := need(1); err != nil {
+			return Action{}, false, err
+		}
+		if a.Peer, err = parseProcIDBytes(args[0]); err != nil {
+			return Action{}, false, err
+		}
+		if len(args) >= 2 {
+			if a.Volume, err = parseFloatBytes(args[1]); err != nil {
+				return Action{}, false, fmt.Errorf("trace: bad volume in %q: %w", line, err)
+			}
+			a.HasVolume = true
+		}
+	case Reduce, AllReduce:
+		if err := need(2); err != nil {
+			return Action{}, false, err
+		}
+		if a.Volume, err = parseFloatBytes(args[0]); err != nil {
+			return Action{}, false, fmt.Errorf("trace: bad vcomm in %q: %w", line, err)
+		}
+		if a.Volume2, err = parseFloatBytes(args[1]); err != nil {
+			return Action{}, false, fmt.Errorf("trace: bad vcomp in %q: %w", line, err)
+		}
+	case CommSize:
+		if err := need(1); err != nil {
+			return Action{}, false, err
+		}
+		nproc, ok := parseIntBytes(args[0])
+		if !ok || nproc < 1 {
+			return Action{}, false, fmt.Errorf("trace: bad comm_size in %q", line)
+		}
+		a.Volume = float64(nproc)
+	case Barrier, Wait:
+	}
+	if err := a.Validate(); err != nil {
+		return Action{}, false, err
+	}
+	return a, true, nil
+}

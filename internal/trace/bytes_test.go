@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"io"
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseFloatBytesMatchesStrconv demands bit-identical results between
+// the byte-level fast path and strconv.ParseFloat, which the old parser
+// used: replayed simulated times must not move because scanning got faster.
+func TestParseFloatBytesMatchesStrconv(t *testing.T) {
+	cases := []string{
+		"0", "1", "-1", "+1", "163840", "1e+06", "1.52e+07", "0.25",
+		"3.0517578125e-05", "9007199254740992", "9007199254740993",
+		"1234567890123456789012345", "1e300", "1e-300", "1e22", "1e23",
+		"1e-22", "1e-23", "0.0003", "000123.450", "5.", ".5", "-0",
+		"1.7976931348623157e+308", "5e-324", "2.2250738585072014e-308",
+		"1e999", "-1e999", "1e-999", "Inf", "-Inf", "NaN", "inf", "nan",
+		"0x1p3", "1_0", "", ".", "e5", "1e", "1e+", "++1", "1.2.3",
+	}
+	for _, c := range cases {
+		want, werr := strconv.ParseFloat(c, 64)
+		got, gerr := parseFloatBytes([]byte(c))
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("%q: err %v vs strconv %v", c, gerr, werr)
+		}
+		if werr != nil {
+			continue
+		}
+		if math.IsNaN(want) != math.IsNaN(got) ||
+			(!math.IsNaN(want) && math.Float64bits(got) != math.Float64bits(want)) {
+			t.Fatalf("%q: got %v (%x), strconv %v (%x)",
+				c, got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+	}
+}
+
+// TestParseFloatBytesRoundTripProperty: for any float the writer can emit,
+// the byte parser recovers the exact same bits (shortest-form decimal
+// round-trip), and random decimal strings agree with strconv.
+func TestParseFloatBytesRoundTripProperty(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		s := strconv.FormatFloat(v, 'g', -1, 64)
+		got, err := parseFloatBytes([]byte(s))
+		return err == nil && math.Float64bits(got) == math.Float64bits(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+	// Volumes the writer actually produces: non-negative, often integral.
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		v := rng.Float64() * math.Pow(10, float64(rng.Intn(20)-4))
+		s := strconv.FormatFloat(v, 'g', -1, 64)
+		got, err := parseFloatBytes([]byte(s))
+		if err != nil || math.Float64bits(got) != math.Float64bits(v) {
+			t.Fatalf("%q: got %v err %v want %v", s, got, err, v)
+		}
+	}
+}
+
+// TestParseLineBytesMatchesParseLine cross-checks the byte path against the
+// string entry point over formatted actions.
+func TestParseLineBytesMatchesParseLine(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		a := randomAction(rng)
+		line := a.Format()
+		b1, ok1, err1 := ParseLine(line)
+		b2, ok2, err2 := ParseLineBytes([]byte(line))
+		if ok1 != ok2 || (err1 == nil) != (err2 == nil) || b1 != b2 {
+			t.Fatalf("%q: string path (%+v,%v,%v) != byte path (%+v,%v,%v)",
+				line, b1, ok1, err1, b2, ok2, err2)
+		}
+		if !ok1 || b1 != a {
+			t.Fatalf("%q: parsed %+v, want %+v", line, b1, a)
+		}
+	}
+}
+
+// TestParseLineBytesZeroAllocs guards the allocation-free scan path for
+// every action shape in the format.
+func TestParseLineBytesZeroAllocs(t *testing.T) {
+	lines := [][]byte{
+		[]byte("p3 compute 1.52e+07"),
+		[]byte("p1 send p0 163840"),
+		[]byte("p0 Isend p2 8192"),
+		[]byte("p0 recv p1"),
+		[]byte("p2 Irecv p0 4096"),
+		[]byte("p0 bcast 1e+06"),
+		[]byte("p5 reduce 8192 1.5e+06"),
+		[]byte("p5 allReduce 8192 1.5e+06"),
+		[]byte("p7 barrier"),
+		[]byte("p0 comm_size 64"),
+		[]byte("p1 wait"),
+		[]byte("# a comment line"),
+		[]byte("   "),
+	}
+	n := testing.AllocsPerRun(200, func() {
+		for _, ln := range lines {
+			if _, _, err := ParseLineBytes(ln); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if n != 0 {
+		t.Fatalf("ParseLineBytes allocates %v times per run", n)
+	}
+}
+
+// TestScannerLongLine exercises the spill path for lines larger than the
+// read buffer.
+func TestScannerLongLine(t *testing.T) {
+	var long []byte
+	long = append(long, []byte("p0 compute 42")...)
+	pad := make([]byte, 1<<17) // larger than the 64 KiB read buffer
+	for i := range pad {
+		pad[i] = ' '
+	}
+	long = append(long, pad...)
+	long = append(long, []byte("\np1 wait\n")...)
+	sc := NewScanner(newSliceReader(long))
+	var got []Action
+	for sc.Scan() {
+		got = append(got, sc.Action())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Volume != 42 || got[1].Type != Wait {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+// newSliceReader returns a reader that yields b in small chunks, forcing
+// the scanner through its refill paths.
+func newSliceReader(b []byte) *chunkReader { return &chunkReader{b: b, chunk: 4096} }
+
+type chunkReader struct {
+	b     []byte
+	chunk int
+}
+
+func (r *chunkReader) Read(p []byte) (int, error) {
+	if len(r.b) == 0 {
+		return 0, io.EOF
+	}
+	n := r.chunk
+	if n > len(r.b) || n > len(p) {
+		n = min(len(r.b), len(p))
+	}
+	copy(p, r.b[:n])
+	r.b = r.b[n:]
+	return n, nil
+}

@@ -1,0 +1,20 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestScannerRejectsOversizedLine: a newline-free input larger than the
+// 1 MiB line cap must surface bufio.ErrTooLong, as before the rewrite.
+func TestScannerRejectsOversizedLine(t *testing.T) {
+	big := bytes.Repeat([]byte("x"), maxLineBytes+4096)
+	sc := NewScanner(bytes.NewReader(big))
+	for sc.Scan() {
+	}
+	if err := sc.Err(); !errors.Is(err, bufio.ErrTooLong) {
+		t.Fatalf("err = %v, want ErrTooLong", err)
+	}
+}

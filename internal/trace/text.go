@@ -57,19 +57,25 @@ func WriteAll(w io.Writer, actions []Action) error {
 	return tw.Flush()
 }
 
-// Scanner streams actions from a textual trace.
+// maxLineBytes caps how much the Scanner buffers for a single line, the
+// same 1 MiB bound the previous bufio.Scanner-based implementation used.
+const maxLineBytes = 1 << 20
+
+// Scanner streams actions from a textual trace. It reads lines as views
+// into the underlying buffered reader — no per-line copy or string — and
+// parses them with the byte-level fast path, so scanning large traces is
+// allocation-free after warm-up.
 type Scanner struct {
-	sc   *bufio.Scanner
+	br   *bufio.Reader
 	line int
 	cur  Action
 	err  error
+	long []byte // spill buffer for lines longer than the read buffer
 }
 
 // NewScanner wraps r in a trace scanner.
 func NewScanner(r io.Reader) *Scanner {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
-	return &Scanner{sc: sc}
+	return &Scanner{br: bufio.NewReaderSize(r, 1<<16)}
 }
 
 // Scan advances to the next action, skipping blanks and comments. It returns
@@ -78,20 +84,52 @@ func (s *Scanner) Scan() bool {
 	if s.err != nil {
 		return false
 	}
-	for s.sc.Scan() {
+	for {
+		line, err := s.br.ReadSlice('\n')
+		if err == bufio.ErrBufferFull {
+			// Rare oversized line: stitch the pieces in the spill buffer,
+			// bounded like the old bufio.Scanner configuration so a
+			// newline-free (corrupt or binary) input errors out instead of
+			// buffering the whole file.
+			s.long = append(s.long[:0], line...)
+			for err == bufio.ErrBufferFull {
+				line, err = s.br.ReadSlice('\n')
+				s.long = append(s.long, line...)
+				if len(s.long) > maxLineBytes {
+					s.err = fmt.Errorf("line %d: %w", s.line+1, bufio.ErrTooLong)
+					return false
+				}
+			}
+			line = s.long
+		}
+		if err != nil && err != io.EOF {
+			s.err = err
+			return false
+		}
+		atEOF := err == io.EOF
+		if n := len(line); n > 0 && line[n-1] == '\n' {
+			line = line[:n-1]
+			if n := len(line); n > 0 && line[n-1] == '\r' {
+				line = line[:n-1]
+			}
+		}
+		if len(line) == 0 && atEOF {
+			return false
+		}
 		s.line++
-		a, ok, err := ParseLine(s.sc.Text())
-		if err != nil {
-			s.err = fmt.Errorf("line %d: %w", s.line, err)
+		a, ok, perr := ParseLineBytes(line)
+		if perr != nil {
+			s.err = fmt.Errorf("line %d: %w", s.line, perr)
 			return false
 		}
 		if ok {
 			s.cur = a
 			return true
 		}
+		if atEOF {
+			return false
+		}
 	}
-	s.err = s.sc.Err()
-	return false
 }
 
 // Action returns the action read by the last successful Scan.
@@ -114,6 +152,15 @@ func ParseAll(r io.Reader) ([]Action, error) {
 // throughout the paper: "SG_process<rank>.trace".
 func ProcessFileName(rank int) string {
 	return fmt.Sprintf("SG_process%d.trace", rank)
+}
+
+// GzipFileName is ProcessFileName's gzip-container variant.
+func GzipFileName(rank int) string { return ProcessFileName(rank) + ".gz" }
+
+// BinaryFileName is the per-process file name of the binary codec:
+// "SG_process<rank>.tib".
+func BinaryFileName(rank int) string {
+	return fmt.Sprintf("SG_process%d.tib", rank)
 }
 
 // WriteSplit writes one trace file per process under dir, named with
