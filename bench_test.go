@@ -27,6 +27,14 @@
 // The replay-level effect shows up in BenchmarkFigure9ReplayTime below
 // (actions/s) without any change to the SimulatedTime metrics the paper's
 // figures report.
+//
+// The zero-allocation steady-state PR (lazy rate-epoch rescheduling,
+// interned mailbox IDs, pooled Comm handles, mmap'd binary traces) extends
+// the table: KernelReshare dropped a further 1.3x in time and 3.5x in
+// allocations, and the new BenchmarkReplaySteadyState (internal/replay)
+// pins the post/match/complete cycle at 0 allocs/op — enforced by the CI
+// bench job via cmd/benchdiff against BENCH_baseline.json; the measured
+// before/after table lives in ROADMAP.md.
 package tireplay_bench
 
 import (

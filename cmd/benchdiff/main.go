@@ -1,0 +1,269 @@
+// Command benchdiff gates benchmark regressions in CI: it parses `go test
+// -bench` output, aggregates repeated runs (-count=N) into per-benchmark
+// medians, and compares them against a committed baseline.
+//
+// Usage:
+//
+//	go test ./... -bench . -benchmem -count=5 | tee bench.txt
+//	benchdiff -baseline BENCH_baseline.json -bench bench.txt -out benchdiff.json
+//	benchdiff -baseline BENCH_baseline.json -bench bench.txt -update
+//
+// The comparison fails (exit 1) when a benchmark regresses by more than
+// -threshold (default 15%) in ns/op, when its allocs/op increase at all —
+// the allocation-free steady state is a hard invariant, not a budget — or
+// when a baseline benchmark disappears from the run. New benchmarks absent
+// from the baseline are reported but do not fail; commit them with -update.
+//
+// Time comparisons are only meaningful between runs on the same class of
+// machine (the CI runner that produced the baseline); allocs/op is
+// machine-independent.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's aggregated measurement.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Runs        int     `json:"runs,omitempty"`
+}
+
+// Baseline is the committed reference file.
+type Baseline struct {
+	Note       string            `json:"note,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// Comparison is the per-benchmark verdict written to the -out artifact.
+type Comparison struct {
+	Name         string  `json:"name"`
+	BaseNsPerOp  float64 `json:"base_ns_per_op"`
+	CurNsPerOp   float64 `json:"cur_ns_per_op"`
+	NsRatio      float64 `json:"ns_ratio"`
+	BaseAllocs   int64   `json:"base_allocs_per_op"`
+	CurAllocs    int64   `json:"cur_allocs_per_op"`
+	Status       string  `json:"status"` // ok | ns-regression | alloc-regression | missing | new
+	ThresholdPct float64 `json:"threshold_pct"`
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkReplaySteadyState-8   300000   1824 ns/op   0 B/op   0 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
+
+var (
+	bytesField  = regexp.MustCompile(`([0-9.]+) B/op`)
+	allocsField = regexp.MustCompile(`([0-9.]+) allocs/op`)
+)
+
+// parseBench collects every benchmark line of r, keyed by name (the
+// GOMAXPROCS suffix is stripped), keeping all repeated measurements.
+func parseBench(r io.Reader) (map[string][]Result, error) {
+	out := make(map[string][]Result)
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		res := Result{NsPerOp: ns}
+		if bm := bytesField.FindStringSubmatch(m[3]); bm != nil {
+			b, _ := strconv.ParseFloat(bm[1], 64)
+			res.BytesPerOp = int64(b)
+		}
+		if am := allocsField.FindStringSubmatch(m[3]); am != nil {
+			a, _ := strconv.ParseFloat(am[1], 64)
+			res.AllocsPerOp = int64(a)
+		}
+		out[m[1]] = append(out[m[1]], res)
+	}
+	return out, nil
+}
+
+// aggregate reduces repeated runs to one Result: median ns/op (robust to a
+// noisy outlier run) and minimum allocs/op (allocations are deterministic;
+// the minimum discards one-off runtime noise).
+func aggregate(runs []Result) Result {
+	ns := make([]float64, len(runs))
+	agg := Result{AllocsPerOp: runs[0].AllocsPerOp, BytesPerOp: runs[0].BytesPerOp, Runs: len(runs)}
+	for i, r := range runs {
+		ns[i] = r.NsPerOp
+		if r.AllocsPerOp < agg.AllocsPerOp {
+			agg.AllocsPerOp = r.AllocsPerOp
+		}
+		if r.BytesPerOp < agg.BytesPerOp {
+			agg.BytesPerOp = r.BytesPerOp
+		}
+	}
+	sort.Float64s(ns)
+	if n := len(ns); n%2 == 1 {
+		agg.NsPerOp = ns[n/2]
+	} else {
+		agg.NsPerOp = (ns[n/2-1] + ns[n/2]) / 2
+	}
+	return agg
+}
+
+// compare evaluates current against base. It returns the per-benchmark
+// verdicts and whether any of them is a failure.
+func compare(base, current map[string]Result, threshold float64) ([]Comparison, bool) {
+	names := make([]string, 0, len(base))
+	for n := range base {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var out []Comparison
+	failed := false
+	for _, n := range names {
+		b := base[n]
+		c := Comparison{Name: n, BaseNsPerOp: b.NsPerOp, BaseAllocs: b.AllocsPerOp,
+			ThresholdPct: threshold * 100}
+		cur, ok := current[n]
+		switch {
+		case !ok:
+			c.Status = "missing"
+			failed = true
+		default:
+			c.CurNsPerOp = cur.NsPerOp
+			c.CurAllocs = cur.AllocsPerOp
+			if b.NsPerOp > 0 {
+				c.NsRatio = cur.NsPerOp / b.NsPerOp
+			}
+			switch {
+			case cur.AllocsPerOp > b.AllocsPerOp:
+				c.Status = "alloc-regression"
+				failed = true
+			case b.NsPerOp > 0 && cur.NsPerOp > b.NsPerOp*(1+threshold):
+				c.Status = "ns-regression"
+				failed = true
+			default:
+				c.Status = "ok"
+			}
+		}
+		out = append(out, c)
+	}
+	// Surface benchmarks the baseline does not know about.
+	extra := make([]string, 0)
+	for n := range current {
+		if _, ok := base[n]; !ok {
+			extra = append(extra, n)
+		}
+	}
+	sort.Strings(extra)
+	for _, n := range extra {
+		cur := current[n]
+		out = append(out, Comparison{Name: n, CurNsPerOp: cur.NsPerOp,
+			CurAllocs: cur.AllocsPerOp, Status: "new", ThresholdPct: threshold * 100})
+	}
+	return out, failed
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_baseline.json", "committed baseline JSON")
+		benchPath    = flag.String("bench", "-", "go test -bench output file ('-' for stdin)")
+		outPath      = flag.String("out", "", "write the comparison result JSON here")
+		threshold    = flag.Float64("threshold", 0.15, "allowed fractional ns/op regression")
+		update       = flag.Bool("update", false, "rewrite the baseline from the bench output instead of comparing")
+		note         = flag.String("note", "", "note stored in the baseline on -update (e.g. the machine class)")
+	)
+	flag.Parse()
+
+	in := os.Stdin
+	if *benchPath != "-" {
+		f, err := os.Open(*benchPath)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	runs, err := parseBench(in)
+	if err != nil {
+		fail(err)
+	}
+	if len(runs) == 0 {
+		fail(fmt.Errorf("no benchmark lines found in %s", *benchPath))
+	}
+	current := make(map[string]Result, len(runs))
+	for name, rs := range runs {
+		current[name] = aggregate(rs)
+	}
+
+	if *update {
+		b := Baseline{Note: *note, Benchmarks: current}
+		if err := writeJSON(*baselinePath, b); err != nil {
+			fail(err)
+		}
+		fmt.Printf("benchdiff: wrote %d benchmarks to %s\n", len(current), *baselinePath)
+		return
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fail(err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fail(fmt.Errorf("%s: %w", *baselinePath, err))
+	}
+	comps, failed := compare(base.Benchmarks, current, *threshold)
+	for _, c := range comps {
+		switch c.Status {
+		case "ok":
+			fmt.Printf("ok    %-50s %12.1f ns/op (%.2fx base) %d allocs/op\n",
+				c.Name, c.CurNsPerOp, c.NsRatio, c.CurAllocs)
+		case "new":
+			fmt.Printf("new   %-50s %12.1f ns/op %d allocs/op (not in baseline; run -update)\n",
+				c.Name, c.CurNsPerOp, c.CurAllocs)
+		case "missing":
+			fmt.Printf("FAIL  %-50s missing from bench output\n", c.Name)
+		case "ns-regression":
+			fmt.Printf("FAIL  %-50s %12.1f ns/op is %.2fx baseline %.1f (limit %.0f%%)\n",
+				c.Name, c.CurNsPerOp, c.NsRatio, c.BaseNsPerOp, c.ThresholdPct)
+		case "alloc-regression":
+			fmt.Printf("FAIL  %-50s %d allocs/op, baseline %d (any increase fails)\n",
+				c.Name, c.CurAllocs, c.BaseAllocs)
+		}
+	}
+	if *outPath != "" {
+		if err := writeJSON(*outPath, comps); err != nil {
+			fail(err)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

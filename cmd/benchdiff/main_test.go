@@ -1,0 +1,109 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: tireplay/internal/simx
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkMaxMinSolve/flows-8-8         	 3837818	       311.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkMaxMinSolve/flows-8-8         	 3837818	       320.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkMaxMinSolve/flows-8-8         	 3837818	       305.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkReplaySteadyState-8           	  300000	      1824 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	tireplay/internal/simx	12.3s
+`
+
+func TestParseBenchAggregates(t *testing.T) {
+	runs, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(runs), runs)
+	}
+	solve := aggregate(runs["BenchmarkMaxMinSolve/flows-8"])
+	if solve.NsPerOp != 311.0 { // median of {305, 311, 320}
+		t.Fatalf("median ns/op = %g, want 311", solve.NsPerOp)
+	}
+	if solve.AllocsPerOp != 0 || solve.Runs != 3 {
+		t.Fatalf("aggregate = %+v", solve)
+	}
+	steady := aggregate(runs["BenchmarkReplaySteadyState"])
+	if steady.NsPerOp != 1824 || steady.AllocsPerOp != 0 {
+		t.Fatalf("steady = %+v", steady)
+	}
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	base := map[string]Result{
+		"BenchmarkA": {NsPerOp: 100, AllocsPerOp: 0},
+		"BenchmarkB": {NsPerOp: 100, AllocsPerOp: 2},
+		"BenchmarkC": {NsPerOp: 100, AllocsPerOp: 0},
+		"BenchmarkD": {NsPerOp: 100, AllocsPerOp: 0},
+	}
+	current := map[string]Result{
+		"BenchmarkA": {NsPerOp: 110, AllocsPerOp: 0}, // +10% < 15%: ok
+		"BenchmarkB": {NsPerOp: 90, AllocsPerOp: 3},  // faster but one more alloc: fail
+		"BenchmarkC": {NsPerOp: 120, AllocsPerOp: 0}, // +20% > 15%: fail
+		// BenchmarkD missing: fail
+		"BenchmarkE": {NsPerOp: 50, AllocsPerOp: 1}, // new: reported, not a failure
+	}
+	comps, failed := compare(base, current, 0.15)
+	if !failed {
+		t.Fatal("compare should have failed")
+	}
+	status := make(map[string]string)
+	for _, c := range comps {
+		status[c.Name] = c.Status
+	}
+	want := map[string]string{
+		"BenchmarkA": "ok",
+		"BenchmarkB": "alloc-regression",
+		"BenchmarkC": "ns-regression",
+		"BenchmarkD": "missing",
+		"BenchmarkE": "new",
+	}
+	for name, s := range want {
+		if status[name] != s {
+			t.Fatalf("%s: status %q, want %q (all: %v)", name, status[name], s, status)
+		}
+	}
+}
+
+func TestCompareAllOkPasses(t *testing.T) {
+	base := map[string]Result{"BenchmarkA": {NsPerOp: 100, AllocsPerOp: 1}}
+	current := map[string]Result{"BenchmarkA": {NsPerOp: 114.9, AllocsPerOp: 1}}
+	if _, failed := compare(base, current, 0.15); failed {
+		t.Fatal("within-threshold run must pass")
+	}
+	// Exactly at the boundary stays ok; just past it fails.
+	current["BenchmarkA"] = Result{NsPerOp: 115.1, AllocsPerOp: 1}
+	if _, failed := compare(base, current, 0.15); !failed {
+		t.Fatal("past-threshold run must fail")
+	}
+}
+
+func TestParseBenchNoMBLine(t *testing.T) {
+	// Lines with MB/s (throughput benchmarks) and without -benchmem fields
+	// both parse.
+	const doc = `BenchmarkScanBytes-8   100   5570000 ns/op   201.2 MB/s
+BenchmarkPlain   200   42.5 ns/op
+`
+	runs, err := parseBench(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("parsed %d, want 2: %v", len(runs), runs)
+	}
+	if runs["BenchmarkScanBytes"][0].NsPerOp != 5570000 {
+		t.Fatalf("scan = %+v", runs["BenchmarkScanBytes"])
+	}
+	if runs["BenchmarkPlain"][0].NsPerOp != 42.5 {
+		t.Fatalf("plain = %+v", runs["BenchmarkPlain"])
+	}
+}

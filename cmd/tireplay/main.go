@@ -10,7 +10,9 @@
 //
 // The deployment file names each process's trace file in its <argument>
 // element, as in the paper; with -dir, SG_process<rank>.trace files are
-// taken from the directory instead.
+// taken from the directory instead (falling back to the .trace.gz and .tib
+// encodings). Binary .tib traces are memory-mapped and decoded in place, so
+// startup on large traces is bounded by I/O alone.
 package main
 
 import (

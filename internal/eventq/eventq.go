@@ -73,6 +73,26 @@ func (q *Queue) Pop() *Event {
 	return top
 }
 
+// Update moves a pending event to the new due time t in place, sifting it
+// through the heap in O(log n) without releasing the handle — cheaper than a
+// Remove/Recycle/Push cycle because the event keeps its slot, and the kernel
+// reschedules completion events on every bandwidth reshare. The event is
+// re-sequenced as if freshly pushed, so ties at the same due time fire in
+// reschedule order — exactly the Remove+Push semantics, minus the free-list
+// round-trip. It returns false (and does nothing) if the event has already
+// fired or been removed.
+func (q *Queue) Update(ev *Event, t float64) bool {
+	if ev == nil || ev.pos < 0 || ev.pos >= len(q.heap) || q.heap[ev.pos] != ev {
+		return false
+	}
+	ev.Time = t
+	ev.seq = q.seq
+	q.seq++
+	q.down(ev.pos)
+	q.up(ev.pos)
+	return true
+}
+
 // Remove cancels a previously pushed event in O(log n) using the event's
 // heap index — the kernel reschedules every active flow's completion on
 // each bandwidth reshare, so this is a hot path. It is a no-op if the event

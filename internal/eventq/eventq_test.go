@@ -179,3 +179,87 @@ func TestLenConsistencyProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestUpdateMovesEventInPlace(t *testing.T) {
+	var q Queue
+	a := q.Push(1, "a")
+	b := q.Push(2, "b")
+	c := q.Push(3, "c")
+	if !q.Update(b, 0.5) {
+		t.Fatal("Update on pending event returned false")
+	}
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d after Update, want 3", q.Len())
+	}
+	var got []string
+	for ev := q.Pop(); ev != nil; ev = q.Pop() {
+		got = append(got, ev.Payload.(string))
+	}
+	want := []string{"b", "a", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
+	}
+	if q.Update(a, 9) || q.Update(c, 9) {
+		t.Fatal("Update on popped event must return false")
+	}
+	if q.Update(nil, 9) {
+		t.Fatal("Update(nil) must return false")
+	}
+}
+
+func TestUpdateMatchesRemovePushTieBreak(t *testing.T) {
+	// An updated event is re-sequenced: at an equal due time it fires after
+	// events that were already scheduled there, exactly as if it had been
+	// removed and re-pushed.
+	var q Queue
+	early := q.Push(1, "updated")
+	q.Push(5, "resident")
+	if !q.Update(early, 5) {
+		t.Fatal("Update returned false")
+	}
+	if first := q.Pop(); first.Payload.(string) != "resident" {
+		t.Fatalf("first pop = %q, want resident (updated event must re-sequence)", first.Payload)
+	}
+	if second := q.Pop(); second.Payload.(string) != "updated" {
+		t.Fatalf("second pop = %q, want updated", second.Payload)
+	}
+}
+
+func TestUpdateRandomisedAgainstRemovePush(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var qa, qb Queue
+	evA := make([]*Event, 0, 64)
+	evB := make([]*Event, 0, 64)
+	for i := 0; i < 64; i++ {
+		tm := rng.Float64() * 100
+		evA = append(evA, qa.Push(tm, i))
+		evB = append(evB, qb.Push(tm, i))
+	}
+	for step := 0; step < 500; step++ {
+		i := rng.Intn(len(evA))
+		tm := rng.Float64() * 100
+		okA := qa.Update(evA[i], tm)
+		okB := qb.Remove(evB[i])
+		if okB {
+			qb.Recycle(evB[i])
+			evB[i] = qb.Push(tm, i)
+		}
+		if okA != okB {
+			t.Fatalf("step %d: Update=%v Remove=%v", step, okA, okB)
+		}
+	}
+	for {
+		a, b := qa.Pop(), qb.Pop()
+		if a == nil || b == nil {
+			if a != b {
+				t.Fatal("queues drained at different lengths")
+			}
+			return
+		}
+		if a.Time != b.Time || a.Payload.(int) != b.Payload.(int) {
+			t.Fatalf("pop mismatch: (%g,%v) vs (%g,%v)", a.Time, a.Payload, b.Time, b.Payload)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package fifo
+
+import "testing"
+
+func TestFIFOOrder(t *testing.T) {
+	var q Queue[int]
+	if !q.Empty() || q.Len() != 0 {
+		t.Fatal("zero value not empty")
+	}
+	for i := 0; i < 100; i++ {
+		q.Push(i)
+	}
+	if q.Len() != 100 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	for i := 0; i < 100; i++ {
+		if v := q.Pop(); v != i {
+			t.Fatalf("Pop = %d, want %d", v, i)
+		}
+	}
+	if !q.Empty() {
+		t.Fatal("not empty after draining")
+	}
+}
+
+func TestFIFOInterleaved(t *testing.T) {
+	var q Queue[int]
+	next, expect := 0, 0
+	// Keep a persistent backlog of 3 while cycling many elements through.
+	for i := 0; i < 3; i++ {
+		q.Push(next)
+		next++
+	}
+	for round := 0; round < 10000; round++ {
+		q.Push(next)
+		next++
+		if v := q.Pop(); v != expect {
+			t.Fatalf("round %d: Pop = %d, want %d", round, v, expect)
+		}
+		expect++
+		if q.Len() != 3 {
+			t.Fatalf("round %d: backlog %d, want 3", round, q.Len())
+		}
+	}
+}
+
+func TestFIFOBacklogStaysCompact(t *testing.T) {
+	var q Queue[int]
+	// Persistent backlog of 4 that never drains: the compaction branch must
+	// bound the backing array near the backlog size, not the total traffic.
+	for i := 0; i < 4; i++ {
+		q.Push(i)
+	}
+	for i := 0; i < 1_000_000; i++ {
+		q.Push(4 + i)
+		q.Pop()
+	}
+	if got := cap(q.q); got > 256 {
+		t.Fatalf("backing array grew to %d slots for a backlog of 4", got)
+	}
+}
+
+func TestFIFOZeroAllocSteadyState(t *testing.T) {
+	var q Queue[*int]
+	x := new(int)
+	for i := 0; i < 64; i++ { // warm capacity
+		q.Push(x)
+	}
+	for !q.Empty() {
+		q.Pop()
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		q.Push(x)
+		q.Pop()
+	}); avg != 0 {
+		t.Fatalf("steady-state push/pop allocates %.2f allocs/op, want 0", avg)
+	}
+}

@@ -46,6 +46,10 @@ type simComm struct {
 	cfg   *SimConfig
 	flops float64
 	seq   int64
+
+	// sendMb / recvMb cache interned per-peer mailbox IDs (-1 unresolved).
+	sendMb []simx.MailboxID
+	recvMb []simx.MailboxID
 }
 
 var _ Comm = (*simComm)(nil)
@@ -58,9 +62,41 @@ type simRequest struct {
 	comm   *simx.Comm // nil for eager (already completed) sends
 }
 
-// mbox names the mailbox of the ordered rank pair.
+// mbox names the mailbox of the ordered rank pair; simComm interns the
+// name once per peer and addresses later traffic by dense mailbox ID.
 func mbox(src, dst int) string {
 	return "mpi:" + strconv.Itoa(src) + ">" + strconv.Itoa(dst)
+}
+
+// sendMbox resolves (caching on first use) the mailbox this rank sends to
+// dst on.
+func (c *simComm) sendMbox(dst int) simx.MailboxID {
+	if id := c.sendMb[dst]; id >= 0 {
+		return id
+	}
+	id := c.p.Kernel().MailboxID(mbox(c.me, dst))
+	c.sendMb[dst] = id
+	return id
+}
+
+// recvMbox resolves (caching on first use) the mailbox this rank receives
+// from src on.
+func (c *simComm) recvMbox(src int) simx.MailboxID {
+	if id := c.recvMb[src]; id >= 0 {
+		return id
+	}
+	id := c.p.Kernel().MailboxID(mbox(src, c.me))
+	c.recvMb[src] = id
+	return id
+}
+
+// newMboxTable returns an n-slot table of unresolved (-1) mailbox IDs.
+func newMboxTable(n int) []simx.MailboxID {
+	t := make([]simx.MailboxID, n)
+	for i := range t {
+		t[i] = -1
+	}
+	return t
 }
 
 func (c *simComm) Rank() int          { return c.me }
@@ -111,15 +147,15 @@ func (c *simComm) sendRaw(dst int, bytes float64) {
 	validRank("send to", dst, c.n)
 	c.chargeMessageCPU()
 	if bytes <= c.cfg.EagerThreshold {
-		c.p.ISendDetached(mbox(c.me, dst), bytes, bytes)
+		c.p.ISendDetachedID(c.sendMbox(dst), bytes, bytes)
 		return
 	}
-	c.p.Send(mbox(c.me, dst), bytes, bytes)
+	c.p.SendID(c.sendMbox(dst), bytes, bytes)
 }
 
 func (c *simComm) recvRaw(src int) float64 {
 	validRank("receive from", src, c.n)
-	h := c.p.IRecv(mbox(src, c.me))
+	h := c.p.IRecvID(c.recvMbox(src))
 	c.p.WaitComm(h)
 	c.chargeMessageCPU()
 	return h.Bytes()
@@ -131,13 +167,13 @@ func (c *simComm) Isend(dst int, bytes float64) Request {
 	validRank("isend to", dst, c.n)
 	c.chargeMessageCPU()
 	if bytes <= c.cfg.EagerThreshold {
-		c.p.ISendDetached(mbox(c.me, dst), bytes, bytes)
+		c.p.ISendDetachedID(c.sendMbox(dst), bytes, bytes)
 		return &simRequest{peer: dst, bytes: bytes}
 	}
 	return &simRequest{
 		peer:  dst,
 		bytes: bytes,
-		comm:  c.p.ISend(mbox(c.me, dst), bytes, bytes),
+		comm:  c.p.ISendID(c.sendMbox(dst), bytes, bytes),
 	}
 }
 
@@ -148,7 +184,7 @@ func (c *simComm) Irecv(src int) Request {
 	return &simRequest{
 		isRecv: true,
 		peer:   src,
-		comm:   c.p.IRecv(mbox(src, c.me)),
+		comm:   c.p.IRecvID(c.recvMbox(src)),
 	}
 }
 
@@ -197,7 +233,8 @@ func RunSimWrapped(b *platform.Build, depl *platform.Deployment, cfg SimConfig,
 		}
 		rank := i
 		k.Spawn(pd.Function, host, func(p *simx.Proc) {
-			var c Comm = &simComm{p: p, me: rank, n: n, cfg: &cfg}
+			var c Comm = &simComm{p: p, me: rank, n: n, cfg: &cfg,
+				sendMb: newMboxTable(n), recvMb: newMboxTable(n)}
 			if wrap != nil {
 				c = wrap(rank, c)
 			}

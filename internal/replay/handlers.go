@@ -4,10 +4,14 @@ import (
 	"fmt"
 	"strconv"
 
+	"tireplay/internal/simx"
 	"tireplay/internal/trace"
 )
 
 // p2pMbox names the mailbox of point-to-point traffic between two ranks.
+// The interned fast path resolves these names once per rank pair at spawn
+// time; the name-per-rendezvous reference path (Config.StringMailboxes)
+// formats them on every action.
 func p2pMbox(src, dst int) string {
 	return "replay:" + strconv.Itoa(src) + ">" + strconv.Itoa(dst)
 }
@@ -19,10 +23,65 @@ func collMbox(seq int64, src, dst int) string {
 	return "replay:coll" + strconv.FormatInt(seq, 10) + ":" + strconv.Itoa(src) + ">" + strconv.Itoa(dst)
 }
 
+// sendMbox resolves the mailbox this rank sends to dst on, interning the
+// name on first use and serving the cached ID afterwards.
+func (p *Proc) sendMbox(dst int) simx.MailboxID {
+	if p.sendMb == nil {
+		return p.Sim.Kernel().MailboxID(p2pMbox(p.Rank, dst))
+	}
+	id := p.sendMb[dst]
+	if id < 0 {
+		id = p.Sim.Kernel().MailboxID(p2pMbox(p.Rank, dst))
+		p.sendMb[dst] = id
+	}
+	return id
+}
+
+// recvMbox resolves the mailbox this rank receives from src on, interning
+// the name on first use and serving the cached ID afterwards.
+func (p *Proc) recvMbox(src int) simx.MailboxID {
+	if p.recvMb == nil {
+		return p.Sim.Kernel().MailboxID(p2pMbox(src, p.Rank))
+	}
+	id := p.recvMb[src]
+	if id < 0 {
+		id = p.Sim.Kernel().MailboxID(p2pMbox(src, p.Rank))
+		p.recvMb[src] = id
+	}
+	return id
+}
+
+// collMbox resolves the mailbox of the (src,dst) leg of collective round
+// seq. On the interned path the ID comes from the world's round table,
+// derived from the sequence counter with no name formatted or hashed.
+func (p *Proc) collMbox(seq int64, src, dst int) simx.MailboxID {
+	if p.world.stringMailboxes {
+		return p.Sim.Kernel().MailboxID(collMbox(seq, src, dst))
+	}
+	r := p.world.round(seq)
+	if src == 0 {
+		return r.down[dst]
+	}
+	return r.up[src]
+}
+
 // handleCompute simulates a CPU burst: the paper's example handler creating
 // and executing a SimGrid task of the traced volume.
 func handleCompute(p *Proc, a trace.Action) error {
 	p.Sim.Execute(a.Volume)
+	return nil
+}
+
+// checkPeer rejects peers outside the deployment: the run loop does not
+// re-validate actions (a custom Source can hand over anything), and the
+// interned mailbox tables are rank-sized, so an out-of-range peer — in
+// either direction — must fail with a diagnostic (on both mailbox paths)
+// rather than an index panic or a bare deadlock.
+func (p *Proc) checkPeer(peer int) error {
+	if peer < 0 || peer >= p.N {
+		return fmt.Errorf("replay: p%d names peer p%d but deployment has %d processes",
+			p.Rank, peer, p.N)
+	}
 	return nil
 }
 
@@ -32,11 +91,14 @@ func handleSend(p *Proc, a trace.Action) error {
 	if a.Peer == p.Rank {
 		return fmt.Errorf("replay: p%d sends to itself", p.Rank)
 	}
+	if err := p.checkPeer(a.Peer); err != nil {
+		return err
+	}
 	if a.Volume <= p.cfg.EagerThreshold {
-		p.Sim.ISendDetached(p2pMbox(p.Rank, a.Peer), a.Volume, a.Volume)
+		p.Sim.ISendDetachedID(p.sendMbox(a.Peer), a.Volume, nil)
 		return nil
 	}
-	p.Sim.Send(p2pMbox(p.Rank, a.Peer), a.Volume, a.Volume)
+	p.Sim.SendID(p.sendMbox(a.Peer), a.Volume, nil)
 	return nil
 }
 
@@ -46,32 +108,41 @@ func handleIsend(p *Proc, a trace.Action) error {
 	if a.Peer == p.Rank {
 		return fmt.Errorf("replay: p%d Isends to itself", p.Rank)
 	}
-	p.Sim.ISendDetached(p2pMbox(p.Rank, a.Peer), a.Volume, a.Volume)
+	if err := p.checkPeer(a.Peer); err != nil {
+		return err
+	}
+	p.Sim.ISendDetachedID(p.sendMbox(a.Peer), a.Volume, nil)
 	return nil
 }
 
 // handleRecv simulates a blocking receive from the traced source.
 func handleRecv(p *Proc, a trace.Action) error {
-	p.Sim.Recv(p2pMbox(a.Peer, p.Rank))
+	if err := p.checkPeer(a.Peer); err != nil {
+		return err
+	}
+	p.Sim.RecvID(p.recvMbox(a.Peer))
 	return nil
 }
 
 // handleIrecv posts an asynchronous receive; the request joins the rank's
 // FIFO of pending requests consumed by wait actions.
 func handleIrecv(p *Proc, a trace.Action) error {
-	h := p.Sim.IRecv(p2pMbox(a.Peer, p.Rank))
-	p.pending = append(p.pending, h)
+	if err := p.checkPeer(a.Peer); err != nil {
+		return err
+	}
+	p.pending.Push(p.Sim.IRecvID(p.recvMbox(a.Peer)))
 	return nil
 }
 
-// handleWait completes the oldest pending asynchronous receive.
+// handleWait completes the oldest pending asynchronous receive and returns
+// the consumed handle to the kernel pool.
 func handleWait(p *Proc, a trace.Action) error {
-	if len(p.pending) == 0 {
+	if p.pending.Empty() {
 		return fmt.Errorf("replay: p%d waits with no pending request", p.Rank)
 	}
-	h := p.pending[0]
-	p.pending = p.pending[1:]
+	h := p.pending.Pop()
 	p.Sim.WaitComm(h)
+	p.Sim.ReleaseComm(h)
 	return nil
 }
 
@@ -81,11 +152,11 @@ func handleBcast(p *Proc, a trace.Action) error {
 	seq := p.nextColl()
 	if p.Rank == 0 {
 		for i := 1; i < p.N; i++ {
-			p.Sim.Send(collMbox(seq, 0, i), a.Volume, a.Volume)
+			p.Sim.SendID(p.collMbox(seq, 0, i), a.Volume, nil)
 		}
 		return nil
 	}
-	p.Sim.Recv(collMbox(seq, 0, p.Rank))
+	p.Sim.RecvID(p.collMbox(seq, 0, p.Rank))
 	return nil
 }
 
@@ -95,10 +166,10 @@ func handleReduce(p *Proc, a trace.Action) error {
 	seq := p.nextColl()
 	if p.Rank == 0 {
 		for i := 1; i < p.N; i++ {
-			p.Sim.Recv(collMbox(seq, i, 0))
+			p.Sim.RecvID(p.collMbox(seq, i, 0))
 		}
 	} else {
-		p.Sim.Send(collMbox(seq, p.Rank, 0), a.Volume, a.Volume)
+		p.Sim.SendID(p.collMbox(seq, p.Rank, 0), a.Volume, nil)
 	}
 	if a.Volume2 > 0 {
 		p.Sim.Execute(a.Volume2)
@@ -112,14 +183,14 @@ func handleAllReduce(p *Proc, a trace.Action) error {
 	seq := p.nextColl()
 	if p.Rank == 0 {
 		for i := 1; i < p.N; i++ {
-			p.Sim.Recv(collMbox(seq, i, 0))
+			p.Sim.RecvID(p.collMbox(seq, i, 0))
 		}
 		for i := 1; i < p.N; i++ {
-			p.Sim.Send(collMbox(seq, 0, i), a.Volume, a.Volume)
+			p.Sim.SendID(p.collMbox(seq, 0, i), a.Volume, nil)
 		}
 	} else {
-		p.Sim.Send(collMbox(seq, p.Rank, 0), a.Volume, a.Volume)
-		p.Sim.Recv(collMbox(seq, 0, p.Rank))
+		p.Sim.SendID(p.collMbox(seq, p.Rank, 0), a.Volume, nil)
+		p.Sim.RecvID(p.collMbox(seq, 0, p.Rank))
 	}
 	if a.Volume2 > 0 {
 		p.Sim.Execute(a.Volume2)
@@ -133,14 +204,14 @@ func handleBarrier(p *Proc, a trace.Action) error {
 	const token = 1
 	if p.Rank == 0 {
 		for i := 1; i < p.N; i++ {
-			p.Sim.Recv(collMbox(seq, i, 0))
+			p.Sim.RecvID(p.collMbox(seq, i, 0))
 		}
 		for i := 1; i < p.N; i++ {
-			p.Sim.Send(collMbox(seq, 0, i), token, nil)
+			p.Sim.SendID(p.collMbox(seq, 0, i), token, nil)
 		}
 	} else {
-		p.Sim.Send(collMbox(seq, p.Rank, 0), token, nil)
-		p.Sim.Recv(collMbox(seq, 0, p.Rank))
+		p.Sim.SendID(p.collMbox(seq, p.Rank, 0), token, nil)
+		p.Sim.RecvID(p.collMbox(seq, 0, p.Rank))
 	}
 	return nil
 }

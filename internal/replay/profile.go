@@ -78,14 +78,23 @@ func (p *Profile) Processes() []*ProcProfile {
 }
 
 // Render prints the profile table. makespan (the replay's simulated time)
-// provides the idle-time column; pass 0 to omit it.
+// provides the idle-time column; a non-positive or NaN makespan — an empty
+// trace simulates in zero time — marks the column "-" instead of dividing
+// by it, and accumulated rounding cannot push the percentage outside
+// [0, 100].
 func (p *Profile) Render(w io.Writer, makespan float64) {
 	fmt.Fprintf(w, "%-8s | %12s %10s | %12s %12s | %10s\n",
 		"process", "compute", "flops", "comm (sent)", "bytes", "idle")
 	for _, pp := range p.Processes() {
-		idle := ""
-		if makespan > 0 {
-			idle = fmt.Sprintf("%9.1f%%", 100*(makespan-pp.ComputeTime-pp.SendTime)/makespan)
+		idle := "-"
+		if makespan > 0 { // false for NaN too
+			pct := 100 * (makespan - pp.ComputeTime - pp.SendTime) / makespan
+			if pct < 0 {
+				pct = 0
+			} else if pct > 100 {
+				pct = 100
+			}
+			idle = fmt.Sprintf("%9.1f%%", pct)
 		}
 		fmt.Fprintf(w, "%-8s | %11.3fs %10.3g | %11.3fs %12.3g | %10s\n",
 			pp.Name, pp.ComputeTime, pp.Flops, pp.SendTime, pp.SentBytes, idle)

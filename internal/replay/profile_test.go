@@ -2,6 +2,7 @@ package replay
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 )
@@ -68,5 +69,39 @@ func TestTeeFansOut(t *testing.T) {
 	}
 	if len(prof.Processes()) != 4 {
 		t.Fatalf("profile missing processes")
+	}
+}
+
+func TestProfileRenderZeroMakespan(t *testing.T) {
+	// An empty trace replays in zero simulated time; the idle column must
+	// degrade to "-" rather than dividing by the zero makespan.
+	prof := NewProfile()
+	prof.Compute("p0", "h0", 0, 0, 0)
+	var buf bytes.Buffer
+	prof.Render(&buf, 0)
+	out := buf.String()
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Fatalf("zero makespan rendered a NaN/Inf:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Fatalf("zero makespan should mark the idle column:\n%s", out)
+	}
+	buf.Reset()
+	prof.Render(&buf, math.NaN())
+	if out := buf.String(); strings.Contains(out, "NaN") {
+		t.Fatalf("NaN makespan leaked into the table:\n%s", out)
+	}
+}
+
+func TestProfileRenderIdleClamped(t *testing.T) {
+	// Rounding (or overlapping activity accounting) can push busy time a
+	// hair past the makespan; the idle percentage must stay in [0, 100].
+	prof := NewProfile()
+	prof.Compute("p0", "h0", 1e6, 0, 1.0000001)
+	var buf bytes.Buffer
+	prof.Render(&buf, 1.0)
+	out := buf.String()
+	if strings.Contains(out, "-0.0") {
+		t.Fatalf("idle percentage not clamped:\n%s", out)
 	}
 }

@@ -28,6 +28,10 @@ type Handler func(p *Proc, a trace.Action) error
 // configuration means Default().
 type Registry struct {
 	handlers map[string]Handler
+	// byType caches handlers of the known action types in a dense array,
+	// so the per-action Lookup on the replay hot path is an index, not a
+	// map hash.
+	byType [trace.NumTypes]Handler
 }
 
 // NewRegistry returns an empty registry.
@@ -39,15 +43,19 @@ func NewRegistry() *Registry {
 // ablation studies use this to swap collective implementations.
 func (r *Registry) Register(keyword string, h Handler) {
 	r.handlers[keyword] = h
+	if t, ok := trace.TypeFromName(keyword); ok {
+		r.byType[t] = h
+	}
 }
 
 // Lookup resolves the handler of an action type.
 func (r *Registry) Lookup(t trace.ActionType) (Handler, error) {
-	h, ok := r.handlers[t.String()]
-	if !ok {
-		return nil, fmt.Errorf("replay: no handler registered for action %q", t.String())
+	if int(t) < len(r.byType) {
+		if h := r.byType[t]; h != nil {
+			return h, nil
+		}
 	}
-	return h, nil
+	return nil, fmt.Errorf("replay: no handler registered for action %q", t.String())
 }
 
 // Keywords lists the registered keywords in sorted order.

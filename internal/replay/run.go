@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tireplay/internal/fifo"
 	"tireplay/internal/platform"
 	"tireplay/internal/simx"
 	"tireplay/internal/smpi"
@@ -28,6 +29,12 @@ type Config struct {
 	// TimedTracer, when non-nil, receives the timed trace of the simulated
 	// execution (the secondary output of Figure 4).
 	TimedTracer simx.Tracer
+	// StringMailboxes switches the handlers back to formatting and hashing
+	// a mailbox name on every rendezvous instead of the interned mailbox
+	// IDs resolved at rank spawn time. This is the reference path kept for
+	// the interning equivalence tests; both paths address the same
+	// mailboxes and produce identical timed traces.
+	StringMailboxes bool
 }
 
 func (c *Config) setDefaults() {
@@ -65,8 +72,18 @@ type Proc struct {
 	// N is the world size from the deployment.
 	N int
 
-	cfg     *Config
-	pending []*simx.Comm // FIFO of outstanding Irecv requests
+	cfg   *Config
+	world *world
+
+	// sendMb[d] / recvMb[s] are the rank's interned point-to-point mailbox
+	// IDs (this rank to d, s to this rank), resolved once at spawn; nil on
+	// the string-keyed reference path.
+	sendMb []simx.MailboxID
+	recvMb []simx.MailboxID
+
+	// pending is the FIFO of outstanding Irecv requests; the queue reuses
+	// its backing array, so wait-heavy traces do not grow it per round.
+	pending fifo.Queue[*simx.Comm]
 	collSeq int64
 }
 
@@ -75,6 +92,44 @@ func (p *Proc) nextColl() int64 {
 	s := p.collSeq
 	p.collSeq++
 	return s
+}
+
+// world is the replay state shared by every rank of one run. The kernel
+// schedules at most one rank at a time, so no locking is needed.
+type world struct {
+	k               *simx.Kernel
+	n               int
+	stringMailboxes bool
+
+	// coll is the collective mailbox table, indexed by round number. Every
+	// rank executes the same collective sequence, so rounds are created on
+	// demand in round order and all ranks meet in the same anonymous
+	// mailboxes — the IDs derive from the sequence counter, no name is
+	// formatted or hashed.
+	coll []collRound
+}
+
+// collRound holds the mailboxes of one collective round, indexed by the
+// non-root peer: down[i] carries root-to-i traffic, up[i] carries i-to-root.
+type collRound struct {
+	down []simx.MailboxID
+	up   []simx.MailboxID
+}
+
+// round returns (creating rounds up to seq on demand) round seq's mailboxes.
+func (w *world) round(seq int64) *collRound {
+	for int64(len(w.coll)) <= seq {
+		r := collRound{
+			down: make([]simx.MailboxID, w.n),
+			up:   make([]simx.MailboxID, w.n),
+		}
+		for i := 1; i < w.n; i++ {
+			r.down[i] = w.k.NewMailbox()
+			r.up[i] = w.k.NewMailbox()
+		}
+		w.coll = append(w.coll, r)
+	}
+	return &w.coll[seq]
 }
 
 // Source yields the successive actions of one rank's trace. Implementations
@@ -103,6 +158,9 @@ func (s *sliceSource) Next() (trace.Action, bool, error) {
 func SliceSource(actions []trace.Action) Source {
 	return &sliceSource{actions: actions}
 }
+
+// A mapped binary cursor streams records in place and is a Source as-is.
+var _ Source = (*trace.BinaryCursor)(nil)
 
 // scannerSource streams actions from a trace scanner.
 type scannerSource struct{ sc *trace.Scanner }
@@ -140,6 +198,7 @@ func Run(b *platform.Build, depl *platform.Deployment, cfg Config, sources []Sou
 
 	var actions atomic.Int64
 	errs := make([]error, n)
+	w := &world{k: k, n: n, stringMailboxes: cfg.StringMailboxes}
 	for i, pd := range depl.Processes {
 		host := k.Host(pd.Host)
 		if host == nil {
@@ -147,8 +206,23 @@ func Run(b *platform.Build, depl *platform.Deployment, cfg Config, sources []Sou
 		}
 		rank := i
 		src := sources[i]
+		var sendMb, recvMb []simx.MailboxID
+		if !cfg.StringMailboxes {
+			// Allocate the rank-local tables caching the interned
+			// point-to-point mailbox IDs: the first rendezvous with a peer
+			// resolves the name once, every later one addresses the dense
+			// ID with no strconv or map hash. (-1 marks unresolved slots,
+			// so only pairs the trace actually uses are ever interned.)
+			sendMb = make([]simx.MailboxID, n)
+			recvMb = make([]simx.MailboxID, n)
+			for peer := 0; peer < n; peer++ {
+				sendMb[peer] = -1
+				recvMb[peer] = -1
+			}
+		}
 		k.Spawn(pd.Function, host, func(sp *simx.Proc) {
-			p := &Proc{Sim: sp, Rank: rank, N: n, cfg: &cfg}
+			p := &Proc{Sim: sp, Rank: rank, N: n, cfg: &cfg, world: w,
+				sendMb: sendMb, recvMb: recvMb}
 			for {
 				a, ok, err := src.Next()
 				if err != nil {
@@ -231,8 +305,9 @@ func RunFiles(b *platform.Build, depl *platform.Deployment, cfg Config) (*Result
 	return Run(b, depl, cfg, sources)
 }
 
-// openSource returns a streaming source for plain-text traces and an
-// in-memory one for compressed or binary traces.
+// openSource returns a streaming source for plain-text traces, a mapped
+// in-place decoder for binary traces, and an in-memory list for compressed
+// ones.
 func openSource(path string) (Source, io.Closer, error) {
 	if strings.HasSuffix(path, ".gz") {
 		actions, err := trace.ReadFile(path)
@@ -245,15 +320,23 @@ func openSource(path string) (Source, io.Closer, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	// Binary traces are detected by magic; fall back to loading them.
+	// Binary traces are detected by magic and memory-mapped: the cursor
+	// decodes records straight out of the page cache, so replay startup is
+	// I/O-bound only (trace.OpenMapped falls back to an in-memory read on
+	// platforms without mmap).
 	head := make([]byte, 4)
 	if n, _ := f.ReadAt(head, 0); n == 4 && string(head) == "TITB" {
 		f.Close()
-		actions, err := trace.ReadFile(path)
+		m, err := trace.OpenMapped(path)
 		if err != nil {
 			return nil, nil, err
 		}
-		return SliceSource(actions), nil, nil
+		cur, err := m.Cursor()
+		if err != nil {
+			m.Close()
+			return nil, nil, fmt.Errorf("trace: %s: %w", path, err)
+		}
+		return cur, m, nil
 	}
 	if _, err := f.Seek(0, 0); err != nil {
 		f.Close()

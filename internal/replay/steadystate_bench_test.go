@@ -1,0 +1,77 @@
+package replay
+
+import (
+	"runtime"
+	"testing"
+
+	"tireplay/internal/platform"
+	"tireplay/internal/smpi"
+	"tireplay/internal/trace"
+)
+
+// pingPongSource synthesises a rendezvous ping stream on the fly, so the
+// benchmark input costs no per-action memory: rank 0 sends n messages to
+// rank 1, which receives them.
+type pingPongSource struct {
+	rank int
+	n    int
+	vol  float64
+	i    int
+}
+
+func (s *pingPongSource) Next() (trace.Action, bool, error) {
+	if s.i >= s.n {
+		return trace.Action{}, false, nil
+	}
+	s.i++
+	if s.rank == 0 {
+		return trace.Action{Proc: 0, Type: trace.Send, Peer: 1, Volume: s.vol}, true, nil
+	}
+	return trace.Action{Proc: 1, Type: trace.Recv, Peer: 0}, true, nil
+}
+
+// BenchmarkReplaySteadyState measures the post/match/complete cycle of the
+// replay engine end to end — trace action in, handler dispatch, interned
+// mailbox rendezvous, latency + transfer events, completion — and guards
+// the allocation-free steady state: the reported allocs/op must stay 0
+// (pool growth and spawn costs amortise away), and the built-in assertion
+// fails the benchmark outright if the cycle starts allocating.
+func BenchmarkReplaySteadyState(b *testing.B) {
+	bld, err := platform.BuildBordereauCustom(2, 1, platform.BordereauPower)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := platform.RoundRobin(bld.HostNames, 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// 128 KiB rides above the default eager threshold: every send is a
+	// synchronous rendezvous, the worst case for the matching path.
+	sources := []Source{
+		&pingPongSource{rank: 0, n: b.N, vol: 128 * 1024},
+		&pingPongSource{rank: 1, n: b.N, vol: 128 * 1024},
+	}
+	b.ReportAllocs()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	b.ResetTimer()
+	res, err := Run(bld, d, Config{Model: smpi.Identity()}, sources)
+	b.StopTimer()
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Actions != int64(2*b.N) {
+		b.Fatalf("replayed %d actions, want %d", res.Actions, 2*b.N)
+	}
+	// Allocation guard: beyond the constant setup (spawn, pools warming,
+	// run bookkeeping) the cycle must not allocate. Only meaningful once
+	// b.N dwarfs the setup.
+	if b.N >= 10000 {
+		perOp := float64(after.Mallocs-before.Mallocs) / float64(b.N)
+		if perOp >= 1 {
+			b.Fatalf("steady-state replay allocates %.3f allocs/op, want amortised 0", perOp)
+		}
+	}
+}

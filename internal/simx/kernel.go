@@ -47,8 +47,22 @@
 //     reassociation of the untouched components' progress updates (see
 //     TestPartialReshareMatchesGlobal and its Ring variant).
 //
-//   - Activities and queue events are pooled on free lists, so steady-state
-//     replay performs no per-action heap allocation in the kernel.
+//   - Rescheduling is lazy. After a component is re-solved, a flow whose
+//     fair share came out unchanged keeps its pending completion event: the
+//     event time is a mathematically equal expression of the same completion
+//     instant, so the cancel+push round-trip (and its heap churn) is skipped.
+//     Activities stamp the reshare epoch that last changed their rate
+//     (rateEpoch); SetEagerReschedule(true) restores the cancel+push
+//     reference path and TestLazyRescheduleMatchesEager pins the
+//     equivalence. Events that do move are sifted in place
+//     (eventq.Queue.Update) instead of removed and re-pushed.
+//
+//   - Activities, queue events and communication handles are pooled on free
+//     lists, mailboxes are interned behind dense IDs (MailboxID) so the
+//     rendezvous path neither formats nor hashes a name, and routes resolve
+//     through a pointer-keyed per-host cache — so steady-state replay
+//     performs no per-action heap allocation at all (see
+//     TestPostMatchCompleteZeroAllocs and BenchmarkReplaySteadyState).
 //
 // SetGlobalReshare(true) restores the reference full-reshare path, which is
 // useful to cross-check simulations and benchmark the gain.
@@ -61,6 +75,7 @@ import (
 	"strings"
 
 	"tireplay/internal/eventq"
+	"tireplay/internal/fifo"
 )
 
 // RateModel adjusts a point-to-point communication according to the message
@@ -90,13 +105,18 @@ type Kernel struct {
 	// routes maps "src|dst" to the route between two hosts.
 	routes map[string]*Route
 
-	procs     []*Proc
-	runq      []*Proc
+	procs []*Proc
+	// runq reuses one backing array across scheduling batches instead of
+	// re-slicing it away.
+	runq      fifo.Queue[*Proc]
 	blocked   int
 	living    int
 	procPanic error // first panic raised by a process body
 
+	// mailboxes resolves string names; mboxByID is the dense table behind
+	// interned MailboxIDs (anonymous mailboxes live only there).
 	mailboxes map[string]*Mailbox
+	mboxByID  []*Mailbox
 
 	// flows holds the comm activities in transfer phase, in start order;
 	// each activity records its index in pos.
@@ -109,14 +129,34 @@ type Kernel struct {
 	// used by equivalence tests and benchmarks.
 	globalReshare bool
 
+	// eagerResched disables lazy rescheduling: every reshare cancels and
+	// re-pushes the completion event of every touched activity even when
+	// its rate did not change. The lazy path skips that event-queue churn
+	// by comparing the freshly solved rate against the current one (the
+	// activity's rateEpoch records the last reshare that actually changed
+	// it). globalReshare implies eager, so the reference path stays the
+	// paper-style full re-solve.
+	eagerResched bool
+
+	// rateEpoch counts reshare passes; an activity is stamped with the pass
+	// that last changed its rate. The skip decision itself compares the
+	// freshly solved rate against the current one; the epoch is the
+	// auditable record that a skipped activity's completion event was left
+	// in place (see TestRateEpochStamping).
+	rateEpoch uint64
+	// lazySkips counts completion events left in place by the lazy path.
+	lazySkips uint64
+
 	// Partial-reshare scratch: BFS epoch, frontier stack and the collected
 	// component, reused across transitions.
 	epoch     uint64
 	compStack []*activity
 	comp      []*activity
 
-	// actPool recycles completed activities.
-	actPool []*activity
+	// actPool recycles completed activities; commPool recycles released
+	// communication handles.
+	actPool  []*activity
+	commPool []*Comm
 
 	// DefaultLoopback is used for communications between two processes on
 	// the same host (e.g. folded acquisitions); it is modelled as a private
@@ -155,6 +195,21 @@ func (k *Kernel) SetTracer(t Tracer) { k.tracer = t }
 // that claim and to measure the speedup.
 func (k *Kernel) SetGlobalReshare(on bool) { k.globalReshare = on }
 
+// SetEagerReschedule switches the kernel back to the reference rescheduling
+// path that cancels and re-pushes every touched activity's completion event
+// on each reshare, even when the solved rate is unchanged. The default lazy
+// path leaves events of rate-stable activities in place; this switch exists
+// for the lazy-vs-eager equivalence tests and to measure the gain.
+func (k *Kernel) SetEagerReschedule(on bool) { k.eagerResched = on }
+
+// eager reports whether rescheduling must be unconditional; the global
+// reference path is always eager.
+func (k *Kernel) eager() bool { return k.eagerResched || k.globalReshare }
+
+// LazySkips reports how many completion-event reschedules the lazy path
+// elided because the activity's solved rate was unchanged.
+func (k *Kernel) LazySkips() uint64 { return k.lazySkips }
+
 // DeadlockError reports a simulation that cannot progress: the event queue
 // is empty while processes are still blocked.
 type DeadlockError struct {
@@ -172,9 +227,8 @@ func (e *DeadlockError) Error() string {
 // processes remained blocked when the event queue drained.
 func (k *Kernel) Run() (float64, error) {
 	for {
-		for len(k.runq) > 0 {
-			p := k.runq[0]
-			k.runq = k.runq[1:]
+		for !k.runq.Empty() {
+			p := k.runq.Pop()
 			k.step(p)
 			if k.procPanic != nil {
 				// A process body panicked: abort the simulation. Blocked
@@ -253,12 +307,17 @@ func (k *Kernel) completeActivity(a *activity) {
 			k.tracer.Comm(a.srcName, a.dstName, a.volume, a.start, k.now)
 		}
 		// Detach the comm handles so they stay queryable after the
-		// activity is recycled.
+		// activity is recycled. Detached (fire-and-forget) sends have no
+		// holder left once the transfer is done, so their handles go
+		// straight back to the pool.
 		for i, c := range a.comms {
 			if c != nil {
 				c.done = true
 				c.act = nil
 				a.comms[i] = nil
+				if c.detached {
+					k.freeComm(c)
+				}
 			}
 		}
 	case actSleep:
@@ -282,7 +341,7 @@ func (k *Kernel) wake(p *Proc) {
 	p.blockKind = blockNone
 	p.blockComm = nil
 	k.blocked--
-	k.runq = append(k.runq, p)
+	k.runq.Push(p)
 }
 
 // removeCompute takes a out of h's compute set in O(1) via its position.
@@ -316,12 +375,20 @@ func (k *Kernel) reshareHost(h *Host) {
 	if n == 0 {
 		return
 	}
+	k.rateEpoch++
 	share := h.Speed
 	if n > h.Cores {
 		share = h.Speed * float64(h.Cores) / float64(n)
 	}
 	for _, a := range h.computes {
+		if a.rate == share && a.doneEv != nil && !k.eager() {
+			// The fair share did not move (e.g. a burst joined a host with
+			// spare cores): the pending completion event is still exact.
+			k.lazySkips++
+			continue
+		}
 		a.rate = share
+		a.rateEpoch = k.rateEpoch
 		k.reschedule(a, a.remaining/a.rate)
 	}
 }
@@ -442,6 +509,7 @@ func (k *Kernel) reshareFlows(flows []*activity) {
 	if len(flows) == 0 {
 		return
 	}
+	k.rateEpoch++
 	k.maxmin.solve(flows)
 	for _, a := range flows {
 		// The bandwidth factor models protocol efficiency: the flow occupies
@@ -450,20 +518,29 @@ func (k *Kernel) reshareFlows(flows []*activity) {
 		if rate <= 0 {
 			rate = math.SmallestNonzeroFloat64
 		}
+		if rate == a.rate && a.doneEv != nil && !k.eager() {
+			// Rate-epoch lazy rescheduling: the solver handed the flow the
+			// same share it already progresses at, so its pending completion
+			// event is still exact — skip the cancel+push churn. (Settling
+			// above only moved progress bookkeeping to now; it does not move
+			// the completion instant.)
+			k.lazySkips++
+			continue
+		}
 		a.rate = rate
+		a.rateEpoch = k.rateEpoch
 		k.reschedule(a, a.remaining/a.rate)
 	}
 }
 
-// reschedule moves a's completion event to now+dt.
+// reschedule moves a's completion event to now+dt, sifting the pending event
+// in place when there is one (no free-list round-trip on the hot path).
 func (k *Kernel) reschedule(a *activity, dt float64) {
-	if a.doneEv != nil {
-		if k.queue.Remove(a.doneEv) {
-			k.queue.Recycle(a.doneEv)
-		}
-	}
 	if math.IsInf(dt, 0) || math.IsNaN(dt) {
 		panic(fmt.Sprintf("simx: invalid completion delay %g for activity of %q", dt, a.ownerName))
+	}
+	if a.doneEv != nil && k.queue.Update(a.doneEv, k.now+dt) {
+		return
 	}
 	a.doneEv = k.queue.Push(k.now+dt, a)
 }

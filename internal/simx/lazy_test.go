@@ -1,0 +1,173 @@
+package simx
+
+import (
+	"math"
+	"testing"
+)
+
+// TestLazyRescheduleMatchesEager compares the default lazy rescheduling path
+// against the eager reference (cancel+push on every reshare) on the
+// contended ring: the solved rates are identical, so every traced time must
+// agree to within a few ulps — the lazy path merely keeps an earlier,
+// mathematically equal expression of the same completion instant.
+func TestLazyRescheduleMatchesEager(t *testing.T) {
+	const maxUlps = 8
+	for _, n := range []int{2, 3, 8, 16} {
+		kl, trl := ringKernel(n, false)
+		endL, errL := kl.Run()
+		ke, tre := ringKernel(n, false)
+		ke.SetEagerReschedule(true)
+		endE, errE := ke.Run()
+		if errL != nil || errE != nil {
+			t.Fatalf("n=%d: errs %v / %v", n, errL, errE)
+		}
+		if ulpsApart(endL, endE) > maxUlps {
+			t.Fatalf("n=%d: lazy makespan %v != eager %v (diff %g)",
+				n, endL, endE, math.Abs(endL-endE))
+		}
+		sl, se := trl.sorted(), tre.sorted()
+		if len(sl) != len(se) {
+			t.Fatalf("n=%d: %d events (lazy) vs %d (eager)", n, len(sl), len(se))
+		}
+		for i := range sl {
+			l, e := sl[i], se[i]
+			if l.kind != e.kind || l.a != e.a || l.b != e.b || l.vol != e.vol ||
+				ulpsApart(l.start, e.start) > maxUlps || ulpsApart(l.end, e.end) > maxUlps {
+				t.Fatalf("n=%d event %d: lazy %+v != eager %+v", n, i, l, e)
+			}
+		}
+		// With only two hosts every transition really does move every rate;
+		// from three on, some co-solved flows keep their share and the lazy
+		// path must have elided their reschedules.
+		if n > 2 && kl.LazySkips() == 0 {
+			t.Fatalf("n=%d: lazy path recorded no skipped reschedules", n)
+		}
+		if ke.LazySkips() != 0 {
+			t.Fatalf("n=%d: eager path skipped %d reschedules", n, ke.LazySkips())
+		}
+	}
+}
+
+// TestLazyRescheduleRandomTopologies repeats the comparison on the random
+// multi-hop topologies of the partial-reshare suite, where components merge
+// and split and many transitions leave most rates untouched.
+func TestLazyRescheduleRandomTopologies(t *testing.T) {
+	const maxUlps = 16
+	for seed := int64(1); seed <= 10; seed++ {
+		endL, evL := randomContendedRun(t, seed, false)
+		endE, evE := randomContendedEagerRun(t, seed)
+		if ulpsApart(endL, endE) > maxUlps {
+			t.Fatalf("seed %d: lazy makespan %v != eager %v", seed, endL, endE)
+		}
+		if len(evL) != len(evE) {
+			t.Fatalf("seed %d: %d events (lazy) vs %d (eager)", seed, len(evL), len(evE))
+		}
+		for i := range evL {
+			l, e := evL[i], evE[i]
+			if l.kind != e.kind || l.a != e.a || l.b != e.b || l.vol != e.vol ||
+				ulpsApart(l.start, e.start) > maxUlps || ulpsApart(l.end, e.end) > maxUlps {
+				t.Fatalf("seed %d event %d: lazy %+v != eager %+v", seed, i, l, e)
+			}
+		}
+	}
+}
+
+// pumpOne fires the next queued event against the kernel, test-side.
+func pumpOne(t *testing.T, k *Kernel) {
+	t.Helper()
+	ev := k.queue.Pop()
+	if ev == nil {
+		t.Fatal("event queue drained early")
+	}
+	k.now = ev.Time
+	k.handleEvent(ev)
+	k.queue.Recycle(ev)
+}
+
+// TestRateEpochStamping drives the bookkeeping behind the lazy path
+// white-box: an activity's rateEpoch records the reshare pass that last
+// changed its rate, so a co-solved flow whose share comes out unchanged
+// keeps its epoch (the completion event provably stayed in place) while a
+// flow whose share moves is stamped with the new pass.
+func TestRateEpochStamping(t *testing.T) {
+	// Scenario A: the shared link is never binding for the long flow (its
+	// private uplink is), so the short flow joining and leaving re-solves
+	// the long flow without changing its rate: epoch frozen, skips counted.
+	k := New()
+	ha := k.AddHost("a", 1e9, 1)
+	hb := k.AddHost("b", 1e9, 1)
+	hc := k.AddHost("c", 1e9, 1)
+	up := k.AddLink("up", 1e8, 1e-6)
+	shared := k.AddLink("shared", 10e9, 1e-6)
+	k.AddRoute("a", "b", []*Link{up, shared})
+	k.AddRoute("c", "b", []*Link{shared})
+	pa := &Proc{k: k, name: "pa", host: ha}
+	pb := &Proc{k: k, name: "pb", host: hb}
+	pc := &Proc{k: k, name: "pc", host: hc}
+	m1 := k.mailboxAt(k.NewMailbox())
+	m2 := k.mailboxAt(k.NewMailbox())
+	k.post(pa, m1, 1e9, nil, true) // long flow, bottlenecked on up
+	k.postRecv(pb, m1)
+	k.post(pc, m2, 1e6, nil, true) // short flow, ample shared bandwidth
+	rc := k.postRecv(pb, m2)
+	pumpOne(t, k) // latency paid: first flow joins
+	pumpOne(t, k) // second flow joins, component co-solved
+	if len(k.flows) != 2 {
+		t.Fatalf("%d flows in transfer, want 2", len(k.flows))
+	}
+	var long *activity
+	for _, f := range k.flows {
+		if len(f.links) == 2 {
+			long = f
+		}
+	}
+	if long == nil {
+		t.Fatal("long flow not found")
+	}
+	epoch, skips := long.rateEpoch, k.LazySkips()
+	pumpOne(t, k) // short flow completes; component re-solved
+	if !rc.done {
+		t.Fatal("short flow did not complete first")
+	}
+	if long.rateEpoch != epoch {
+		t.Fatalf("long flow rate unchanged but epoch advanced %d -> %d", epoch, long.rateEpoch)
+	}
+	if k.LazySkips() != skips+1 {
+		t.Fatalf("lazy skips %d -> %d, want one elided reschedule", skips, k.LazySkips())
+	}
+
+	// Scenario B: both flows contend on one binding link, so the join and
+	// the leave each change the surviving flow's rate and must stamp it
+	// with a fresh epoch.
+	k2 := New()
+	ha2 := k2.AddHost("a", 1e9, 1)
+	hb2 := k2.AddHost("b", 1e9, 1)
+	hc2 := k2.AddHost("c", 1e9, 1)
+	bottleneck := k2.AddLink("l", 1e8, 1e-6)
+	k2.AddRoute("a", "b", []*Link{bottleneck})
+	k2.AddRoute("c", "b", []*Link{bottleneck})
+	pa2 := &Proc{k: k2, name: "pa", host: ha2}
+	pb2 := &Proc{k: k2, name: "pb", host: hb2}
+	pc2 := &Proc{k: k2, name: "pc", host: hc2}
+	n1 := k2.mailboxAt(k2.NewMailbox())
+	n2 := k2.mailboxAt(k2.NewMailbox())
+	k2.post(pa2, n1, 1e9, nil, true)
+	k2.postRecv(pb2, n1)
+	pumpOne(t, k2) // long flow joins alone at full bandwidth
+	long2 := k2.flows[0]
+	joinEpoch := long2.rateEpoch
+	k2.post(pc2, n2, 1e6, nil, true)
+	rc2 := k2.postRecv(pb2, n2)
+	pumpOne(t, k2) // short flow joins: share halves, epoch must advance
+	halvedEpoch := long2.rateEpoch
+	if halvedEpoch <= joinEpoch {
+		t.Fatalf("share halved but epoch did not advance (%d -> %d)", joinEpoch, halvedEpoch)
+	}
+	pumpOne(t, k2) // short flow completes: share restored, epoch advances again
+	if !rc2.done {
+		t.Fatal("short flow did not complete")
+	}
+	if long2.rateEpoch <= halvedEpoch {
+		t.Fatalf("share restored but epoch did not advance (%d -> %d)", halvedEpoch, long2.rateEpoch)
+	}
+}

@@ -1,14 +1,24 @@
 package simx
 
+import "tireplay/internal/fifo"
+
+// MailboxID is an interned mailbox handle: a dense index into the kernel's
+// mailbox table. Resolving a name costs one map lookup (plus the caller's
+// string formatting); the ID-based operations skip both, which is why the
+// replay tool interns its per-(src,dst) mailboxes once at rank spawn time
+// and addresses every rendezvous by ID afterwards.
+type MailboxID int32
+
 // Mailbox is a rendezvous point matching sends and receives in FIFO order,
 // the mechanism behind both the MSG-style replay actions and the MPI
 // substrate. A message posted to a mailbox starts its transfer when a
 // receive is posted there (and vice-versa); until then both sides block (or
 // keep a pending handle, for the asynchronous variants).
 type Mailbox struct {
-	name  string
-	sends []*Comm
-	recvs []*Comm
+	name  string // empty for anonymous (NewMailbox) mailboxes
+	id    MailboxID
+	sends fifo.Queue[*Comm]
+	recvs fifo.Queue[*Comm]
 }
 
 // Comm is the public handle on a pending, in-flight or completed
@@ -17,6 +27,12 @@ type Mailbox struct {
 // own handle; the two are joined to one transfer activity at match time.
 // At completion the kernel detaches the handle from the (recycled) activity,
 // so a Comm stays queryable for as long as the caller keeps it.
+//
+// Handles are pooled: the kernel reclaims detached sends at completion and
+// the synchronous Send/Recv wrappers reclaim theirs on return, so the
+// steady-state replay cycle allocates no handle. A handle obtained from
+// ISend/IRecv can be handed back explicitly with Proc.ReleaseComm once the
+// caller is done querying it.
 type Comm struct {
 	act     *activity // non-nil only while matched and in flight
 	done    bool
@@ -53,48 +69,102 @@ func (c *Comm) addMatchWaiter(p *Proc) {
 	c.matchWaiters = append(c.matchWaiters, p)
 }
 
-// mailbox returns (creating on demand) the named mailbox.
+// newComm takes a handle from the kernel pool (or allocates one) and resets
+// it, keeping the match-waiter backing array.
+func (k *Kernel) newComm() *Comm {
+	n := len(k.commPool)
+	if n == 0 {
+		return &Comm{}
+	}
+	c := k.commPool[n-1]
+	k.commPool[n-1] = nil
+	k.commPool = k.commPool[:n-1]
+	mw := c.matchWaiters[:0]
+	*c = Comm{matchWaiters: mw}
+	return c
+}
+
+// freeComm returns a handle to the pool. The caller guarantees no reference
+// survives: the kernel does this itself for detached sends at completion,
+// and the synchronous Send/Recv wrappers for the handles they never expose.
+// Every live handle has a poster, so a cleared proc marks an
+// already-released one and a double release degrades to a no-op instead of
+// putting the same handle in the pool twice (two later rendezvous silently
+// sharing one handle).
+func (k *Kernel) freeComm(c *Comm) {
+	if c.proc == nil {
+		return
+	}
+	c.proc = nil
+	k.commPool = append(k.commPool, c)
+}
+
+// mailbox returns (creating on demand) the named mailbox. Every name is a
+// valid key — including the empty string, which resolves to one shared
+// mailbox like any other name; only NewMailbox handles are anonymous.
 func (k *Kernel) mailbox(name string) *Mailbox {
 	mb := k.mailboxes[name]
 	if mb == nil {
-		mb = &Mailbox{name: name}
+		mb = k.internMailbox(name, true)
+	}
+	return mb
+}
+
+// internMailbox appends a mailbox to the dense table, registering it for
+// string lookup unless it is anonymous.
+func (k *Kernel) internMailbox(name string, register bool) *Mailbox {
+	mb := &Mailbox{name: name, id: MailboxID(len(k.mboxByID))}
+	k.mboxByID = append(k.mboxByID, mb)
+	if register {
 		k.mailboxes[name] = mb
 	}
 	return mb
 }
 
+// MailboxID interns the named mailbox (creating it on demand) and returns
+// its dense ID. The ID aliases the string name: posts through either address
+// meet in the same FIFO.
+func (k *Kernel) MailboxID(name string) MailboxID { return k.mailbox(name).id }
+
+// NewMailbox creates an anonymous mailbox reachable only through the
+// returned ID — no name is formatted or hashed. The replay tool derives one
+// per collective round and peer from its round counter.
+func (k *Kernel) NewMailbox() MailboxID { return k.internMailbox("", false).id }
+
+// mailboxAt resolves an interned ID.
+func (k *Kernel) mailboxAt(id MailboxID) *Mailbox {
+	if int(id) < 0 || int(id) >= len(k.mboxByID) {
+		panic("simx: invalid mailbox id")
+	}
+	return k.mboxByID[id]
+}
+
 // post registers a send request on the mailbox and matches it against a
 // pending receive if one exists.
-func (k *Kernel) post(p *Proc, mailbox string, bytes float64, payload any, detached bool) *Comm {
-	mb := k.mailbox(mailbox)
-	c := &Comm{
-		payload:  payload,
-		bytes:    bytes,
-		src:      p.name,
-		proc:     p,
-		detached: detached,
-	}
-	if len(mb.recvs) > 0 {
-		rc := mb.recvs[0]
-		mb.recvs = mb.recvs[1:]
-		k.match(c, rc)
+func (k *Kernel) post(p *Proc, mb *Mailbox, bytes float64, payload any, detached bool) *Comm {
+	c := k.newComm()
+	c.payload = payload
+	c.bytes = bytes
+	c.src = p.name
+	c.proc = p
+	c.detached = detached
+	if !mb.recvs.Empty() {
+		k.match(c, mb.recvs.Pop())
 	} else {
-		mb.sends = append(mb.sends, c)
+		mb.sends.Push(c)
 	}
 	return c
 }
 
 // postRecv registers a receive request on the mailbox and matches it
 // against a pending send if one exists.
-func (k *Kernel) postRecv(p *Proc, mailbox string) *Comm {
-	mb := k.mailbox(mailbox)
-	c := &Comm{proc: p}
-	if len(mb.sends) > 0 {
-		sc := mb.sends[0]
-		mb.sends = mb.sends[1:]
-		k.match(sc, c)
+func (k *Kernel) postRecv(p *Proc, mb *Mailbox) *Comm {
+	c := k.newComm()
+	c.proc = p
+	if !mb.sends.Empty() {
+		k.match(mb.sends.Pop(), c)
 	} else {
-		mb.recvs = append(mb.recvs, c)
+		mb.recvs.Push(c)
 	}
 	return c
 }
@@ -112,12 +182,14 @@ func (k *Kernel) match(sc, rc *Comm) {
 	rc.src = sc.proc.name
 	rc.dst = rc.proc.name
 	sc.dst = rc.proc.name
-	for _, w := range sc.matchWaiters {
+	for i, w := range sc.matchWaiters {
 		k.wake(w)
+		sc.matchWaiters[i] = nil
 	}
-	sc.matchWaiters = nil
-	for _, w := range rc.matchWaiters {
+	sc.matchWaiters = sc.matchWaiters[:0]
+	for i, w := range rc.matchWaiters {
 		k.wake(w)
+		rc.matchWaiters[i] = nil
 	}
-	rc.matchWaiters = nil
+	rc.matchWaiters = rc.matchWaiters[:0]
 }

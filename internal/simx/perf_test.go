@@ -55,7 +55,7 @@ func BenchmarkMaxMinSolve(b *testing.B) {
 	for _, size := range []struct{ flows, links int }{
 		{8, 4}, {64, 16}, {512, 64},
 	} {
-		b.Run(fmt.Sprintf("flows-%d", size.flows), func(b *testing.B) {
+		b.Run(fmt.Sprintf("flows=%d", size.flows), func(b *testing.B) {
 			flows, _ := benchFlows(size.flows, size.links)
 			var s maxMinSolver
 			b.ReportAllocs()
@@ -73,7 +73,7 @@ func BenchmarkMaxMinSolve(b *testing.B) {
 // reshapes bandwidth.
 func BenchmarkKernelReshare(b *testing.B) {
 	for _, n := range []int{8, 32} {
-		b.Run(fmt.Sprintf("hosts-%d", n), func(b *testing.B) {
+		b.Run(fmt.Sprintf("hosts=%d", n), func(b *testing.B) {
 			const rounds = 32
 			b.ReportAllocs()
 			b.ResetTimer()

@@ -52,7 +52,7 @@ func (k *Kernel) Spawn(name string, host *Host, body func(*Proc)) *Proc {
 	}
 	k.procs = append(k.procs, p)
 	k.living++
-	k.runq = append(k.runq, p)
+	k.runq.Push(p)
 	p.state = stateRunnable
 	go func() {
 		<-p.resume
@@ -160,33 +160,74 @@ func (p *Proc) Sleep(seconds float64) {
 // the transfer has completed (rendezvous + full transmission), matching the
 // synchronous MPI_Send semantics used by the replay tool.
 func (p *Proc) Send(mailbox string, bytes float64, payload any) {
-	c := p.k.post(p, mailbox, bytes, payload, false)
+	p.SendID(p.k.MailboxID(mailbox), bytes, payload)
+}
+
+// SendID is Send addressing an interned mailbox; the replay hot path uses it
+// to skip name formatting and hashing on every rendezvous.
+func (p *Proc) SendID(mailbox MailboxID, bytes float64, payload any) {
+	c := p.k.post(p, p.k.mailboxAt(mailbox), bytes, payload, false)
 	p.WaitComm(c)
+	// The handle was never exposed: back to the pool.
+	p.k.freeComm(c)
 }
 
 // ISend posts a message asynchronously and returns a handle that can be
 // waited on. The transfer starts when a matching receive is posted.
 func (p *Proc) ISend(mailbox string, bytes float64, payload any) *Comm {
-	return p.k.post(p, mailbox, bytes, payload, false)
+	return p.ISendID(p.k.MailboxID(mailbox), bytes, payload)
+}
+
+// ISendID is ISend addressing an interned mailbox.
+func (p *Proc) ISendID(mailbox MailboxID, bytes float64, payload any) *Comm {
+	return p.k.post(p, p.k.mailboxAt(mailbox), bytes, payload, false)
 }
 
 // ISendDetached posts a fire-and-forget message: no handle, the kernel
 // finishes the transfer in the background.
 func (p *Proc) ISendDetached(mailbox string, bytes float64, payload any) {
-	p.k.post(p, mailbox, bytes, payload, true)
+	p.ISendDetachedID(p.k.MailboxID(mailbox), bytes, payload)
+}
+
+// ISendDetachedID is ISendDetached addressing an interned mailbox.
+func (p *Proc) ISendDetachedID(mailbox MailboxID, bytes float64, payload any) {
+	p.k.post(p, p.k.mailboxAt(mailbox), bytes, payload, true)
 }
 
 // Recv blocks until a message is received from the mailbox and returns its
 // payload.
 func (p *Proc) Recv(mailbox string) any {
-	c := p.IRecv(mailbox)
+	return p.RecvID(p.k.MailboxID(mailbox))
+}
+
+// RecvID is Recv addressing an interned mailbox.
+func (p *Proc) RecvID(mailbox MailboxID) any {
+	c := p.k.postRecv(p, p.k.mailboxAt(mailbox))
 	p.WaitComm(c)
-	return c.payload
+	payload := c.payload
+	p.k.freeComm(c)
+	return payload
 }
 
 // IRecv posts a receive request asynchronously and returns a handle.
 func (p *Proc) IRecv(mailbox string) *Comm {
-	return p.k.postRecv(p, mailbox)
+	return p.IRecvID(p.k.MailboxID(mailbox))
+}
+
+// IRecvID is IRecv addressing an interned mailbox.
+func (p *Proc) IRecvID(mailbox MailboxID) *Comm {
+	return p.k.postRecv(p, p.k.mailboxAt(mailbox))
+}
+
+// ReleaseComm hands a completed ISend/IRecv handle back to the kernel pool.
+// Purely an optimisation: callers that keep querying the handle simply never
+// release it and the garbage collector takes over. The handle must not be
+// used after the call, and a handle may be released at most once.
+func (p *Proc) ReleaseComm(c *Comm) {
+	if c == nil || !c.done {
+		return
+	}
+	p.k.freeComm(c)
 }
 
 // WaitComm blocks until the communication completes. Safe to call on an

@@ -64,10 +64,21 @@ func ulpsApart(a, b float64) int {
 // compute bursts, runs it, and returns the makespan and the sorted
 // completion record.
 func randomContendedRun(t *testing.T, seed int64, global bool) (float64, []traceEvent) {
+	return randomContendedRunOpts(t, seed, global, false)
+}
+
+// randomContendedEagerRun is the partial-sharing, eager-rescheduling variant
+// used as the reference of the lazy-rescheduling equivalence tests.
+func randomContendedEagerRun(t *testing.T, seed int64) (float64, []traceEvent) {
+	return randomContendedRunOpts(t, seed, false, true)
+}
+
+func randomContendedRunOpts(t *testing.T, seed int64, global, eager bool) (float64, []traceEvent) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	k := New()
 	k.SetGlobalReshare(global)
+	k.SetEagerReschedule(eager)
 	tr := &recTracer{}
 	k.SetTracer(tr)
 
@@ -195,10 +206,14 @@ func TestPartialReshareMatchesGlobal(t *testing.T) {
 }
 
 // TestPartialReshareMatchesGlobalRing runs the deterministic contended ring
-// under both paths and compares every completion bit for bit.
+// under both sharing paths and compares every completion bit for bit. Both
+// kernels reschedule eagerly, so the only difference is partial vs global
+// sharing; the lazy-vs-eager comparison (which is ulp- but not bit-exact)
+// lives in TestLazyRescheduleMatchesEager.
 func TestPartialReshareMatchesGlobalRing(t *testing.T) {
 	for _, n := range []int{2, 3, 8, 16} {
 		kp, trp := ringKernel(n, false)
+		kp.SetEagerReschedule(true)
 		endP, errP := kp.Run()
 		kg, trg := ringKernel(n, true)
 		endG, errG := kg.Run()

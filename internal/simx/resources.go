@@ -17,6 +17,9 @@ type Host struct {
 	computes []*activity
 	loop     *Link  // private loopback link for intra-host communications
 	loopRt   *Route // cached single-link route over loop
+	// routeTo caches resolved outgoing routes under a pointer key, so the
+	// per-match lookup neither concatenates a string key nor hashes one.
+	routeTo map[*Host]*Route
 }
 
 // Link is a network resource with a nominal bandwidth (byte/s) and latency
@@ -98,6 +101,8 @@ func (k *Kernel) AddRoute(src, dst string, links []*Link) {
 		lat += l.Latency
 	}
 	k.routes[src+"|"+dst] = &Route{Links: links, Latency: lat}
+	// Drop any cached resolution of the replaced route.
+	delete(k.hosts[src].routeTo, k.hosts[dst])
 }
 
 // routeBetween resolves the route for a transfer, falling back to the
@@ -106,9 +111,16 @@ func (k *Kernel) routeBetween(src, dst *Host) *Route {
 	if src == dst {
 		return src.loopRt
 	}
+	if r := src.routeTo[dst]; r != nil {
+		return r
+	}
 	r := k.routes[src.Name+"|"+dst.Name]
 	if r == nil {
 		panic(fmt.Sprintf("simx: no route from %q to %q", src.Name, dst.Name))
 	}
+	if src.routeTo == nil {
+		src.routeTo = make(map[*Host]*Route)
+	}
+	src.routeTo[dst] = r
 	return r
 }

@@ -10,6 +10,17 @@
 // throughout the paper (Figure 1), a compact binary codec (the future-work
 // item of Section 7), gzip containers, per-process file handling and trace
 // statistics.
+//
+// # Memory-mapped binary traces
+//
+// Binary (.tib) traces can be opened through OpenMapped/ReadFileMapped: the
+// file is memory-mapped read-only and records are decoded in place by a
+// BinaryCursor, so loading a trace costs no read-ahead copy and replay
+// startup is bounded by I/O alone. The mmap path is build-tagged for the
+// platforms with a wired mmap syscall (mmap_unix.go: linux, darwin and the
+// BSDs); every other platform — and any file the kernel refuses to map —
+// degrades transparently to a portable read-the-file fallback
+// (mmap_fallback.go) with the identical interface and decoding path.
 package trace
 
 import (
@@ -49,6 +60,10 @@ const (
 
 	numActionTypes = iota
 )
+
+// NumTypes is the number of defined action types; dense per-type tables
+// (like the replay registry's handler cache) are sized by it.
+const NumTypes = numActionTypes
 
 // names maps ActionType to its keyword in the textual format. Capitalisation
 // follows Table 1 of the paper ("Isend", "allReduce").

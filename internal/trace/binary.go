@@ -4,7 +4,6 @@ import (
 	"bufio"
 	"encoding/binary"
 	"errors"
-	"fmt"
 	"io"
 	"math"
 )
@@ -161,79 +160,16 @@ func EncodeBinary(w io.Writer, actions []Action) error {
 	return bw.Flush()
 }
 
-// DecodeBinary reads every action from a binary-format stream.
+// DecodeBinary reads every action from a binary-format stream. It drains r
+// into memory and decodes with DecodeBinaryBytes, so the peak cost is the
+// raw stream plus the decoded actions; callers that can map or already hold
+// the bytes should use DecodeBinaryBytes or a BinaryCursor directly to
+// decode in place (ReadFile routes uncompressed binary files through
+// ReadFileMapped for exactly that reason).
 func DecodeBinary(r io.Reader) ([]Action, error) {
-	br, ok := r.(*bufio.Reader)
-	if !ok {
-		br = bufio.NewReaderSize(r, 1<<16)
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
 	}
-	head := make([]byte, len(binaryMagic)+1)
-	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("trace: binary header: %w", err)
-	}
-	if string(head[:len(binaryMagic)]) != binaryMagic {
-		return nil, fmt.Errorf("trace: bad binary magic %q", head[:len(binaryMagic)])
-	}
-	if head[len(binaryMagic)] != binaryVersion {
-		return nil, fmt.Errorf("trace: unsupported binary version %d", head[len(binaryMagic)])
-	}
-	var out []Action
-	for {
-		tb, err := br.ReadByte()
-		if errors.Is(err, io.EOF) {
-			return out, nil
-		}
-		if err != nil {
-			return nil, err
-		}
-		noVol := tb&flagNoVolume != 0
-		typ := ActionType(tb &^ flagNoVolume)
-		if int(typ) >= numActionTypes {
-			return nil, fmt.Errorf("trace: bad binary action type %d", typ)
-		}
-		proc, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("trace: binary rank: %w", err)
-		}
-		a := Action{Proc: int(proc), Type: typ, Peer: -1}
-		readFloat := func() (float64, error) {
-			var buf [8]byte
-			if _, err := io.ReadFull(br, buf[:]); err != nil {
-				return 0, err
-			}
-			return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
-		}
-		switch typ {
-		case Compute, Bcast, CommSize:
-			if a.Volume, err = readFloat(); err != nil {
-				return nil, err
-			}
-		case Send, Isend, Recv, Irecv:
-			peer, err := binary.ReadUvarint(br)
-			if err != nil {
-				return nil, err
-			}
-			a.Peer = int(peer)
-			if typ == Send || typ == Isend || !noVol {
-				if a.Volume, err = readFloat(); err != nil {
-					return nil, err
-				}
-				if typ == Recv || typ == Irecv {
-					a.HasVolume = true
-				}
-			}
-		case Reduce, AllReduce:
-			if a.Volume, err = readFloat(); err != nil {
-				return nil, err
-			}
-			if a.Volume2, err = readFloat(); err != nil {
-				return nil, err
-			}
-		case Barrier, Wait:
-		}
-		if err := a.Validate(); err != nil {
-			return nil, err
-		}
-		out = append(out, a)
-	}
+	return DecodeBinaryBytes(data)
 }

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
@@ -111,4 +112,80 @@ func TestDecodeBinaryRobustnessProperty(t *testing.T) {
 			_, _ = DecodeBinary(bytes.NewReader(base[:cut]))
 		}()
 	}
+}
+
+// FuzzParseLine is the native fuzz target behind the CI fuzz-smoke step: a
+// line of any bytes must parse without panicking, anything accepted must
+// validate, and the textual round trip must be exact.
+func FuzzParseLine(f *testing.F) {
+	f.Add("p0 compute 1e6")
+	f.Add("p1 send p0 163840")
+	f.Add("p3 recv p2")
+	f.Add("p2 Irecv p1 4096")
+	f.Add("p0 allReduce 1e5 2e6")
+	f.Add("p7 comm_size 8")
+	f.Add("p4 barrier")
+	f.Add("p5 wait")
+	f.Add("# comment")
+	f.Add("")
+	f.Add("p0 compute 1e999")
+	f.Add("p0 send p1 NaN")
+	f.Add("\x00\x01\x02")
+	f.Fuzz(func(t *testing.T, line string) {
+		a, ok, err := ParseLine(line)
+		if err != nil && ok {
+			t.Fatalf("ParseLine(%q) returned ok with error %v", line, err)
+		}
+		if !ok {
+			return
+		}
+		if verr := a.Validate(); verr != nil {
+			t.Fatalf("ParseLine(%q) accepted invalid action: %v", line, verr)
+		}
+		b, ok2, err2 := ParseLine(a.Format())
+		if !ok2 || err2 != nil || !actionsEquivalent(a, b) {
+			t.Fatalf("round trip of %q: %+v -> %q -> %+v (ok=%v err=%v)",
+				line, a, a.Format(), b, ok2, err2)
+		}
+	})
+}
+
+// actionsEquivalent is field equality with NaN==NaN: Validate only rejects
+// negative volumes, so a traced NaN survives parsing and must round-trip.
+func actionsEquivalent(a, b Action) bool {
+	feq := func(x, y float64) bool {
+		return x == y || (math.IsNaN(x) && math.IsNaN(y))
+	}
+	return a.Proc == b.Proc && a.Type == b.Type && a.Peer == b.Peer &&
+		a.HasVolume == b.HasVolume && feq(a.Volume, b.Volume) && feq(a.Volume2, b.Volume2)
+}
+
+// FuzzBinaryCursor feeds arbitrary bytes to the in-place binary decoder the
+// mmap path relies on: it must never panic, never read out of bounds, and
+// everything it accepts must validate.
+func FuzzBinaryCursor(f *testing.F) {
+	rng := rand.New(rand.NewSource(5))
+	actions := make([]Action, 32)
+	for i := range actions {
+		actions[i] = randomAction(rng)
+	}
+	var valid bytes.Buffer
+	if err := EncodeBinary(&valid, actions); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte("TITB\x01"))
+	f.Add([]byte("TITB"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodeBinaryBytes(data)
+		if err != nil {
+			return
+		}
+		for i, a := range got {
+			if verr := a.Validate(); verr != nil {
+				t.Fatalf("record %d decoded invalid: %v", i, verr)
+			}
+		}
+	})
 }

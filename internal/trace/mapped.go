@@ -1,0 +1,193 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// MappedTrace is a read-only view of a binary trace file. On platforms with
+// mmap support (the `unix`-style build tags in mmap_unix.go) the view is the
+// page cache itself, so opening a multi-gigabyte trace costs no read or copy
+// and decoding is bounded by I/O alone; elsewhere, or when mapping fails,
+// the portable fallback (mmap_fallback.go) reads the file into memory and
+// presents the identical interface.
+type MappedTrace struct {
+	data    []byte
+	release func() error
+}
+
+// OpenMapped maps (or, on fallback, loads) the binary trace file at path.
+// The caller must Close the view when done; Action values decoded from it
+// do not reference the mapping and stay valid afterwards.
+func OpenMapped(path string) (*MappedTrace, error) {
+	data, release, err := mapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &MappedTrace{data: data, release: release}, nil
+}
+
+// Data exposes the raw bytes of the view.
+func (m *MappedTrace) Data() []byte { return m.data }
+
+// Close releases the mapping (or the fallback buffer). The view's bytes
+// must not be used afterwards.
+func (m *MappedTrace) Close() error {
+	release := m.release
+	m.data, m.release = nil, nil
+	if release == nil {
+		return nil
+	}
+	return release()
+}
+
+// Cursor returns a streaming decoder over the view, validating the header.
+func (m *MappedTrace) Cursor() (*BinaryCursor, error) {
+	return NewBinaryCursor(m.data)
+}
+
+// ReadFileMapped loads every action of a binary trace file through a memory
+// map: the records are decoded in place, so beyond the returned actions the
+// read performs no allocation or copy of the file contents.
+func ReadFileMapped(path string) ([]Action, error) {
+	m, err := OpenMapped(path)
+	if err != nil {
+		return nil, err
+	}
+	defer m.Close()
+	actions, err := DecodeBinaryBytes(m.Data())
+	if err != nil {
+		return nil, fmt.Errorf("trace: %s: %w", path, err)
+	}
+	return actions, nil
+}
+
+// readWholeFile is the portable mapFile implementation: it loads the file
+// into memory. The mmap build also uses it when the kernel refuses to map
+// (e.g. special filesystems).
+func readWholeFile(path string) ([]byte, func() error, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}
+
+// BinaryCursor decodes binary-format records sequentially from a byte
+// slice, in place: no buffered reader, no intermediate copies. It
+// implements the replay tool's Source contract, so a mapped trace streams
+// straight into a replaying rank.
+type BinaryCursor struct {
+	data []byte
+	off  int
+}
+
+// NewBinaryCursor validates the binary header of data and returns a cursor
+// positioned at the first record.
+func NewBinaryCursor(data []byte) (*BinaryCursor, error) {
+	if len(data) < len(binaryMagic)+1 {
+		return nil, fmt.Errorf("trace: binary header: %w", io.ErrUnexpectedEOF)
+	}
+	if string(data[:len(binaryMagic)]) != binaryMagic {
+		return nil, fmt.Errorf("trace: bad binary magic %q", data[:len(binaryMagic)])
+	}
+	if v := data[len(binaryMagic)]; v != binaryVersion {
+		return nil, fmt.Errorf("trace: unsupported binary version %d", v)
+	}
+	return &BinaryCursor{data: data, off: len(binaryMagic) + 1}, nil
+}
+
+func (c *BinaryCursor) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(c.data[c.off:])
+	if n <= 0 {
+		if n == 0 {
+			return 0, fmt.Errorf("trace: binary varint: %w", io.ErrUnexpectedEOF)
+		}
+		return 0, fmt.Errorf("trace: binary varint overflow")
+	}
+	c.off += n
+	return v, nil
+}
+
+func (c *BinaryCursor) float() (float64, error) {
+	if len(c.data)-c.off < 8 {
+		return 0, fmt.Errorf("trace: binary volume: %w", io.ErrUnexpectedEOF)
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(c.data[c.off:]))
+	c.off += 8
+	return v, nil
+}
+
+// Next decodes the next record. It returns ok=false with a nil error at the
+// end of the stream.
+func (c *BinaryCursor) Next() (a Action, ok bool, err error) {
+	if c.off >= len(c.data) {
+		return Action{}, false, nil
+	}
+	tb := c.data[c.off]
+	c.off++
+	noVol := tb&flagNoVolume != 0
+	typ := ActionType(tb &^ flagNoVolume)
+	if int(typ) >= numActionTypes {
+		return Action{}, false, fmt.Errorf("trace: bad binary action type %d", typ)
+	}
+	proc, err := c.uvarint()
+	if err != nil {
+		return Action{}, false, fmt.Errorf("trace: binary rank: %w", err)
+	}
+	a = Action{Proc: int(proc), Type: typ, Peer: -1}
+	switch typ {
+	case Compute, Bcast, CommSize:
+		if a.Volume, err = c.float(); err != nil {
+			return Action{}, false, err
+		}
+	case Send, Isend, Recv, Irecv:
+		peer, err := c.uvarint()
+		if err != nil {
+			return Action{}, false, err
+		}
+		a.Peer = int(peer)
+		if typ == Send || typ == Isend || !noVol {
+			if a.Volume, err = c.float(); err != nil {
+				return Action{}, false, err
+			}
+			if typ == Recv || typ == Irecv {
+				a.HasVolume = true
+			}
+		}
+	case Reduce, AllReduce:
+		if a.Volume, err = c.float(); err != nil {
+			return Action{}, false, err
+		}
+		if a.Volume2, err = c.float(); err != nil {
+			return Action{}, false, err
+		}
+	case Barrier, Wait:
+	}
+	if err := a.Validate(); err != nil {
+		return Action{}, false, err
+	}
+	return a, true, nil
+}
+
+// DecodeBinaryBytes reads every action from an in-memory binary stream.
+func DecodeBinaryBytes(data []byte) ([]Action, error) {
+	c, err := NewBinaryCursor(data)
+	if err != nil {
+		return nil, err
+	}
+	var out []Action
+	for {
+		a, ok, err := c.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, a)
+	}
+}

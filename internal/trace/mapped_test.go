@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeBinaryFixture(t *testing.T, actions []Action) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeBinary(&buf, actions); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "fixture.tib")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func randomActions(t *testing.T, n int, seed int64) []Action {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Action, n)
+	for i := range out {
+		out[i] = randomAction(rng)
+	}
+	return out
+}
+
+// TestReadFileMappedRoundTrip checks the mapped path decodes exactly what
+// the streaming reader does, over every record shape the codec has.
+func TestReadFileMappedRoundTrip(t *testing.T) {
+	actions := randomActions(t, 500, 42)
+	path := writeBinaryFixture(t, actions)
+	mapped, err := ReadFileMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mapped) != len(actions) || len(streamed) != len(actions) {
+		t.Fatalf("lengths: mapped %d, streamed %d, want %d", len(mapped), len(streamed), len(actions))
+	}
+	for i := range actions {
+		if mapped[i] != actions[i] {
+			t.Fatalf("record %d: mapped %+v != original %+v", i, mapped[i], actions[i])
+		}
+		if mapped[i] != streamed[i] {
+			t.Fatalf("record %d: mapped %+v != streamed %+v", i, mapped[i], streamed[i])
+		}
+	}
+}
+
+// TestBinaryCursorStreams checks cursor iteration matches the one-shot
+// decode and terminates cleanly.
+func TestBinaryCursorStreams(t *testing.T) {
+	actions := randomActions(t, 100, 7)
+	path := writeBinaryFixture(t, actions)
+	m, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	cur, err := m.Cursor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Action
+	for {
+		a, ok, err := cur.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got = append(got, a)
+	}
+	if len(got) != len(actions) {
+		t.Fatalf("cursor decoded %d records, want %d", len(got), len(actions))
+	}
+	for i := range actions {
+		if got[i] != actions[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], actions[i])
+		}
+	}
+	// A drained cursor keeps reporting end-of-stream.
+	if _, ok, err := cur.Next(); ok || err != nil {
+		t.Fatalf("drained cursor: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestMappedFallbackReader exercises the portable read-the-file path the
+// non-mmap platforms (and mmap refusals) use.
+func TestMappedFallbackReader(t *testing.T) {
+	actions := randomActions(t, 50, 11)
+	path := writeBinaryFixture(t, actions)
+	data, release, err := readWholeFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	got, err := DecodeBinaryBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(actions) {
+		t.Fatalf("fallback decoded %d records, want %d", len(got), len(actions))
+	}
+}
+
+// TestMappedErrors covers the failure modes: missing file, bad magic, bad
+// version, truncated records.
+func TestMappedErrors(t *testing.T) {
+	if _, err := ReadFileMapped(filepath.Join(t.TempDir(), "nope.tib")); err == nil {
+		t.Fatal("missing file: want error")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.tib")
+	if err := os.WriteFile(bad, []byte("NOPE\x01rest"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFileMapped(bad); err == nil {
+		t.Fatal("bad magic: want error")
+	}
+	vers := filepath.Join(dir, "vers.tib")
+	if err := os.WriteFile(vers, []byte("TITB\xff"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFileMapped(vers); err == nil {
+		t.Fatal("bad version: want error")
+	}
+
+	actions := randomActions(t, 20, 3)
+	var buf bytes.Buffer
+	if err := EncodeBinary(&buf, actions); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Every truncation must error or decode a clean prefix — never panic.
+	for cut := 0; cut <= len(full); cut++ {
+		got, err := DecodeBinaryBytes(full[:cut])
+		if err == nil && len(got) > len(actions) {
+			t.Fatalf("truncation at %d decoded %d records", cut, len(got))
+		}
+	}
+}
+
+// TestMappedEmptyFile: a zero-length file maps to an empty view whose
+// cursor construction reports the missing header.
+func TestMappedEmptyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.tib")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if len(m.Data()) != 0 {
+		t.Fatalf("empty file mapped to %d bytes", len(m.Data()))
+	}
+	if _, err := m.Cursor(); err == nil {
+		t.Fatal("cursor over empty view: want header error")
+	}
+}

@@ -1,0 +1,10 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd || dragonfly)
+
+package trace
+
+// mapFile on platforms without a wired mmap syscall: the portable
+// io.ReaderAt-equivalent fallback reads the whole file. Same interface,
+// same in-place decoding — only the zero-copy property is lost.
+func mapFile(path string) ([]byte, func() error, error) {
+	return readWholeFile(path)
+}

@@ -1,0 +1,37 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package trace
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile memory-maps path read-only. Empty files map to an empty slice
+// (mmap rejects zero-length mappings), and a kernel that refuses to map —
+// special filesystems, exotic mounts — degrades to the portable read-all
+// fallback rather than failing the open.
+func mapFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	if int64(int(size)) != size {
+		return nil, nil, fmt.Errorf("trace: %s: file too large to map", path)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return readWholeFile(path)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -231,6 +231,11 @@ func ReadFile(path string) ([]Action, error) {
 	if isBinary, err := sniffBinary(br); err != nil {
 		return nil, fmt.Errorf("trace: %s: %w", path, err)
 	} else if isBinary {
+		if r == io.Reader(f) {
+			// Uncompressed binary file: decode it through the memory map
+			// instead of draining the reader into a second copy.
+			return ReadFileMapped(path)
+		}
 		return DecodeBinary(br)
 	}
 	actions, err := ParseAll(br)
