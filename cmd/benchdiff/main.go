@@ -6,13 +6,25 @@
 //
 //	go test ./... -bench . -benchmem -count=5 | tee bench.txt
 //	benchdiff -baseline BENCH_baseline.json -bench bench.txt -out benchdiff.json
+//	benchdiff -baseline BENCH_baseline.json -bench bench.txt -floor 'BenchmarkSweepParallel:speedup=3'
 //	benchdiff -baseline BENCH_baseline.json -bench bench.txt -update
 //
 // The comparison fails (exit 1) when a benchmark regresses by more than
 // -threshold (default 15%) in ns/op, when its allocs/op increase at all —
-// the allocation-free steady state is a hard invariant, not a budget — or
-// when a baseline benchmark disappears from the run. New benchmarks absent
-// from the baseline are reported but do not fail; commit them with -update.
+// the allocation-free steady state is a hard invariant, not a budget —
+// when a baseline benchmark disappears from the run, or when a custom
+// metric reported by the benchmark (b.ReportMetric, e.g. the sweep engine's
+// "speedup") falls below a -floor. New benchmarks absent from the baseline
+// are reported but do not fail; commit them with -update (the manual
+// baseline-refresh workflow runs exactly that).
+//
+// Benchmark names are normalized modulo the GOMAXPROCS "-N" suffix before
+// comparing, on both sides: a baseline written from a GOMAXPROCS=1 run
+// still gates a -cpu-suffixed run and vice versa, instead of the suffixed
+// names silently bypassing the gate as "new"/"missing" pairs. (Sub-benchmark
+// names should use '=' rather than '-' before numbers — "flows=8" — so the
+// normalization cannot bite into a real name.) Baseline names with no
+// counterpart in the run after normalization are an error.
 //
 // Time comparisons are only meaningful between runs on the same class of
 // machine (the CI runner that produced the baseline); allocs/op is
@@ -37,6 +49,9 @@ type Result struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	Runs        int     `json:"runs,omitempty"`
+	// Metrics holds the custom per-op metrics the benchmark reported via
+	// b.ReportMetric (e.g. "speedup", "MB/s"), aggregated by median.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Baseline is the committed reference file.
@@ -53,23 +68,37 @@ type Comparison struct {
 	NsRatio      float64 `json:"ns_ratio"`
 	BaseAllocs   int64   `json:"base_allocs_per_op"`
 	CurAllocs    int64   `json:"cur_allocs_per_op"`
-	Status       string  `json:"status"` // ok | ns-regression | alloc-regression | missing | new
+	Status       string  `json:"status"` // ok | ns-regression | alloc-regression | metric-floor | missing | new
 	ThresholdPct float64 `json:"threshold_pct"`
+	// Metric carries the offending metric on a metric-floor failure.
+	Metric      string  `json:"metric,omitempty"`
+	MetricValue float64 `json:"metric_value,omitempty"`
+	MetricFloor float64 `json:"metric_floor,omitempty"`
 }
 
 // benchLine matches one `go test -bench` result line, e.g.
 //
 //	BenchmarkReplaySteadyState-8   300000   1824 ns/op   0 B/op   0 allocs/op
 var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
+	`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op(.*)$`)
 
-var (
-	bytesField  = regexp.MustCompile(`([0-9.]+) B/op`)
-	allocsField = regexp.MustCompile(`([0-9.]+) allocs/op`)
-)
+// metricField matches every "<value> <unit>" pair after ns/op: the -benchmem
+// fields plus any custom b.ReportMetric unit.
+var metricField = regexp.MustCompile(`([0-9.eE+-]+) ([^\s0-9]\S*)`)
 
-// parseBench collects every benchmark line of r, keyed by name (the
-// GOMAXPROCS suffix is stripped), keeping all repeated measurements.
+// cpuSuffix is the trailing "-N" go test appends to benchmark names when
+// GOMAXPROCS != 1 (or under -cpu).
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// stripCPUSuffix removes one trailing GOMAXPROCS suffix from a benchmark
+// name.
+func stripCPUSuffix(name string) string {
+	return cpuSuffix.ReplaceAllString(name, "")
+}
+
+// parseBench collects every benchmark line of r keyed by the verbatim name
+// (suffix included — normalization happens against the baseline), keeping
+// all repeated measurements.
 func parseBench(r io.Reader) (map[string][]Result, error) {
 	out := make(map[string][]Result)
 	data, err := io.ReadAll(r)
@@ -86,25 +115,36 @@ func parseBench(r io.Reader) (map[string][]Result, error) {
 			continue
 		}
 		res := Result{NsPerOp: ns}
-		if bm := bytesField.FindStringSubmatch(m[3]); bm != nil {
-			b, _ := strconv.ParseFloat(bm[1], 64)
-			res.BytesPerOp = int64(b)
-		}
-		if am := allocsField.FindStringSubmatch(m[3]); am != nil {
-			a, _ := strconv.ParseFloat(am[1], 64)
-			res.AllocsPerOp = int64(a)
+		for _, f := range metricField.FindAllStringSubmatch(m[3], -1) {
+			v, err := strconv.ParseFloat(f[1], 64)
+			if err != nil {
+				continue
+			}
+			switch f[2] {
+			case "B/op":
+				res.BytesPerOp = int64(v)
+			case "allocs/op":
+				res.AllocsPerOp = int64(v)
+			default:
+				if res.Metrics == nil {
+					res.Metrics = make(map[string]float64)
+				}
+				res.Metrics[f[2]] = v
+			}
 		}
 		out[m[1]] = append(out[m[1]], res)
 	}
 	return out, nil
 }
 
-// aggregate reduces repeated runs to one Result: median ns/op (robust to a
-// noisy outlier run) and minimum allocs/op (allocations are deterministic;
-// the minimum discards one-off runtime noise).
+// aggregate reduces repeated runs to one Result: median ns/op and median
+// custom metrics (robust to a noisy outlier run) and minimum allocs/op
+// (allocations are deterministic; the minimum discards one-off runtime
+// noise).
 func aggregate(runs []Result) Result {
 	ns := make([]float64, len(runs))
 	agg := Result{AllocsPerOp: runs[0].AllocsPerOp, BytesPerOp: runs[0].BytesPerOp, Runs: len(runs)}
+	metrics := make(map[string][]float64)
 	for i, r := range runs {
 		ns[i] = r.NsPerOp
 		if r.AllocsPerOp < agg.AllocsPerOp {
@@ -113,19 +153,125 @@ func aggregate(runs []Result) Result {
 		if r.BytesPerOp < agg.BytesPerOp {
 			agg.BytesPerOp = r.BytesPerOp
 		}
+		for k, v := range r.Metrics {
+			metrics[k] = append(metrics[k], v)
+		}
 	}
-	sort.Float64s(ns)
-	if n := len(ns); n%2 == 1 {
-		agg.NsPerOp = ns[n/2]
-	} else {
-		agg.NsPerOp = (ns[n/2-1] + ns[n/2]) / 2
+	agg.NsPerOp = median(ns)
+	for k, vs := range metrics {
+		if agg.Metrics == nil {
+			agg.Metrics = make(map[string]float64)
+		}
+		agg.Metrics[k] = median(vs)
 	}
 	return agg
 }
 
-// compare evaluates current against base. It returns the per-benchmark
-// verdicts and whether any of them is a failure.
-func compare(base, current map[string]Result, threshold float64) ([]Comparison, bool) {
+func median(vs []float64) float64 {
+	sort.Float64s(vs)
+	n := len(vs)
+	if n%2 == 1 {
+		return vs[n/2]
+	}
+	return (vs[n/2-1] + vs[n/2]) / 2
+}
+
+// normalizeNames re-keys current results onto baseline names when they
+// differ only by a trailing GOMAXPROCS suffix on either side, so a
+// differently-suffixed run cannot bypass the gate. When several current
+// names collapse onto one key (a -cpu list), the conservative measurement
+// wins: worst ns/op, worst allocs, lowest metrics.
+func normalizeNames(base map[string]Result, current map[string]Result) map[string]Result {
+	baseByStripped := make(map[string]string, len(base))
+	for bn := range base {
+		baseByStripped[stripCPUSuffix(bn)] = bn
+	}
+	out := make(map[string]Result, len(current))
+	for cn, r := range current {
+		key := cn
+		if _, ok := base[cn]; !ok {
+			s := stripCPUSuffix(cn)
+			if _, ok := base[s]; ok {
+				key = s
+			} else if bn, ok := baseByStripped[s]; ok {
+				key = bn
+			} else {
+				key = s // new benchmark: report suffix-free
+			}
+		}
+		if prev, ok := out[key]; ok {
+			out[key] = worse(prev, r)
+		} else {
+			out[key] = r
+		}
+	}
+	return out
+}
+
+// worse merges two measurements of one benchmark, keeping the value that is
+// harder on the gate for each dimension.
+func worse(a, b Result) Result {
+	if b.NsPerOp > a.NsPerOp {
+		a.NsPerOp = b.NsPerOp
+	}
+	if b.AllocsPerOp > a.AllocsPerOp {
+		a.AllocsPerOp = b.AllocsPerOp
+	}
+	if b.BytesPerOp > a.BytesPerOp {
+		a.BytesPerOp = b.BytesPerOp
+	}
+	a.Runs += b.Runs
+	for k, v := range b.Metrics {
+		if cur, ok := a.Metrics[k]; !ok || v < cur {
+			if a.Metrics == nil {
+				a.Metrics = make(map[string]float64)
+			}
+			a.Metrics[k] = v
+		}
+	}
+	return a
+}
+
+// floorSpec is one -floor entry: benchmark name, metric, minimum value.
+type floorSpec struct {
+	bench  string
+	metric string
+	min    float64
+}
+
+// parseFloors parses the -floor flag: comma-separated
+// "BenchmarkName:metric=min" entries.
+func parseFloors(s string) ([]floorSpec, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []floorSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		name, rest, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad -floor entry %q (want Name:metric=min)", part)
+		}
+		metric, minStr, ok := strings.Cut(rest, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -floor entry %q (want Name:metric=min)", part)
+		}
+		min, err := strconv.ParseFloat(minStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -floor minimum %q: %v", minStr, err)
+		}
+		out = append(out, floorSpec{bench: name, metric: metric, min: min})
+	}
+	return out, nil
+}
+
+// compare evaluates current (already normalized) against base. It returns
+// the per-benchmark verdicts and whether any of them is a failure.
+func compare(base, current map[string]Result, threshold float64, floors []floorSpec) ([]Comparison, bool) {
+	floorFor := make(map[string][]floorSpec)
+	for _, f := range floors {
+		floorFor[stripCPUSuffix(f.bench)] = append(floorFor[stripCPUSuffix(f.bench)], f)
+	}
 	names := make([]string, 0, len(base))
 	for n := range base {
 		names = append(names, n)
@@ -133,6 +279,7 @@ func compare(base, current map[string]Result, threshold float64) ([]Comparison, 
 	sort.Strings(names)
 	var out []Comparison
 	failed := false
+	floorChecked := make(map[string]bool)
 	for _, n := range names {
 		b := base[n]
 		c := Comparison{Name: n, BaseNsPerOp: b.NsPerOp, BaseAllocs: b.AllocsPerOp,
@@ -158,10 +305,15 @@ func compare(base, current map[string]Result, threshold float64) ([]Comparison, 
 			default:
 				c.Status = "ok"
 			}
+			var ffail bool
+			c, ffail = applyFloors(c, cur, floorFor, floorChecked)
+			failed = failed || ffail
 		}
 		out = append(out, c)
 	}
-	// Surface benchmarks the baseline does not know about.
+	// Surface benchmarks the baseline does not know about (floors still
+	// apply to them: a gated metric must not escape through a missing
+	// baseline entry).
 	extra := make([]string, 0)
 	for n := range current {
 		if _, ok := base[n]; !ok {
@@ -171,10 +323,51 @@ func compare(base, current map[string]Result, threshold float64) ([]Comparison, 
 	sort.Strings(extra)
 	for _, n := range extra {
 		cur := current[n]
-		out = append(out, Comparison{Name: n, CurNsPerOp: cur.NsPerOp,
-			CurAllocs: cur.AllocsPerOp, Status: "new", ThresholdPct: threshold * 100})
+		c := Comparison{Name: n, CurNsPerOp: cur.NsPerOp,
+			CurAllocs: cur.AllocsPerOp, Status: "new", ThresholdPct: threshold * 100}
+		var ffail bool
+		c, ffail = applyFloors(c, cur, floorFor, floorChecked)
+		failed = failed || ffail
+		out = append(out, c)
+	}
+	// A floor naming a benchmark absent from the run entirely is a failure:
+	// the gate must not pass because the gated benchmark did not run.
+	for _, fs := range floors {
+		key := stripCPUSuffix(fs.bench)
+		if !floorChecked[key] {
+			failed = true
+			out = append(out, Comparison{Name: fs.bench, Status: "missing",
+				Metric: fs.metric, MetricFloor: fs.min, ThresholdPct: threshold * 100})
+		}
 	}
 	return out, failed
+}
+
+// applyFloors checks cur against the floors registered for c.Name; it
+// returns the updated comparison and whether a floor failed. Floors are
+// evaluated whatever the ns/alloc verdict was (a regressed benchmark still
+// ran, so its gated metrics must still be checked and recorded); the status
+// only switches to "metric-floor" when nothing worse is already reported.
+func applyFloors(c Comparison, cur Result, floorFor map[string][]floorSpec, checked map[string]bool) (Comparison, bool) {
+	key := stripCPUSuffix(c.Name)
+	specs := floorFor[key]
+	if len(specs) == 0 {
+		return c, false
+	}
+	checked[key] = true
+	for _, fs := range specs {
+		v, ok := cur.Metrics[fs.metric]
+		if !ok || v < fs.min {
+			if c.Status == "ok" || c.Status == "new" {
+				c.Status = "metric-floor"
+			}
+			c.Metric = fs.metric
+			c.MetricValue = v
+			c.MetricFloor = fs.min
+			return c, true
+		}
+	}
+	return c, false
 }
 
 func main() {
@@ -183,11 +376,16 @@ func main() {
 		benchPath    = flag.String("bench", "-", "go test -bench output file ('-' for stdin)")
 		outPath      = flag.String("out", "", "write the comparison result JSON here")
 		threshold    = flag.Float64("threshold", 0.15, "allowed fractional ns/op regression")
+		floorsFlag   = flag.String("floor", "", "metric floors, comma-separated 'BenchmarkName:metric=min' entries")
 		update       = flag.Bool("update", false, "rewrite the baseline from the bench output instead of comparing")
 		note         = flag.String("note", "", "note stored in the baseline on -update (e.g. the machine class)")
 	)
 	flag.Parse()
 
+	floors, err := parseFloors(*floorsFlag)
+	if err != nil {
+		fail(err)
+	}
 	in := os.Stdin
 	if *benchPath != "-" {
 		f, err := os.Open(*benchPath)
@@ -210,11 +408,13 @@ func main() {
 	}
 
 	if *update {
-		b := Baseline{Note: *note, Benchmarks: current}
+		// Baseline keys are stored suffix-free so any later GOMAXPROCS
+		// still matches them.
+		b := Baseline{Note: *note, Benchmarks: normalizeNames(nil, current)}
 		if err := writeJSON(*baselinePath, b); err != nil {
 			fail(err)
 		}
-		fmt.Printf("benchdiff: wrote %d benchmarks to %s\n", len(current), *baselinePath)
+		fmt.Printf("benchdiff: wrote %d benchmarks to %s\n", len(b.Benchmarks), *baselinePath)
 		return
 	}
 
@@ -226,7 +426,7 @@ func main() {
 	if err := json.Unmarshal(raw, &base); err != nil {
 		fail(fmt.Errorf("%s: %w", *baselinePath, err))
 	}
-	comps, failed := compare(base.Benchmarks, current, *threshold)
+	comps, failed := compare(base.Benchmarks, normalizeNames(base.Benchmarks, current), *threshold, floors)
 	for _, c := range comps {
 		switch c.Status {
 		case "ok":
@@ -243,6 +443,9 @@ func main() {
 		case "alloc-regression":
 			fmt.Printf("FAIL  %-50s %d allocs/op, baseline %d (any increase fails)\n",
 				c.Name, c.CurAllocs, c.BaseAllocs)
+		case "metric-floor":
+			fmt.Printf("FAIL  %-50s %s = %.3f below floor %.3f\n",
+				c.Name, c.Metric, c.MetricValue, c.MetricFloor)
 		}
 	}
 	if *outPath != "" {

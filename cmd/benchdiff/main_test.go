@@ -9,9 +9,9 @@ const sampleBench = `goos: linux
 goarch: amd64
 pkg: tireplay/internal/simx
 cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
-BenchmarkMaxMinSolve/flows-8-8         	 3837818	       311.0 ns/op	       0 B/op	       0 allocs/op
-BenchmarkMaxMinSolve/flows-8-8         	 3837818	       320.0 ns/op	       0 B/op	       0 allocs/op
-BenchmarkMaxMinSolve/flows-8-8         	 3837818	       305.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkMaxMinSolve/flows=8-8         	 3837818	       311.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkMaxMinSolve/flows=8-8         	 3837818	       320.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkMaxMinSolve/flows=8-8         	 3837818	       305.0 ns/op	       0 B/op	       0 allocs/op
 BenchmarkReplaySteadyState-8           	  300000	      1824 ns/op	       0 B/op	       0 allocs/op
 PASS
 ok  	tireplay/internal/simx	12.3s
@@ -25,16 +25,91 @@ func TestParseBenchAggregates(t *testing.T) {
 	if len(runs) != 2 {
 		t.Fatalf("parsed %d benchmarks, want 2: %v", len(runs), runs)
 	}
-	solve := aggregate(runs["BenchmarkMaxMinSolve/flows-8"])
+	// Names stay verbatim at parse time; normalization happens against the
+	// baseline.
+	solve := aggregate(runs["BenchmarkMaxMinSolve/flows=8-8"])
 	if solve.NsPerOp != 311.0 { // median of {305, 311, 320}
 		t.Fatalf("median ns/op = %g, want 311", solve.NsPerOp)
 	}
 	if solve.AllocsPerOp != 0 || solve.Runs != 3 {
 		t.Fatalf("aggregate = %+v", solve)
 	}
-	steady := aggregate(runs["BenchmarkReplaySteadyState"])
+	steady := aggregate(runs["BenchmarkReplaySteadyState-8"])
 	if steady.NsPerOp != 1824 || steady.AllocsPerOp != 0 {
 		t.Fatalf("steady = %+v", steady)
+	}
+}
+
+func TestParseBenchCustomMetrics(t *testing.T) {
+	const doc = `BenchmarkSweepParallel-4   3   5432100000 ns/op   3.85 speedup   1422000 B/op   21100 allocs/op
+BenchmarkSweepParallel-4   3   5500000000 ns/op   3.61 speedup   1422000 B/op   21100 allocs/op
+BenchmarkSweepParallel-4   3   5400000000 ns/op   3.97 speedup   1422000 B/op   21100 allocs/op
+`
+	runs, err := parseBench(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := aggregate(runs["BenchmarkSweepParallel-4"])
+	if agg.Metrics["speedup"] != 3.85 { // median of {3.61, 3.85, 3.97}
+		t.Fatalf("speedup = %v", agg.Metrics)
+	}
+	if agg.AllocsPerOp != 21100 || agg.BytesPerOp != 1422000 {
+		t.Fatalf("agg = %+v", agg)
+	}
+}
+
+// TestNormalizeCPUSuffix is the gate-bypass regression test: a baseline
+// written without GOMAXPROCS suffixes must still gate a -cpu-suffixed run,
+// in both suffix directions.
+func TestNormalizeCPUSuffix(t *testing.T) {
+	base := map[string]Result{
+		"BenchmarkA":          {NsPerOp: 100},
+		"BenchmarkB/flows=64": {NsPerOp: 100},
+		"BenchmarkC-8":        {NsPerOp: 100}, // baseline itself suffixed
+	}
+	current := map[string]Result{
+		"BenchmarkA-8":          {NsPerOp: 200}, // 2x regression, must not hide behind the suffix
+		"BenchmarkB/flows=64-8": {NsPerOp: 100},
+		"BenchmarkC":            {NsPerOp: 100},
+	}
+	comps, failed := compare(base, normalizeNames(base, current), 0.15, nil)
+	if !failed {
+		t.Fatal("suffixed regression escaped the gate")
+	}
+	status := map[string]string{}
+	for _, c := range comps {
+		status[c.Name] = c.Status
+	}
+	want := map[string]string{
+		"BenchmarkA":          "ns-regression",
+		"BenchmarkB/flows=64": "ok",
+		"BenchmarkC-8":        "ok",
+	}
+	for n, s := range want {
+		if status[n] != s {
+			t.Fatalf("%s: status %q, want %q (all: %v)", n, status[n], s, status)
+		}
+	}
+	if len(comps) != 3 {
+		t.Fatalf("comparisons = %v, want exactly 3 (no new/missing pairs)", status)
+	}
+}
+
+func TestNormalizeMergesCPUVariants(t *testing.T) {
+	// A -cpu 1,4 run reports the same benchmark twice; the conservative
+	// (worst) measurement must gate.
+	base := map[string]Result{"BenchmarkA": {NsPerOp: 100, AllocsPerOp: 5}}
+	current := map[string]Result{
+		"BenchmarkA":   {NsPerOp: 90, AllocsPerOp: 5},
+		"BenchmarkA-4": {NsPerOp: 130, AllocsPerOp: 6},
+	}
+	norm := normalizeNames(base, current)
+	if len(norm) != 1 {
+		t.Fatalf("normalized = %v", norm)
+	}
+	got := norm["BenchmarkA"]
+	if got.NsPerOp != 130 || got.AllocsPerOp != 6 {
+		t.Fatalf("merged = %+v, want worst of both", got)
 	}
 }
 
@@ -52,7 +127,7 @@ func TestCompareVerdicts(t *testing.T) {
 		// BenchmarkD missing: fail
 		"BenchmarkE": {NsPerOp: 50, AllocsPerOp: 1}, // new: reported, not a failure
 	}
-	comps, failed := compare(base, current, 0.15)
+	comps, failed := compare(base, current, 0.15, nil)
 	if !failed {
 		t.Fatal("compare should have failed")
 	}
@@ -77,19 +152,89 @@ func TestCompareVerdicts(t *testing.T) {
 func TestCompareAllOkPasses(t *testing.T) {
 	base := map[string]Result{"BenchmarkA": {NsPerOp: 100, AllocsPerOp: 1}}
 	current := map[string]Result{"BenchmarkA": {NsPerOp: 114.9, AllocsPerOp: 1}}
-	if _, failed := compare(base, current, 0.15); failed {
+	if _, failed := compare(base, current, 0.15, nil); failed {
 		t.Fatal("within-threshold run must pass")
 	}
 	// Exactly at the boundary stays ok; just past it fails.
 	current["BenchmarkA"] = Result{NsPerOp: 115.1, AllocsPerOp: 1}
-	if _, failed := compare(base, current, 0.15); !failed {
+	if _, failed := compare(base, current, 0.15, nil); !failed {
 		t.Fatal("past-threshold run must fail")
+	}
+}
+
+func TestMetricFloors(t *testing.T) {
+	floors, err := parseFloors("BenchmarkSweepParallel:speedup=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := map[string]Result{"BenchmarkSweepParallel": {NsPerOp: 100}}
+	ok := map[string]Result{"BenchmarkSweepParallel": {NsPerOp: 100,
+		Metrics: map[string]float64{"speedup": 3.6}}}
+	if _, failed := compare(base, ok, 0.15, floors); failed {
+		t.Fatal("above-floor metric must pass")
+	}
+	low := map[string]Result{"BenchmarkSweepParallel": {NsPerOp: 100,
+		Metrics: map[string]float64{"speedup": 2.4}}}
+	comps, failed := compare(base, low, 0.15, floors)
+	if !failed {
+		t.Fatal("below-floor metric must fail")
+	}
+	var found bool
+	for _, c := range comps {
+		if c.Status == "metric-floor" && c.Metric == "speedup" && c.MetricValue == 2.4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no metric-floor verdict: %+v", comps)
+	}
+	// The metric missing entirely fails too.
+	none := map[string]Result{"BenchmarkSweepParallel": {NsPerOp: 100}}
+	if _, failed := compare(base, none, 0.15, floors); !failed {
+		t.Fatal("absent metric must fail")
+	}
+	// A floored benchmark absent from the whole run fails even when the
+	// baseline does not know it.
+	if _, failed := compare(nil, map[string]Result{"BenchmarkOther": {NsPerOp: 1}}, 0.15, floors); !failed {
+		t.Fatal("floored benchmark missing from the run must fail")
+	}
+	// Floors apply to benchmarks not yet in the baseline ("new").
+	comps, failed = compare(nil, low, 0.15, floors)
+	if !failed {
+		t.Fatalf("below-floor new benchmark must fail: %+v", comps)
+	}
+	if _, err := parseFloors("garbage"); err == nil {
+		t.Fatal("bad floor spec must error")
+	}
+}
+
+// TestFloorCheckedOnRegressedBenchmark: a floored benchmark that also fails
+// the ns gate still has its floor evaluated and is reported exactly once —
+// not re-reported as "missing".
+func TestFloorCheckedOnRegressedBenchmark(t *testing.T) {
+	floors, _ := parseFloors("BenchmarkSweepParallel:speedup=3")
+	base := map[string]Result{"BenchmarkSweepParallel": {NsPerOp: 100}}
+	current := map[string]Result{"BenchmarkSweepParallel": {NsPerOp: 200, // 2x regression
+		Metrics: map[string]float64{"speedup": 2.0}}} // and below floor
+	comps, failed := compare(base, current, 0.15, floors)
+	if !failed {
+		t.Fatal("must fail")
+	}
+	if len(comps) != 1 {
+		t.Fatalf("got %d rows, want 1: %+v", len(comps), comps)
+	}
+	c := comps[0]
+	if c.Status != "ns-regression" {
+		t.Fatalf("status = %q, want ns-regression kept", c.Status)
+	}
+	if c.Metric != "speedup" || c.MetricValue != 2.0 || c.MetricFloor != 3 {
+		t.Fatalf("floor not recorded: %+v", c)
 	}
 }
 
 func TestParseBenchNoMBLine(t *testing.T) {
 	// Lines with MB/s (throughput benchmarks) and without -benchmem fields
-	// both parse.
+	// both parse; MB/s lands in the custom metrics.
 	const doc = `BenchmarkScanBytes-8   100   5570000 ns/op   201.2 MB/s
 BenchmarkPlain   200   42.5 ns/op
 `
@@ -100,8 +245,11 @@ BenchmarkPlain   200   42.5 ns/op
 	if len(runs) != 2 {
 		t.Fatalf("parsed %d, want 2: %v", len(runs), runs)
 	}
-	if runs["BenchmarkScanBytes"][0].NsPerOp != 5570000 {
-		t.Fatalf("scan = %+v", runs["BenchmarkScanBytes"])
+	if runs["BenchmarkScanBytes-8"][0].NsPerOp != 5570000 {
+		t.Fatalf("scan = %+v", runs["BenchmarkScanBytes-8"])
+	}
+	if runs["BenchmarkScanBytes-8"][0].Metrics["MB/s"] != 201.2 {
+		t.Fatalf("scan metrics = %+v", runs["BenchmarkScanBytes-8"][0].Metrics)
 	}
 	if runs["BenchmarkPlain"][0].NsPerOp != 42.5 {
 		t.Fatalf("plain = %+v", runs["BenchmarkPlain"])

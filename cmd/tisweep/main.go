@@ -1,0 +1,158 @@
+// Command tisweep explores a grid of what-if platform scenarios in
+// parallel: it loads one set of time-independent traces, expands the cross
+// product of the -lat/-bw/-power/-fold/-hosts axes into scenarios, replays
+// every scenario on its own simulation kernel across a bounded worker pool,
+// and prints the per-scenario makespan table (optionally a JSON report and
+// per-scenario timed traces).
+//
+// Usage:
+//
+//	tisweep -dir ti/ -ranks 8 -power 1,2 -bw 1,10            # built-in bordereau platform
+//	tisweep -platform cluster.xml -dir ti/ -ranks 64 \
+//	        -lat 0.5,1,2 -bw 1,10 -fold 1,2 -workers 8 -json report.json
+//
+// Scenario results are deterministic: the same grid produces byte-identical
+// per-scenario timed traces whatever -workers is set to.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+
+	"tireplay/internal/platform"
+	"tireplay/internal/smpi"
+	"tireplay/internal/sweep"
+)
+
+func main() {
+	var (
+		platformPath = flag.String("platform", "", "SimGrid platform XML file (default: built-in bordereau sized to -ranks)")
+		dir          = flag.String("dir", "", "directory of SG_process<rank>.trace files (.trace.gz/.tib also resolved)")
+		ranks        = flag.Int("ranks", 0, "number of ranks in the trace set")
+		lat          = flag.String("lat", "", "comma-separated latency scale factors (default 1)")
+		bw           = flag.String("bw", "", "comma-separated bandwidth scale factors (default 1)")
+		power        = flag.String("power", "", "comma-separated flop-rate scale factors (default 1)")
+		fold         = flag.String("fold", "", "comma-separated deployment folding factors (default 1)")
+		hosts        = flag.String("hosts", "", "comma-separated host counts to deploy onto (default: all hosts)")
+		workers      = flag.Int("workers", 0, "worker pool size (default GOMAXPROCS)")
+		partition    = flag.Bool("partition", false, "split scenarios across kernels per disjoint platform component")
+		identity     = flag.Bool("no-mpi-model", false, "disable the piece-wise linear MPI model")
+		jsonPath     = flag.String("json", "", "write the JSON report to this file ('-' for stdout)")
+		timedDir     = flag.String("timed-dir", "", "write each scenario's timed trace to <dir>/scenario<i>.timed")
+		profile      = flag.Bool("profile", false, "collect per-process profiles into the JSON report")
+	)
+	flag.Parse()
+
+	if *dir == "" || *ranks <= 0 {
+		fail(fmt.Errorf("need -dir and a positive -ranks"))
+	}
+	var (
+		base *platform.Platform
+		err  error
+	)
+	if *platformPath != "" {
+		if base, err = platform.ParseFile(*platformPath); err != nil {
+			fail(err)
+		}
+	} else {
+		base = platform.BordereauWithCores(*ranks, 1)
+	}
+
+	grid := sweep.Grid{}
+	if grid.LatencyScale, err = sweep.ParseFloatList(*lat); err != nil {
+		fail(err)
+	}
+	if grid.BandwidthScale, err = sweep.ParseFloatList(*bw); err != nil {
+		fail(err)
+	}
+	if grid.PowerScale, err = sweep.ParseFloatList(*power); err != nil {
+		fail(err)
+	}
+	if grid.Fold, err = sweep.ParseIntList(*fold); err != nil {
+		fail(err)
+	}
+	if grid.Hosts, err = sweep.ParseIntList(*hosts); err != nil {
+		fail(err)
+	}
+
+	traces, err := sweep.LoadDir(*dir, *ranks)
+	if err != nil {
+		fail(err)
+	}
+	defer traces.Close()
+
+	cfg := &sweep.Config{
+		Platform:  base,
+		Grid:      grid,
+		Traces:    traces,
+		Workers:   *workers,
+		Timed:     *timedDir != "",
+		Profile:   *profile,
+		Partition: *partition,
+	}
+	if *identity {
+		cfg.Model = smpi.Identity()
+	}
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	fmt.Fprintf(os.Stderr, "tisweep: %d scenarios on %d workers\n", grid.Size(), w)
+
+	// Interrupt stops scheduling new scenarios; running kernels finish.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := sweep.Run(ctx, cfg)
+	if res == nil {
+		fail(err)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tisweep: sweep interrupted: %v\n", err)
+	}
+
+	res.RenderTable(os.Stdout)
+	if *timedDir != "" {
+		if err := os.MkdirAll(*timedDir, 0o755); err != nil {
+			fail(err)
+		}
+		for i := range res.Scenarios {
+			sc := &res.Scenarios[i]
+			if sc.Err != "" {
+				continue
+			}
+			p := filepath.Join(*timedDir, fmt.Sprintf("scenario%d.timed", sc.Index))
+			if err := os.WriteFile(p, sc.TimedTrace, 0o644); err != nil {
+				fail(err)
+			}
+		}
+	}
+	if *jsonPath != "" {
+		out := os.Stdout
+		if *jsonPath != "-" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := res.WriteJSON(out); err != nil {
+			fail(err)
+		}
+	}
+	for i := range res.Scenarios {
+		if res.Scenarios[i].Err != "" {
+			os.Exit(1)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tisweep:", err)
+	os.Exit(1)
+}

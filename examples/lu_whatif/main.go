@@ -7,32 +7,28 @@
 // (Section 5: "a wide range of what-if scenarios can be explored without
 // any modification of the simulator").
 //
+// The scenarios run through the parallel sweep engine: the grid of CPU and
+// interconnect upgrades is expanded into the cross product of its axes and
+// every cell replays on its own simulation kernel across a worker pool,
+// sharing the one parsed trace read-only.
+//
 // Run with: go run ./examples/lu_whatif
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
 
 	"tireplay/internal/mpi"
 	"tireplay/internal/npb"
 	"tireplay/internal/platform"
-	"tireplay/internal/replay"
-	"tireplay/internal/simx"
-	"tireplay/internal/smpi"
+	"tireplay/internal/sweep"
 	"tireplay/internal/trace"
-	"tireplay/internal/units"
 )
 
 const procs = 8
-
-// scenario is one candidate platform.
-type scenario struct {
-	name      string
-	power     float64 // per-core flop/s
-	bandwidth float64 // host link B/s
-	latency   float64
-}
 
 func main() {
 	// Acquire the trace once. The recorder engine generates the exact
@@ -53,56 +49,27 @@ func main() {
 	}
 	fmt.Printf("acquired one LU class A trace on %d processes: %d actions\n\n", procs, total)
 
-	scenarios := []scenario{
-		{"current cluster (bordereau)", platform.BordereauPower, platform.GigaEthernetBw, platform.ClusterLatency},
-		{"2x faster CPUs", 2 * platform.BordereauPower, platform.GigaEthernetBw, platform.ClusterLatency},
-		{"10G interconnect", platform.BordereauPower, platform.TenGigabitBw, platform.ClusterLatency / 2},
-		{"both upgrades", 2 * platform.BordereauPower, platform.TenGigabitBw, platform.ClusterLatency / 2},
-	}
-
-	fmt.Printf("%-30s | %12s | %8s\n", "scenario", "predicted", "speedup")
-	var baseline float64
-	for i, sc := range scenarios {
-		simTime, err := replayOn(sc, perRank)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if i == 0 {
-			baseline = simTime
-		}
-		fmt.Printf("%-30s | %12s | %7.2fx\n",
-			sc.name, units.FormatSeconds(simTime), baseline/simTime)
-	}
-	fmt.Println("\nSame trace, different platform files: that is the whole point of")
-	fmt.Println("decoupling acquisition from replay with time-independent traces.")
-}
-
-// replayOn replays the trace on a cluster built from the scenario.
-func replayOn(sc scenario, perRank [][]trace.Action) (float64, error) {
-	k := simx.New()
-	backbone := k.AddLink("backbone", 10*sc.bandwidth, sc.latency)
-	hostLinks := make([]*simx.Link, procs)
-	names := make([]string, procs)
-	for i := 0; i < procs; i++ {
-		names[i] = fmt.Sprintf("node-%d", i)
-		k.AddHost(names[i], sc.power, 1)
-		hostLinks[i] = k.AddLink(fmt.Sprintf("link-%d", i), sc.bandwidth, sc.latency)
-	}
-	for i := 0; i < procs; i++ {
-		for j := 0; j < procs; j++ {
-			if i != j {
-				k.AddRoute(names[i], names[j], []*simx.Link{hostLinks[i], backbone, hostLinks[j]})
-			}
-		}
-	}
-	b := platform.WrapKernel(k, names)
-	d, err := platform.RoundRobin(names, procs, 1)
+	// The upgrade grid: {current, 2x CPUs} x {1G, 10G interconnect} x
+	// {current, halved latency} — the four classic scenarios of the study
+	// (current cluster, faster CPUs, 10G+low-latency fabric, both) are the
+	// cells where bandwidth and latency upgrade together; the grid also
+	// prices the in-between configurations for free. The first scenario is
+	// the unmodified bordereau cluster, so the table's speedup column reads
+	// relative to today's platform.
+	res, err := sweep.Run(context.Background(), &sweep.Config{
+		Platform: platform.BordereauWithCores(procs, 1),
+		Grid: sweep.Grid{
+			LatencyScale:   []float64{1, 0.5},
+			BandwidthScale: []float64{1, 10},
+			PowerScale:     []float64{1, 2},
+		},
+		Traces: sweep.TracesFromActions(perRank),
+	})
 	if err != nil {
-		return 0, err
+		log.Fatal(err)
 	}
-	res, err := replay.RunActions(b, d, replay.Config{Model: smpi.Default()}, perRank)
-	if err != nil {
-		return 0, err
-	}
-	return res.SimulatedTime, nil
+	res.RenderTable(os.Stdout)
+
+	fmt.Println("\nSame trace, different platform descriptions: that is the whole point")
+	fmt.Println("of decoupling acquisition from replay with time-independent traces.")
 }

@@ -8,10 +8,6 @@ import (
 	"tireplay/internal/acquisition"
 	"tireplay/internal/convert"
 	"tireplay/internal/npb"
-	"tireplay/internal/platform"
-	"tireplay/internal/replay"
-	"tireplay/internal/smpi"
-	"tireplay/internal/trace"
 )
 
 // InvarianceResult verifies the property closing Section 6.2: a classical
@@ -80,13 +76,13 @@ func Invariance(cfg *Config) (*InvarianceResult, error) {
 			res.Identical = false
 		}
 
-		sim, err := replayOn(procs, perRank)
+		sim, err := replayBordereau(procs, 0, perRank)
 		if err != nil {
 			return nil, err
 		}
 		res.Modes = append(res.Modes, m.Name())
-		res.Simulated = append(res.Simulated, sim)
-		cfg.progressf("invariance mode %-9s: simulated %.4f s", m.Name(), sim)
+		res.Simulated = append(res.Simulated, sim.SimulatedTime)
+		cfg.progressf("invariance mode %-9s: simulated %.4f s", m.Name(), sim.SimulatedTime)
 	}
 	ref := res.Simulated[0]
 	for _, s := range res.Simulated {
@@ -99,21 +95,4 @@ func Invariance(cfg *Config) (*InvarianceResult, error) {
 		}
 	}
 	return res, nil
-}
-
-// replayOn replays per-rank actions on the regular bordereau target.
-func replayOn(procs int, perRank [][]trace.Action) (float64, error) {
-	b, err := platform.BuildBordereauWithCores(procs, 1)
-	if err != nil {
-		return 0, err
-	}
-	d, err := platform.RoundRobin(b.HostNames, procs, 1)
-	if err != nil {
-		return 0, err
-	}
-	result, err := replay.RunActions(b, d, replay.Config{Model: smpi.Default()}, perRank)
-	if err != nil {
-		return 0, err
-	}
-	return result.SimulatedTime, nil
 }

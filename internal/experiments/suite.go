@@ -9,9 +9,6 @@ import (
 	"tireplay/internal/calibrate"
 	"tireplay/internal/mpi"
 	"tireplay/internal/npb"
-	"tireplay/internal/platform"
-	"tireplay/internal/replay"
-	"tireplay/internal/smpi"
 	"tireplay/internal/tau"
 	"tireplay/internal/trace"
 )
@@ -225,15 +222,7 @@ func runCell(cfg *Config, class npb.Class, procs int, calibratedRate float64) (*
 			return nil, err
 		}
 	}
-	b, err := platform.BuildBordereauCustom(procs, 1, calibratedRate)
-	if err != nil {
-		return nil, err
-	}
-	d, err := platform.RoundRobin(b.HostNames, procs, 1)
-	if err != nil {
-		return nil, err
-	}
-	result, err := replay.RunActions(b, d, replay.Config{Model: smpi.Default()}, perRank)
+	result, err := replayBordereau(procs, calibratedRate, perRank)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"tireplay/internal/npb"
+	"tireplay/internal/sweep"
+)
+
+// TestWhatIfSweep runs the capacity-planning sweep on a small instance and
+// checks the engine's predictions respond to the grid as physics demands.
+func TestWhatIfSweep(t *testing.T) {
+	cfg := &Config{Classes: []npb.Class{npb.ClassS}, Procs: []int{4}}
+	grid := sweep.Grid{PowerScale: []float64{1, 2}, BandwidthScale: []float64{1, 10}}
+	res, err := WhatIf(context.Background(), cfg, grid, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scenarios) != 4 {
+		t.Fatalf("scenarios = %d, want 4", len(res.Scenarios))
+	}
+	base := res.Scenarios[0]   // pow=1 bw=1
+	faster := res.Scenarios[3] // pow=2 bw=10
+	if base.SimulatedTime <= 0 || faster.SimulatedTime <= 0 {
+		t.Fatalf("non-positive makespans: %g, %g", base.SimulatedTime, faster.SimulatedTime)
+	}
+	if faster.SimulatedTime >= base.SimulatedTime {
+		t.Fatalf("upgraded platform (%s) %g not faster than baseline (%s) %g",
+			faster.Name, faster.SimulatedTime, base.Name, base.SimulatedTime)
+	}
+}

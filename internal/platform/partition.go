@@ -1,0 +1,194 @@
+package platform
+
+import "fmt"
+
+// This file partitions a platform description into the connected components
+// of its host/link graph. Two hosts are connected when traffic can flow
+// between them: they sit in the same cluster (through its backbone), an
+// explicit <route> joins them, or an <ASroute> joins their clusters. Disjoint
+// components can never contend for a link, so a replay whose communication
+// stays inside one component is exactly reproducible on a kernel holding
+// only that component — the property the parallel what-if sweep engine uses
+// to spread one scenario over several kernels.
+
+// Hosts returns every host name declared by the platform in declaration
+// order: for each AS, cluster hosts (expanded from the radical) first, then
+// explicit hosts, then the hosts of nested systems.
+func (p *Platform) Hosts() ([]string, error) {
+	var hosts []string
+	if err := walkHosts(&p.AS, func(name string) { hosts = append(hosts, name) }); err != nil {
+		return nil, err
+	}
+	return hosts, nil
+}
+
+func walkHosts(a *AS, visit func(string)) error {
+	for i := range a.Clusters {
+		names, err := clusterHostNames(&a.Clusters[i])
+		if err != nil {
+			return err
+		}
+		for _, n := range names {
+			visit(n)
+		}
+	}
+	for _, h := range a.Hosts {
+		visit(h.ID)
+	}
+	for i := range a.Subs {
+		if err := walkHosts(&a.Subs[i], visit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// clusterHostNames expands a cluster's radical into its host names, the same
+// naming buildCluster applies when instantiating.
+func clusterHostNames(c *Cluster) ([]string, error) {
+	idx, err := ParseRadical(c.Radical)
+	if err != nil {
+		return nil, fmt.Errorf("platform: cluster %q: %w", c.ID, err)
+	}
+	names := make([]string, len(idx))
+	for i, n := range idx {
+		names[i] = fmt.Sprintf("%s%d%s", c.Prefix, n, c.Suffix)
+	}
+	return names, nil
+}
+
+// Components groups the platform's hosts into the connected components of
+// the communication graph, deterministically: components are ordered by the
+// declaration position of their first host, and hosts inside a component
+// keep declaration order. A platform where every host can reach every other
+// yields a single component.
+func (p *Platform) Components() ([][]string, error) {
+	u := newUnion()
+	var hosts []string
+	// reps maps a cluster id (or a single-cluster sub-AS id, the alias
+	// Instantiate accepts as an ASroute endpoint) to a representative host.
+	reps := make(map[string]string)
+	if err := componentsWalk(&p.AS, &hosts, u, reps); err != nil {
+		return nil, err
+	}
+	order := make(map[string]int, len(hosts))
+	var comps [][]string
+	for _, h := range hosts {
+		root := u.find(h)
+		i, ok := order[root]
+		if !ok {
+			i = len(comps)
+			order[root] = i
+			comps = append(comps, nil)
+		}
+		comps[i] = append(comps[i], h)
+	}
+	return comps, nil
+}
+
+func componentsWalk(a *AS, hosts *[]string, u *union, reps map[string]string) error {
+	for i := range a.Clusters {
+		c := &a.Clusters[i]
+		names, err := clusterHostNames(c)
+		if err != nil {
+			return err
+		}
+		for _, n := range names {
+			u.add(n)
+			*hosts = append(*hosts, n)
+		}
+		// The backbone joins every host of the cluster.
+		for _, n := range names[1:] {
+			u.merge(names[0], n)
+		}
+		if len(names) > 0 {
+			reps[c.ID] = names[0]
+		}
+	}
+	for _, h := range a.Hosts {
+		u.add(h.ID)
+		*hosts = append(*hosts, h.ID)
+	}
+	for _, r := range a.Routes {
+		// Routes name hosts; endpoints outside this description (e.g. hosts
+		// a wrapped kernel added programmatically) cannot be partitioned, so
+		// they are simply not joined here.
+		if u.has(r.Src) && u.has(r.Dst) {
+			u.merge(r.Src, r.Dst)
+		}
+		// Two routes referencing the same declared <link> contend for it
+		// even when their endpoints are otherwise unreachable from each
+		// other, so the link itself joins the component ("link:" keys never
+		// collide with host names emitted by the grouping pass).
+		for _, l := range r.Links {
+			lk := "link:" + l.ID
+			u.add(lk)
+			if u.has(r.Src) {
+				u.merge(r.Src, lk)
+			}
+		}
+	}
+	for i := range a.Subs {
+		sub := &a.Subs[i]
+		if err := componentsWalk(sub, hosts, u, reps); err != nil {
+			return err
+		}
+		// A sub-AS holding a single cluster aliases that cluster, the same
+		// shortcut Instantiate's route resolution takes.
+		if len(sub.Clusters) == 1 {
+			if rep, ok := reps[sub.Clusters[0].ID]; ok {
+				reps[sub.ID] = rep
+			}
+		}
+	}
+	for _, ar := range a.ASRoutes {
+		src, ok := reps[ar.Src]
+		if !ok {
+			return fmt.Errorf("platform: ASroute references unknown system %q", ar.Src)
+		}
+		dst, ok := reps[ar.Dst]
+		if !ok {
+			return fmt.Errorf("platform: ASroute references unknown system %q", ar.Dst)
+		}
+		u.merge(src, dst)
+		for _, l := range ar.Links {
+			lk := "link:" + l.ID
+			u.add(lk)
+			u.merge(src, lk)
+		}
+	}
+	return nil
+}
+
+// union is a plain union-find over host names with path halving.
+type union struct {
+	parent map[string]string
+}
+
+func newUnion() *union { return &union{parent: make(map[string]string)} }
+
+func (u *union) add(x string) {
+	if _, ok := u.parent[x]; !ok {
+		u.parent[x] = x
+	}
+}
+
+func (u *union) has(x string) bool {
+	_, ok := u.parent[x]
+	return ok
+}
+
+func (u *union) find(x string) string {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *union) merge(a, b string) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[rb] = ra
+	}
+}

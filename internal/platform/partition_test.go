@@ -1,0 +1,191 @@
+package platform
+
+import (
+	"reflect"
+	"testing"
+)
+
+// twoClusters builds a description with two clusters, optionally joined by a
+// wide-area ASroute (the Grid'5000 shape of the Scattering modes).
+func twoClusters(joined bool) *Platform {
+	p := &Platform{
+		Version: "3",
+		AS: AS{
+			ID:      "AS_root",
+			Routing: "Full",
+			Clusters: []Cluster{
+				{ID: "alpha", Prefix: "a-", Radical: "0-2", Power: "1E9", BW: "1.25E8", Lat: "1E-5"},
+				{ID: "beta", Prefix: "b-", Radical: "0-1", Power: "1E9", BW: "1.25E8", Lat: "1E-5"},
+			},
+			Links: []LinkDef{{ID: "wan", Bandwidth: "1.25E9", Latency: "5E-3"}},
+		},
+	}
+	if joined {
+		p.AS.ASRoutes = []ASRoute{{Src: "alpha", Dst: "beta", Links: []LinkRef{{ID: "wan"}}}}
+	}
+	return p
+}
+
+func TestHostsMatchesInstantiate(t *testing.T) {
+	p := twoClusters(true)
+	hosts, err := p.Hosts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Instantiate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(hosts, b.HostNames) {
+		t.Fatalf("Hosts() = %v, Instantiate order = %v", hosts, b.HostNames)
+	}
+}
+
+func TestComponentsDisjointClusters(t *testing.T) {
+	comps, err := twoClusters(false).Components()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{{"a-0", "a-1", "a-2"}, {"b-0", "b-1"}}
+	if !reflect.DeepEqual(comps, want) {
+		t.Fatalf("components = %v, want %v", comps, want)
+	}
+}
+
+func TestComponentsJoinedByASRoute(t *testing.T) {
+	comps, err := twoClusters(true).Components()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 1 || len(comps[0]) != 5 {
+		t.Fatalf("components = %v, want one of 5 hosts", comps)
+	}
+}
+
+func TestComponentsExplicitHostsAndRoutes(t *testing.T) {
+	p := &Platform{
+		Version: "3",
+		AS: AS{
+			ID: "AS0", Routing: "Full",
+			Hosts: []HostDef{{ID: "h0", Power: "1E9"}, {ID: "h1", Power: "1E9"}, {ID: "h2", Power: "1E9"}},
+			Links: []LinkDef{{ID: "l01", Bandwidth: "1E8", Latency: "1E-5"}},
+			Routes: []RouteDef{
+				{Src: "h0", Dst: "h1", Links: []LinkRef{{ID: "l01"}}},
+			},
+		},
+	}
+	comps, err := p.Components()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{{"h0", "h1"}, {"h2"}}
+	if !reflect.DeepEqual(comps, want) {
+		t.Fatalf("components = %v, want %v", comps, want)
+	}
+}
+
+func TestComponentsSharedLinkJoins(t *testing.T) {
+	// Two host pairs with no route between the pairs, but both routes cross
+	// the same declared link: they contend for it, so they are one
+	// component and must never be split onto separate kernels.
+	p := &Platform{
+		Version: "3",
+		AS: AS{
+			ID: "AS0", Routing: "Full",
+			Hosts: []HostDef{
+				{ID: "h0", Power: "1E9"}, {ID: "h1", Power: "1E9"},
+				{ID: "h2", Power: "1E9"}, {ID: "h3", Power: "1E9"},
+			},
+			Links: []LinkDef{{ID: "shared", Bandwidth: "1E8", Latency: "1E-5"}},
+			Routes: []RouteDef{
+				{Src: "h0", Dst: "h1", Links: []LinkRef{{ID: "shared"}}},
+				{Src: "h2", Dst: "h3", Links: []LinkRef{{ID: "shared"}}},
+			},
+		},
+	}
+	comps, err := p.Components()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 1 || len(comps[0]) != 4 {
+		t.Fatalf("components = %v, want one of 4 hosts (shared link contends)", comps)
+	}
+}
+
+func TestComponentsSubASAlias(t *testing.T) {
+	// An ASroute between two single-cluster sub-systems referenced by their
+	// AS ids, the shape the scattering platforms use.
+	p := &Platform{
+		Version: "3",
+		AS: AS{
+			ID: "AS_root", Routing: "Full",
+			Subs: []AS{
+				{ID: "site_a", Routing: "Full", Clusters: []Cluster{
+					{ID: "ca", Prefix: "a-", Radical: "0-1", Power: "1E9", BW: "1.25E8", Lat: "1E-5"}}},
+				{ID: "site_b", Routing: "Full", Clusters: []Cluster{
+					{ID: "cb", Prefix: "b-", Radical: "0-1", Power: "1E9", BW: "1.25E8", Lat: "1E-5"}}},
+			},
+			Links:    []LinkDef{{ID: "wan", Bandwidth: "1.25E9", Latency: "5E-3"}},
+			ASRoutes: []ASRoute{{Src: "site_a", Dst: "site_b", Links: []LinkRef{{ID: "wan"}}}},
+		},
+	}
+	comps, err := p.Components()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 1 || len(comps[0]) != 4 {
+		t.Fatalf("components = %v, want one of 4 hosts", comps)
+	}
+	// Without the ASroute the sites fall apart.
+	p.AS.ASRoutes = nil
+	comps, err = p.Components()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 2 {
+		t.Fatalf("components = %v, want two", comps)
+	}
+}
+
+func TestScaledIdentityRoundTrips(t *testing.T) {
+	p := twoClusters(true)
+	s, err := p.Scaled(Scale{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, s) {
+		t.Fatalf("identity scale changed the description:\n%+v\nvs\n%+v", p, s)
+	}
+	// The copy must be deep: mutating it cannot touch the original.
+	s.AS.Clusters[0].Power = "2E9"
+	s.AS.ASRoutes[0].Links[0].ID = "other"
+	if p.AS.Clusters[0].Power != "1E9" || p.AS.ASRoutes[0].Links[0].ID != "wan" {
+		t.Fatal("Scaled shares memory with its receiver")
+	}
+}
+
+func TestScaledAppliesFactors(t *testing.T) {
+	p := twoClusters(true)
+	p.AS.Hosts = []HostDef{{ID: "lone", Power: "2E9"}}
+	s, err := p.Scaled(Scale{Latency: 0.5, Bandwidth: 10, Power: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct{ got, want string }{
+		{s.AS.Clusters[0].Power, "2E+09"},
+		{s.AS.Clusters[0].BW, "1.25E+09"},
+		{s.AS.Clusters[0].Lat, "5E-06"},
+		{s.AS.Hosts[0].Power, "4E+09"},
+		{s.AS.Links[0].Bandwidth, "1.25E+10"},
+		{s.AS.Links[0].Latency, "0.0025"},
+	}
+	for i, c := range checks {
+		if c.got != c.want {
+			t.Fatalf("check %d: got %q, want %q", i, c.got, c.want)
+		}
+	}
+	// The scaled description must still instantiate.
+	if _, err := Instantiate(s); err != nil {
+		t.Fatal(err)
+	}
+}

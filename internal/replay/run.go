@@ -35,6 +35,16 @@ type Config struct {
 	// the interning equivalence tests; both paths address the same
 	// mailboxes and produce identical timed traces.
 	StringMailboxes bool
+	// Ranks maps the deployment's i-th process entry to the global MPI rank
+	// it replays; nil means the identity mapping. The sweep engine's
+	// platform partitioner uses it to run one connected component's subset
+	// of ranks on its own kernel while the traces keep naming global ranks.
+	Ranks []int
+	// WorldSize is the communicator size the handlers see (comm_size
+	// validation, peer range checks, collective fan-out); zero means the
+	// number of deployed processes. It must cover every rank and peer the
+	// replayed traces name.
+	WorldSize int
 }
 
 func (c *Config) setDefaults() {
@@ -178,9 +188,30 @@ func ScannerSource(sc *trace.Scanner) Source {
 	return &scannerSource{sc: sc}
 }
 
+// run owns every piece of mutable state of one replay: the kernel (with its
+// activity/comm pools and interning tables), the collective round table, the
+// per-rank error slots and the action counter. Nothing in this struct — or
+// reachable from it — is shared with any other run, which is what lets a
+// sweep execute many runs concurrently over one read-only trace; the inputs
+// a caller may share between concurrent runs (Registry, *smpi.Model, Source
+// backing arrays, the parsed platform description) are all immutable during
+// a run.
+type run struct {
+	cfg     Config
+	world   *world
+	errs    []error
+	actions atomic.Int64
+}
+
 // Run replays one Source per rank on the platform: the engine of the whole
-// framework. The deployment's i-th process entry maps rank i onto its host.
-// The build's kernel is consumed by the run.
+// framework. The deployment's i-th process entry maps rank i onto its host
+// (or onto cfg.Ranks[i] for a partitioned run). The build's kernel is
+// consumed by the run.
+//
+// Run is safe to call concurrently from multiple goroutines as long as each
+// call gets its own Build (the kernel is mutated), its own Sources (cursors
+// advance) and its own TimedTracer; Config values such as the Registry and
+// the Model are only read.
 func Run(b *platform.Build, depl *platform.Deployment, cfg Config, sources []Source) (*Result, error) {
 	n := len(depl.Processes)
 	if n == 0 {
@@ -190,70 +221,54 @@ func Run(b *platform.Build, depl *platform.Deployment, cfg Config, sources []Sou
 		return nil, fmt.Errorf("replay: %d sources for %d deployed processes", len(sources), n)
 	}
 	cfg.setDefaults()
+	worldN := cfg.WorldSize
+	if worldN == 0 {
+		worldN = n
+	}
+	if worldN < n {
+		return nil, fmt.Errorf("replay: world size %d below %d deployed processes", worldN, n)
+	}
+	if cfg.Ranks != nil && len(cfg.Ranks) != n {
+		return nil, fmt.Errorf("replay: %d rank mappings for %d deployed processes", len(cfg.Ranks), n)
+	}
 	k := b.Kernel
 	k.SetRateModel(cfg.Model.RateModel())
 	if cfg.TimedTracer != nil {
 		k.SetTracer(cfg.TimedTracer)
 	}
 
-	var actions atomic.Int64
-	errs := make([]error, n)
-	w := &world{k: k, n: n, stringMailboxes: cfg.StringMailboxes}
+	r := &run{
+		cfg:   cfg,
+		world: &world{k: k, n: worldN, stringMailboxes: cfg.StringMailboxes},
+		errs:  make([]error, n),
+	}
+	var taken map[int]bool
+	if cfg.Ranks != nil {
+		taken = make(map[int]bool, n)
+	}
 	for i, pd := range depl.Processes {
 		host := k.Host(pd.Host)
 		if host == nil {
 			return nil, fmt.Errorf("replay: deployment host %q not in platform", pd.Host)
 		}
 		rank := i
-		src := sources[i]
-		var sendMb, recvMb []simx.MailboxID
-		if !cfg.StringMailboxes {
-			// Allocate the rank-local tables caching the interned
-			// point-to-point mailbox IDs: the first rendezvous with a peer
-			// resolves the name once, every later one addresses the dense
-			// ID with no strconv or map hash. (-1 marks unresolved slots,
-			// so only pairs the trace actually uses are ever interned.)
-			sendMb = make([]simx.MailboxID, n)
-			recvMb = make([]simx.MailboxID, n)
-			for peer := 0; peer < n; peer++ {
-				sendMb[peer] = -1
-				recvMb[peer] = -1
+		if cfg.Ranks != nil {
+			rank = cfg.Ranks[i]
+			if rank < 0 || rank >= worldN {
+				return nil, fmt.Errorf("replay: rank mapping %d outside world of %d", rank, worldN)
 			}
+			if taken[rank] {
+				return nil, fmt.Errorf("replay: rank %d mapped twice", rank)
+			}
+			taken[rank] = true
 		}
-		k.Spawn(pd.Function, host, func(sp *simx.Proc) {
-			p := &Proc{Sim: sp, Rank: rank, N: n, cfg: &cfg, world: w,
-				sendMb: sendMb, recvMb: recvMb}
-			for {
-				a, ok, err := src.Next()
-				if err != nil {
-					errs[rank] = fmt.Errorf("replay: p%d trace: %w", rank, err)
-					return
-				}
-				if !ok {
-					return
-				}
-				if a.Proc != rank {
-					errs[rank] = fmt.Errorf("replay: p%d trace contains action of p%d", rank, a.Proc)
-					return
-				}
-				h, err := cfg.Registry.Lookup(a.Type)
-				if err != nil {
-					errs[rank] = err
-					return
-				}
-				if err := h(p, a); err != nil {
-					errs[rank] = err
-					return
-				}
-				actions.Add(1)
-			}
-		})
+		r.spawnRank(k, pd.Function, host, i, rank, sources[i])
 	}
 
 	start := time.Now()
 	makespan, runErr := k.Run()
 	wall := time.Since(start)
-	for _, err := range errs {
+	for _, err := range r.errs {
 		if err != nil {
 			return nil, err
 		}
@@ -261,7 +276,55 @@ func Run(b *platform.Build, depl *platform.Deployment, cfg Config, sources []Sou
 	if runErr != nil {
 		return nil, fmt.Errorf("replay: simulation stalled: %w", runErr)
 	}
-	return &Result{SimulatedTime: makespan, Actions: actions.Load(), WallTime: wall}, nil
+	return &Result{SimulatedTime: makespan, Actions: r.actions.Load(), WallTime: wall}, nil
+}
+
+// spawnRank creates the kernel process replaying one rank's source. slot is
+// the deployment index (the run-local error slot), rank the global MPI rank
+// the trace names.
+func (r *run) spawnRank(k *simx.Kernel, fn string, host *simx.Host, slot, rank int, src Source) {
+	var sendMb, recvMb []simx.MailboxID
+	if !r.cfg.StringMailboxes {
+		// Allocate the rank-local tables caching the interned point-to-point
+		// mailbox IDs: the first rendezvous with a peer resolves the name
+		// once, every later one addresses the dense ID with no strconv or
+		// map hash. (-1 marks unresolved slots, so only pairs the trace
+		// actually uses are ever interned.)
+		sendMb = make([]simx.MailboxID, r.world.n)
+		recvMb = make([]simx.MailboxID, r.world.n)
+		for peer := range sendMb {
+			sendMb[peer] = -1
+			recvMb[peer] = -1
+		}
+	}
+	k.Spawn(fn, host, func(sp *simx.Proc) {
+		p := &Proc{Sim: sp, Rank: rank, N: r.world.n, cfg: &r.cfg, world: r.world,
+			sendMb: sendMb, recvMb: recvMb}
+		for {
+			a, ok, err := src.Next()
+			if err != nil {
+				r.errs[slot] = fmt.Errorf("replay: p%d trace: %w", rank, err)
+				return
+			}
+			if !ok {
+				return
+			}
+			if a.Proc != rank {
+				r.errs[slot] = fmt.Errorf("replay: p%d trace contains action of p%d", rank, a.Proc)
+				return
+			}
+			h, err := r.cfg.Registry.Lookup(a.Type)
+			if err != nil {
+				r.errs[slot] = err
+				return
+			}
+			if err := h(p, a); err != nil {
+				r.errs[slot] = err
+				return
+			}
+			r.actions.Add(1)
+		}
+	})
 }
 
 // RunActions replays in-memory per-rank action lists.

@@ -1,0 +1,331 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tireplay/internal/platform"
+	"tireplay/internal/replay"
+	"tireplay/internal/smpi"
+)
+
+// Config parameterises a sweep.
+type Config struct {
+	// Platform is the base platform description every scenario derives from
+	// (required). It is only read; each scenario instantiates its own
+	// kernel from its own scaled copy.
+	Platform *platform.Platform
+	// Grid spans the scenario space.
+	Grid Grid
+	// Traces is the shared trace set (required). It is only read.
+	Traces *TraceSet
+	// Model is the MPI communication model; nil means smpi.Default().
+	Model *smpi.Model
+	// EagerThreshold is forwarded to every replay (see replay.Config).
+	EagerThreshold float64
+	// Workers bounds the pool replaying scenarios concurrently; <= 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Timed collects each scenario's timed trace (the secondary output of
+	// Figure 4) into its result. Traces are byte-identical whatever the
+	// worker count.
+	Timed bool
+	// Profile collects a per-process profile for each scenario.
+	Profile bool
+	// Partition splits a scenario across several kernels when the platform
+	// graph decomposes into disjoint connected components and the trace's
+	// communication respects the induced rank partition.
+	Partition bool
+	// OnResult, when non-nil, receives each scenario's result as it
+	// completes, from whichever worker finished it last; it must be safe
+	// for concurrent use. Results in the final Result stay in scenario
+	// order regardless.
+	OnResult func(*ScenarioResult)
+}
+
+// ScenarioResult is the outcome of one scenario.
+type ScenarioResult struct {
+	Scenario
+	// Name is the scenario's compact label.
+	Name string `json:"name"`
+	// SimulatedTime is the predicted makespan on the scenario platform.
+	SimulatedTime float64 `json:"simulated_time"`
+	// Actions is the number of trace actions replayed.
+	Actions int64 `json:"actions"`
+	// Wall is the host CPU time the scenario's kernels consumed (summed
+	// over components, so it is comparable across worker counts).
+	Wall time.Duration `json:"wall_ns"`
+	// Components is how many independent kernels executed the scenario.
+	Components int `json:"components"`
+	// TimedTrace is the scenario's timed trace when Config.Timed is set,
+	// concatenated over components in deterministic component order.
+	TimedTrace []byte `json:"-"`
+	// Profile holds the per-process profile rows when Config.Profile is
+	// set, sorted by process name.
+	Profile []*replay.ProcProfile `json:"profile,omitempty"`
+	// Err reports a failed or cancelled scenario; the zero value means
+	// success.
+	Err string `json:"err,omitempty"`
+}
+
+// Result is the aggregated outcome of a sweep, scenarios in expansion order.
+type Result struct {
+	Workers   int              `json:"workers"`
+	Wall      time.Duration    `json:"wall_ns"`
+	Scenarios []ScenarioResult `json:"scenarios"`
+}
+
+// task is one pool work item: a scenario component replay.
+type task struct {
+	si   int  // scenario index
+	pi   int  // part index within the scenario
+	part part // global ranks of this component
+}
+
+// partOut is the raw outcome of one task.
+type partOut struct {
+	res        *replay.Result
+	timed      []byte
+	profile    *replay.Profile
+	components int
+	err        error
+}
+
+// Run executes the sweep: it expands the grid, schedules every scenario
+// component on the worker pool and merges the results deterministically.
+// Cancelling the context stops scheduling new work; already-running
+// scenarios finish (a kernel run is not interruptible), unstarted ones are
+// reported with Err "sweep: canceled", and Run returns the partial result
+// together with the context's error.
+func Run(ctx context.Context, cfg *Config) (*Result, error) {
+	if cfg.Platform == nil {
+		return nil, fmt.Errorf("sweep: nil platform")
+	}
+	if cfg.Traces == nil || cfg.Traces.Ranks() == 0 {
+		return nil, fmt.Errorf("sweep: empty trace set")
+	}
+	model := cfg.Model
+	if model == nil {
+		model = smpi.Default()
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	hosts, err := cfg.Platform.Hosts()
+	if err != nil {
+		return nil, err
+	}
+	if len(hosts) == 0 {
+		return nil, fmt.Errorf("sweep: platform declares no hosts")
+	}
+
+	// The shared read-only inputs of every task: the communication graph of
+	// the traces and the host components of the base platform (scaling
+	// never changes connectivity, so one analysis serves every scenario).
+	var graph *commGraph
+	hostComp := make(map[string]int)
+	if cfg.Partition {
+		if graph, err = analyze(cfg.Traces); err != nil {
+			return nil, err
+		}
+		comps, err := cfg.Platform.Components()
+		if err != nil {
+			return nil, err
+		}
+		for ci, comp := range comps {
+			for _, h := range comp {
+				hostComp[h] = ci
+			}
+		}
+	}
+
+	scenarios := cfg.Grid.Expand()
+	n := cfg.Traces.Ranks()
+	depls := make([]*platform.Deployment, len(scenarios))
+	tasks := make([]task, 0, len(scenarios))
+	for si, sc := range scenarios {
+		d, err := scenarioDeployment(hosts, sc, n)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: scenario %d (%s): %w", si, sc.Name(), err)
+		}
+		depls[si] = d
+		parts := []part{wholePart(n)}
+		if cfg.Partition {
+			parts = partition(graph, hostComp, d.Processes)
+		}
+		for pi, p := range parts {
+			tasks = append(tasks, task{si: si, pi: pi, part: p})
+		}
+	}
+
+	// outs[si][pi] is written by exactly one worker; remaining[si] counts
+	// parts still running so the last worker can emit the merged result.
+	outs := make([][]partOut, len(scenarios))
+	remaining := make([]atomic.Int32, len(scenarios))
+	results := make([]ScenarioResult, len(scenarios))
+	for _, t := range tasks {
+		if t.pi >= len(outs[t.si]) {
+			outs[t.si] = append(outs[t.si], make([]partOut, t.pi+1-len(outs[t.si]))...)
+		}
+		remaining[t.si].Add(1)
+	}
+	for si := range results {
+		results[si] = ScenarioResult{Scenario: scenarios[si], Name: scenarios[si].Name(),
+			Err: "sweep: canceled"}
+	}
+
+	start := time.Now()
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ti := range jobs {
+				t := tasks[ti]
+				outs[t.si][t.pi] = runTask(cfg, model, scenarios[t.si], depls[t.si], t.part)
+				if remaining[t.si].Add(-1) == 0 {
+					results[t.si] = mergeScenario(cfg, scenarios[t.si], outs[t.si])
+					if cfg.OnResult != nil {
+						cfg.OnResult(&results[t.si])
+					}
+				}
+			}
+		}()
+	}
+feed:
+	for ti := range tasks {
+		select {
+		case jobs <- ti:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	res := &Result{Workers: workers, Wall: time.Since(start), Scenarios: results}
+	return res, ctx.Err()
+}
+
+func wholePart(n int) part {
+	ranks := make([]int, n)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	return part{ranks: ranks}
+}
+
+// scenarioDeployment folds the n ranks onto the scenario's host subset.
+func scenarioDeployment(hosts []string, sc Scenario, n int) (*platform.Deployment, error) {
+	use := hosts
+	if sc.Hosts > 0 && sc.Hosts < len(hosts) {
+		use = hosts[:sc.Hosts]
+	}
+	fold := sc.Fold
+	if fold < 1 {
+		fold = 1
+	}
+	return platform.RoundRobin(use, n, fold)
+}
+
+// runTask replays one scenario component on its own kernel. Every mutable
+// structure — the scaled description, the instantiated kernel with its
+// pools and interning tables, the sources, the tracers — is created here
+// and owned by this task alone.
+func runTask(cfg *Config, model *smpi.Model, sc Scenario, depl *platform.Deployment, p part) partOut {
+	scaled, err := cfg.Platform.Scaled(platform.Scale{
+		Latency:   sc.LatencyScale,
+		Bandwidth: sc.BandwidthScale,
+		Power:     sc.PowerScale,
+	})
+	if err != nil {
+		return partOut{err: err}
+	}
+	b, err := platform.Instantiate(scaled)
+	if err != nil {
+		return partOut{err: err}
+	}
+
+	n := len(depl.Processes)
+	sub := depl
+	rcfg := replay.Config{Model: model, EagerThreshold: cfg.EagerThreshold, WorldSize: n}
+	if len(p.ranks) != n {
+		sub = &platform.Deployment{Version: depl.Version}
+		for _, r := range p.ranks {
+			sub.Processes = append(sub.Processes, depl.Processes[r])
+		}
+		rcfg.Ranks = p.ranks
+	}
+	sources := make([]replay.Source, len(p.ranks))
+	for i, r := range p.ranks {
+		if sources[i], err = cfg.Traces.source(r); err != nil {
+			return partOut{err: err}
+		}
+	}
+
+	var out partOut
+	var tracers replay.Tee
+	var buf bytes.Buffer
+	var tw *replay.TimedTraceWriter
+	if cfg.Timed {
+		tw = replay.NewTimedTraceWriter(&buf)
+		tracers = append(tracers, tw)
+	}
+	if cfg.Profile {
+		out.profile = replay.NewProfile()
+		tracers = append(tracers, out.profile)
+	}
+	if len(tracers) > 0 {
+		rcfg.TimedTracer = tracers
+	}
+
+	out.res, out.err = replay.Run(b, sub, rcfg, sources)
+	if tw != nil {
+		tw.Flush()
+		out.timed = buf.Bytes()
+	}
+	out.components = 1
+	return out
+}
+
+// mergeScenario folds a scenario's component outcomes into its result:
+// makespan is the maximum over components (they run concurrently in
+// simulated time), actions and host CPU time are summed, timed traces are
+// concatenated in component order — all independent of which worker ran
+// what, so the merged result is deterministic.
+func mergeScenario(cfg *Config, sc Scenario, parts []partOut) ScenarioResult {
+	out := ScenarioResult{Scenario: sc, Name: sc.Name()}
+	var timed []byte
+	for _, p := range parts {
+		if p.err != nil {
+			out.Err = p.err.Error()
+			return out
+		}
+		if p.res.SimulatedTime > out.SimulatedTime {
+			out.SimulatedTime = p.res.SimulatedTime
+		}
+		out.Actions += p.res.Actions
+		out.Wall += p.res.WallTime
+		out.Components += p.components
+		if cfg.Timed {
+			timed = append(timed, p.timed...)
+		}
+		if cfg.Profile && p.profile != nil {
+			out.Profile = append(out.Profile, p.profile.Processes()...)
+		}
+	}
+	out.TimedTrace = timed
+	if cfg.Profile {
+		sort.Slice(out.Profile, func(i, j int) bool { return out.Profile[i].Name < out.Profile[j].Name })
+	}
+	return out
+}

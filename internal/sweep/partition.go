@@ -1,0 +1,120 @@
+package sweep
+
+import (
+	"tireplay/internal/platform"
+	"tireplay/internal/trace"
+)
+
+// Scenario partitioning: when the platform graph decomposes into disjoint
+// connected components (e.g. two clusters with no wide-area route) and the
+// trace's communication graph never crosses the induced rank partition, the
+// scenario's replay decomposes exactly — ranks of different components share
+// no link, no mailbox and no collective, so each component can run on its
+// own kernel, in parallel, with bit-identical per-rank results. The sweep
+// engine then schedules component runs as independent pool tasks and merges
+// them deterministically (makespan = max over components, timed traces
+// concatenated in component order).
+
+// commGraph is the rank-level communication structure of a trace set,
+// computed once per sweep and shared read-only by every scenario.
+type commGraph struct {
+	// peers[r] lists the distinct ranks r exchanges point-to-point traffic
+	// with (send/Isend/recv/Irecv), in first-contact order.
+	peers [][]int
+	// collective reports whether any rank executes a collective action;
+	// collectives synchronise the full communicator through rank 0, so a
+	// collective trace never splits.
+	collective bool
+}
+
+// analyze scans every rank's trace once. The scan stops early once a
+// collective is seen, as the graph cannot split anyway.
+func analyze(ts *TraceSet) (*commGraph, error) {
+	n := ts.Ranks()
+	g := &commGraph{peers: make([][]int, n)}
+	for r := 0; r < n && !g.collective; r++ {
+		seen := make(map[int]bool)
+		err := ts.visit(r, func(a trace.Action) bool {
+			switch a.Type {
+			case trace.Send, trace.Isend, trace.Recv, trace.Irecv:
+				if a.Peer >= 0 && a.Peer != r && !seen[a.Peer] {
+					seen[a.Peer] = true
+					g.peers[r] = append(g.peers[r], a.Peer)
+				}
+			case trace.Bcast, trace.Reduce, trace.AllReduce, trace.Barrier:
+				g.collective = true
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// part is one component task of a scenario: the subset of global ranks to
+// replay on a kernel of their own. Ranks are in ascending order, so the
+// deployment slice and the result merge are deterministic.
+type part struct {
+	ranks []int
+}
+
+// partition derives the component tasks of one scenario. hostComp maps a
+// host name to its platform component id; procs is the scenario deployment.
+// It returns one part per platform component actually used — or a single
+// part with every rank when the trace's communication graph crosses the
+// partition (or uses collectives), in which case the scenario must run on
+// one kernel.
+func partition(g *commGraph, hostComp map[string]int, procs []platform.ProcessDef) []part {
+	n := len(procs)
+	all := func() []part {
+		ranks := make([]int, n)
+		for i := range ranks {
+			ranks[i] = i
+		}
+		return []part{{ranks: ranks}}
+	}
+	comp := make([]int, n)
+	used := make(map[int]bool)
+	for i, pd := range procs {
+		c, ok := hostComp[pd.Host]
+		if !ok {
+			// Host outside the description (programmatic platform): no
+			// partition information, run whole.
+			return all()
+		}
+		comp[i] = c
+		used[c] = true
+	}
+	if len(used) <= 1 {
+		return all()
+	}
+	if g.collective {
+		return all()
+	}
+	for r := 0; r < n; r++ {
+		for _, p := range g.peers[r] {
+			if p >= n || comp[p] != comp[r] {
+				// A message would cross components (or names a rank outside
+				// the deployment — leave that to the replay's own checks).
+				return all()
+			}
+		}
+	}
+	// Group ranks by component, ordered by first-rank appearance.
+	order := make(map[int]int)
+	var parts []part
+	for r := 0; r < n; r++ {
+		c := comp[r]
+		i, ok := order[c]
+		if !ok {
+			i = len(parts)
+			order[c] = i
+			parts = append(parts, part{})
+		}
+		parts[i].ranks = append(parts[i].ranks, r)
+	}
+	return parts
+}

@@ -1,0 +1,45 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"tireplay/internal/units"
+)
+
+// WriteJSON renders the sweep result as indented JSON: one record per
+// scenario in expansion order, with the makespan, action count, component
+// count and (when collected) the per-process profile rows.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// RenderTable prints the per-scenario makespan table, with each scenario's
+// speedup relative to the first (the conventional "current platform"
+// baseline of a what-if study). When the first scenario failed or was
+// cancelled there is no baseline, and the speedup column prints "-" rather
+// than silently re-basing on some other scenario.
+func (r *Result) RenderTable(w io.Writer) {
+	fmt.Fprintf(w, "%-40s | %12s | %8s | %5s | %8s\n",
+		"scenario", "predicted", "speedup", "parts", "actions")
+	var baseline float64
+	if len(r.Scenarios) > 0 && r.Scenarios[0].Err == "" {
+		baseline = r.Scenarios[0].SimulatedTime
+	}
+	for i := range r.Scenarios {
+		s := &r.Scenarios[i]
+		if s.Err != "" {
+			fmt.Fprintf(w, "%-40s | %s\n", s.Name, s.Err)
+			continue
+		}
+		speedup := "-"
+		if s.SimulatedTime > 0 && baseline > 0 {
+			speedup = fmt.Sprintf("%7.2fx", baseline/s.SimulatedTime)
+		}
+		fmt.Fprintf(w, "%-40s | %12s | %8s | %5d | %8d\n",
+			s.Name, units.FormatSeconds(s.SimulatedTime), speedup, s.Components, s.Actions)
+	}
+}

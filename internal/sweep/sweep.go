@@ -1,0 +1,154 @@
+// Package sweep is the parallel what-if engine: it expands a grid of
+// hypothetical platform scenarios — latency/bandwidth/power scalings,
+// deployment foldings, host counts — and replays one shared time-independent
+// trace against every scenario, each on its own independent simulation
+// kernel, across a bounded worker pool.
+//
+// This realises at scale the paper's core promise (Section 5: "a wide range
+// of what-if scenarios can be explored without any modification of the
+// simulator"): the trace is acquired once, parsed once, and shared read-only
+// between workers; each scenario owns every piece of mutable state its
+// replay touches (kernel, pools, interning tables, tracer), so results are
+// byte-identical whatever the worker count. When the scenario platform
+// decomposes into disjoint connected components and the trace's
+// communication graph respects the partition, the engine additionally
+// splits one scenario across several kernels (see partition.go).
+package sweep
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Grid spans the scenario space as a cross product of its axes. Empty axes
+// default to the single identity value, so the zero Grid holds exactly one
+// scenario: the unmodified platform.
+type Grid struct {
+	// LatencyScale multiplies every link latency of the base platform.
+	LatencyScale []float64
+	// BandwidthScale multiplies every link bandwidth.
+	BandwidthScale []float64
+	// PowerScale multiplies every host's per-core flop rate.
+	PowerScale []float64
+	// Fold are deployment folding factors: fold consecutive ranks share one
+	// host (F-fold in Table 2 of the paper).
+	Fold []int
+	// Hosts are candidate host counts; each value deploys onto the first
+	// that-many hosts of the platform (0 means all hosts).
+	Hosts []int
+}
+
+func orFloats(v []float64) []float64 {
+	if len(v) == 0 {
+		return []float64{1}
+	}
+	return v
+}
+
+func orInts(v []int, def int) []int {
+	if len(v) == 0 {
+		return []int{def}
+	}
+	return v
+}
+
+// Size returns the number of scenarios the grid expands to.
+func (g Grid) Size() int {
+	return len(orFloats(g.LatencyScale)) * len(orFloats(g.BandwidthScale)) *
+		len(orFloats(g.PowerScale)) * len(orInts(g.Fold, 1)) * len(orInts(g.Hosts, 0))
+}
+
+// Scenario is one fully instantiated cell of the grid.
+type Scenario struct {
+	// Index is the scenario's position in the deterministic expansion
+	// order; results are always reported in this order.
+	Index          int     `json:"index"`
+	LatencyScale   float64 `json:"latency_scale"`
+	BandwidthScale float64 `json:"bandwidth_scale"`
+	PowerScale     float64 `json:"power_scale"`
+	Fold           int     `json:"fold"`
+	// Hosts is the host-count limit (0 = every platform host).
+	Hosts int `json:"hosts,omitempty"`
+}
+
+// Name renders a compact scenario label, e.g. "lat=0.5 bw=2 pow=1 fold=2".
+func (s Scenario) Name() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "lat=%s bw=%s pow=%s fold=%d",
+		trimFloat(s.LatencyScale), trimFloat(s.BandwidthScale), trimFloat(s.PowerScale), s.Fold)
+	if s.Hosts > 0 {
+		fmt.Fprintf(&b, " hosts=%d", s.Hosts)
+	}
+	return b.String()
+}
+
+func trimFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// Expand lists the grid's scenarios in deterministic nested-axis order
+// (hosts outermost, then fold, power, bandwidth, latency innermost).
+func (g Grid) Expand() []Scenario {
+	lats := orFloats(g.LatencyScale)
+	bws := orFloats(g.BandwidthScale)
+	pows := orFloats(g.PowerScale)
+	folds := orInts(g.Fold, 1)
+	hosts := orInts(g.Hosts, 0)
+	out := make([]Scenario, 0, g.Size())
+	for _, h := range hosts {
+		for _, f := range folds {
+			for _, p := range pows {
+				for _, bw := range bws {
+					for _, lat := range lats {
+						out = append(out, Scenario{
+							Index:          len(out),
+							LatencyScale:   lat,
+							BandwidthScale: bw,
+							PowerScale:     p,
+							Fold:           f,
+							Hosts:          h,
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ParseFloatList parses a comma-separated list of scale factors, the syntax
+// of tisweep's grid flags ("0.5,1,2").
+func ParseFloatList(s string) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: bad factor %q in %q", part, s)
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("sweep: factor %g in %q must be positive", v, s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseIntList parses a comma-separated list of positive integers ("1,2,4").
+func ParseIntList(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("sweep: bad count %q in %q", part, s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,379 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"tireplay/internal/mpi"
+	"tireplay/internal/npb"
+	"tireplay/internal/platform"
+	"tireplay/internal/trace"
+)
+
+// luTraces acquires one LU trace set through the recorder engine.
+func luTraces(t testing.TB, class npb.Class, procs int) *TraceSet {
+	t.Helper()
+	prog, err := npb.LU(npb.LUConfig{Class: class, Procs: procs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perRank := make([][]trace.Action, procs)
+	for r := 0; r < procs; r++ {
+		if perRank[r], err = mpi.Record(r, procs, prog); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return TracesFromActions(perRank)
+}
+
+func TestExpandDeterministicOrder(t *testing.T) {
+	g := Grid{LatencyScale: []float64{1, 2}, BandwidthScale: []float64{1, 10}, Fold: []int{1, 2}}
+	scs := g.Expand()
+	if len(scs) != g.Size() || len(scs) != 8 {
+		t.Fatalf("expanded %d scenarios, Size()=%d, want 8", len(scs), g.Size())
+	}
+	// Latency is the innermost axis; indices are positional.
+	if scs[0].LatencyScale != 1 || scs[1].LatencyScale != 2 || scs[2].BandwidthScale != 10 {
+		t.Fatalf("unexpected order: %+v", scs[:3])
+	}
+	for i, sc := range scs {
+		if sc.Index != i {
+			t.Fatalf("scenario %d has index %d", i, sc.Index)
+		}
+		if sc.Fold < 1 {
+			t.Fatalf("scenario %d fold %d", i, sc.Fold)
+		}
+	}
+	if (Grid{}).Size() != 1 {
+		t.Fatal("zero grid must hold exactly the identity scenario")
+	}
+}
+
+func TestParseLists(t *testing.T) {
+	fs, err := ParseFloatList(" 0.5, 1,2 ")
+	if err != nil || len(fs) != 3 || fs[0] != 0.5 {
+		t.Fatalf("ParseFloatList = %v, %v", fs, err)
+	}
+	if _, err := ParseFloatList("1,-2"); err == nil {
+		t.Fatal("negative factor must fail")
+	}
+	is, err := ParseIntList("1,2,4")
+	if err != nil || len(is) != 3 || is[2] != 4 {
+		t.Fatalf("ParseIntList = %v, %v", is, err)
+	}
+	if _, err := ParseIntList("0"); err == nil {
+		t.Fatal("zero count must fail")
+	}
+}
+
+// TestSweepDeterministicAcrossWorkers is the engine's core guarantee: the
+// same grid replayed at workers=1 and workers=NumCPU (at least 4, so the
+// pool really interleaves) produces byte-identical per-scenario timed traces
+// and identical makespans. The race job replays this test under -race, which
+// doubles as the shared-trace data-race check.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	const procs = 8
+	ts := luTraces(t, npb.ClassS, procs)
+	grid := Grid{
+		LatencyScale:   []float64{1, 2},
+		BandwidthScale: []float64{0.5, 1},
+		PowerScale:     []float64{1, 2},
+	}
+	base := platform.BordereauWithCores(procs, 1)
+	run := func(workers int) *Result {
+		res, err := Run(context.Background(), &Config{
+			Platform: base,
+			Grid:     grid,
+			Traces:   ts,
+			Workers:  workers,
+			Timed:    true,
+			Profile:  true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	workers := runtime.NumCPU()
+	if workers < 4 {
+		workers = 4
+	}
+	serial := run(1)
+	parallel := run(workers)
+	if len(serial.Scenarios) != 8 || len(parallel.Scenarios) != 8 {
+		t.Fatalf("scenario counts: %d vs %d", len(serial.Scenarios), len(parallel.Scenarios))
+	}
+	for i := range serial.Scenarios {
+		s, p := &serial.Scenarios[i], &parallel.Scenarios[i]
+		if s.Err != "" || p.Err != "" {
+			t.Fatalf("scenario %d failed: %q / %q", i, s.Err, p.Err)
+		}
+		if s.SimulatedTime != p.SimulatedTime {
+			t.Fatalf("scenario %d (%s): makespan %g (serial) != %g (parallel)",
+				i, s.Name, s.SimulatedTime, p.SimulatedTime)
+		}
+		if s.Actions != p.Actions {
+			t.Fatalf("scenario %d: actions %d != %d", i, s.Actions, p.Actions)
+		}
+		if !bytes.Equal(s.TimedTrace, p.TimedTrace) {
+			t.Fatalf("scenario %d (%s): timed traces differ (%d vs %d bytes)",
+				i, s.Name, len(s.TimedTrace), len(p.TimedTrace))
+		}
+		if len(s.TimedTrace) == 0 {
+			t.Fatalf("scenario %d: empty timed trace", i)
+		}
+		if len(s.Profile) != procs || len(p.Profile) != procs {
+			t.Fatalf("scenario %d: profile rows %d / %d", i, len(s.Profile), len(p.Profile))
+		}
+	}
+	// The grid must actually change predictions: at equal network, doubling
+	// the flop rate (scenario 7 vs 3) must shorten the makespan.
+	if serial.Scenarios[7].SimulatedTime >= serial.Scenarios[3].SimulatedTime {
+		t.Fatalf("scenario 7 (%s) %g not faster than scenario 3 (%s) %g",
+			serial.Scenarios[7].Name, serial.Scenarios[7].SimulatedTime,
+			serial.Scenarios[3].Name, serial.Scenarios[3].SimulatedTime)
+	}
+}
+
+// disjointTraces builds a 4-rank trace whose communication stays inside the
+// pairs (0,1) and (2,3): the shape that lets a two-cluster scenario split
+// onto two kernels.
+func disjointTraces() *TraceSet {
+	mk := func(r, peer int) []trace.Action {
+		return []trace.Action{
+			{Proc: r, Type: trace.Compute, Volume: 1e8, Peer: -1},
+			{Proc: r, Type: trace.Send, Peer: peer, Volume: 1e4},
+			{Proc: r, Type: trace.Irecv, Peer: peer},
+			{Proc: r, Type: trace.Wait, Peer: -1},
+			{Proc: r, Type: trace.Compute, Volume: 5e7, Peer: -1},
+		}
+	}
+	return TracesFromActions([][]trace.Action{mk(0, 1), mk(1, 0), mk(2, 3), mk(3, 2)})
+}
+
+// disjointPlatform declares two 2-host clusters with no route between them.
+func disjointPlatform() *platform.Platform {
+	return &platform.Platform{
+		Version: "3",
+		AS: platform.AS{
+			ID: "AS_split", Routing: "Full",
+			Clusters: []platform.Cluster{
+				{ID: "alpha", Prefix: "a-", Radical: "0-1", Power: "1E9", BW: "1.25E8", Lat: "1E-5"},
+				{ID: "beta", Prefix: "b-", Radical: "0-1", Power: "1E9", BW: "1.25E8", Lat: "1E-5"},
+			},
+		},
+	}
+}
+
+func TestPartitionSplitsDisjointScenario(t *testing.T) {
+	ts := disjointTraces()
+	cfg := &Config{
+		Platform:  disjointPlatform(),
+		Traces:    ts,
+		Workers:   2,
+		Timed:     true,
+		Partition: true,
+	}
+	split, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := split.Scenarios[0].Components; got != 2 {
+		t.Fatalf("partitioned scenario ran on %d kernels, want 2 (err=%q)",
+			got, split.Scenarios[0].Err)
+	}
+	cfg.Partition = false
+	whole, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if whole.Scenarios[0].Components != 1 {
+		t.Fatalf("unpartitioned scenario ran on %d kernels", whole.Scenarios[0].Components)
+	}
+	// Disjoint components share no link, so the split simulation agrees
+	// exactly with the single-kernel one.
+	if split.Scenarios[0].SimulatedTime != whole.Scenarios[0].SimulatedTime {
+		t.Fatalf("split makespan %g != whole %g",
+			split.Scenarios[0].SimulatedTime, whole.Scenarios[0].SimulatedTime)
+	}
+	if split.Scenarios[0].Actions != whole.Scenarios[0].Actions {
+		t.Fatalf("split actions %d != whole %d",
+			split.Scenarios[0].Actions, whole.Scenarios[0].Actions)
+	}
+	// And the split itself is deterministic across worker counts.
+	cfg.Partition = true
+	cfg.Workers = 1
+	serial, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Scenarios[0].TimedTrace, split.Scenarios[0].TimedTrace) {
+		t.Fatal("partitioned timed trace depends on worker count")
+	}
+}
+
+func TestPartitionRefusesCrossComponentTraffic(t *testing.T) {
+	// Rank 1 talks to rank 2 across the cluster gap: the scenario must fall
+	// back to a single kernel — where the replay then fails loudly because
+	// no route exists, rather than silently mis-simulating.
+	mk := func(r, peer int) []trace.Action {
+		return []trace.Action{
+			{Proc: r, Type: trace.Send, Peer: peer, Volume: 1e4},
+			{Proc: r, Type: trace.Recv, Peer: peer},
+		}
+	}
+	ts := TracesFromActions([][]trace.Action{mk(0, 1), mk(1, 0), mk(2, 3), mk(3, 2)})
+	ts.perRank[1] = append(ts.perRank[1], trace.Action{Proc: 1, Type: trace.Isend, Peer: 2, Volume: 10})
+	ts.perRank[2] = append(ts.perRank[2], trace.Action{Proc: 2, Type: trace.Irecv, Peer: 1},
+		trace.Action{Proc: 2, Type: trace.Wait, Peer: -1})
+	g, err := analyze(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps, err := disjointPlatform().Components()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostComp := map[string]int{}
+	for ci, comp := range comps {
+		for _, h := range comp {
+			hostComp[h] = ci
+		}
+	}
+	hosts, _ := disjointPlatform().Hosts()
+	d, err := platform.RoundRobin(hosts, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parts := partition(g, hostComp, d.Processes); len(parts) != 1 {
+		t.Fatalf("cross-component trace split into %d parts", len(parts))
+	}
+	// A collective likewise pins the scenario to one kernel.
+	ts2 := disjointTraces()
+	ts2.perRank[0] = append(ts2.perRank[0], trace.Action{Proc: 0, Type: trace.Barrier, Peer: -1})
+	g2, err := analyze(ts2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g2.collective {
+		t.Fatal("collective not detected")
+	}
+	if parts := partition(g2, hostComp, d.Processes); len(parts) != 1 {
+		t.Fatalf("collective trace split into %d parts", len(parts))
+	}
+}
+
+// TestSweepCancellation cancels the context from the first completed
+// scenario's callback: the sweep must stop scheduling, mark unstarted
+// scenarios as cancelled, return ctx.Err(), and leak no goroutines.
+func TestSweepCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ts := luTraces(t, npb.ClassS, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	res, err := Run(ctx, &Config{
+		Platform: platform.BordereauWithCores(4, 1),
+		Grid:     Grid{LatencyScale: []float64{1, 2, 4, 8}, BandwidthScale: []float64{1, 2, 4, 8}},
+		Traces:   ts,
+		Workers:  2,
+		OnResult: func(*ScenarioResult) { cancel() },
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	done, canceled := 0, 0
+	for _, sc := range res.Scenarios {
+		switch sc.Err {
+		case "":
+			done++
+		case "sweep: canceled":
+			canceled++
+		default:
+			t.Fatalf("scenario %d: unexpected error %q", sc.Index, sc.Err)
+		}
+	}
+	if done == 0 {
+		t.Fatal("no scenario completed before cancellation")
+	}
+	if canceled == 0 {
+		t.Fatal("cancellation skipped nothing: test raced to completion, enlarge the grid")
+	}
+	// All pool goroutines (and every kernel goroutine they spawned) must be
+	// gone; allow the runtime a moment to unwind them.
+	for i := 0; i < 50; i++ {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+func TestLoadDirMixedEncodings(t *testing.T) {
+	dir := t.TempDir()
+	acts := [][]trace.Action{
+		{{Proc: 0, Type: trace.Compute, Volume: 1e6, Peer: -1}},
+		{{Proc: 1, Type: trace.Compute, Volume: 2e6, Peer: -1}},
+	}
+	// Rank 0 as text, rank 1 as binary.
+	if err := os.WriteFile(filepath.Join(dir, trace.ProcessFileName(0)),
+		[]byte(acts[0][0].Format()+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(filepath.Join(dir, trace.BinaryFileName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.EncodeBinary(f, acts[1]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	ts, err := LoadDir(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+	for r := 0; r < 2; r++ {
+		var got []trace.Action
+		if err := ts.visit(r, func(a trace.Action) bool { got = append(got, a); return true }); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 || got[0].Volume != acts[r][0].Volume {
+			t.Fatalf("rank %d: %+v", r, got)
+		}
+	}
+	if _, err := LoadDir(dir, 3); err == nil {
+		t.Fatal("missing rank must fail")
+	}
+}
+
+func TestRenderOutputs(t *testing.T) {
+	ts := disjointTraces()
+	res, err := Run(context.Background(), &Config{
+		Platform: disjointPlatform(),
+		Grid:     Grid{PowerScale: []float64{1, 2}},
+		Traces:   ts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tab, js bytes.Buffer
+	res.RenderTable(&tab)
+	if err := res.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"pow=1", "pow=2", "speedup"} {
+		if !bytes.Contains(tab.Bytes(), []byte(want)) {
+			t.Fatalf("table misses %q:\n%s", want, tab.String())
+		}
+	}
+	if !bytes.Contains(js.Bytes(), []byte(`"simulated_time"`)) {
+		t.Fatalf("json misses simulated_time:\n%s", js.String())
+	}
+}
