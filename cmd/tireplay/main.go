@@ -21,6 +21,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"tireplay/internal/coll"
 	"tireplay/internal/platform"
 	"tireplay/internal/replay"
 	"tireplay/internal/smpi"
@@ -38,6 +39,7 @@ func main() {
 		identity     = flag.Bool("no-mpi-model", false, "disable the piece-wise linear MPI model")
 		timed        = flag.String("timed", "", "write a timed trace of the simulated execution to this file")
 		profile      = flag.Bool("profile", false, "print a per-process profile of the simulated execution")
+		collSpec     = flag.String("coll", "", "collective algorithms: an algorithm for all collectives (linear, binomial, auto, ...) or per-collective choices (\"bcast=binomial,allReduce=ring\")")
 	)
 	flag.Parse()
 
@@ -84,6 +86,9 @@ func main() {
 	cfg := replay.Config{Model: smpi.Default()}
 	if *identity {
 		cfg.Model = smpi.Identity()
+	}
+	if cfg.Collectives, err = coll.ParseSpec(*collSpec); err != nil {
+		fail(err)
 	}
 	var tracers replay.Tee
 	var prof *replay.Profile

@@ -1,15 +1,16 @@
 // Command tisweep explores a grid of what-if platform scenarios in
 // parallel: it loads one set of time-independent traces, expands the cross
-// product of the -lat/-bw/-power/-fold/-hosts axes into scenarios, replays
-// every scenario on its own simulation kernel across a bounded worker pool,
-// and prints the per-scenario makespan table (optionally a JSON report and
-// per-scenario timed traces).
+// product of the -lat/-bw/-power/-fold/-hosts/-coll axes into scenarios,
+// replays every scenario on its own simulation kernel across a bounded
+// worker pool, and prints the per-scenario makespan table (optionally a
+// JSON report and per-scenario timed traces).
 //
 // Usage:
 //
 //	tisweep -dir ti/ -ranks 8 -power 1,2 -bw 1,10            # built-in bordereau platform
 //	tisweep -platform cluster.xml -dir ti/ -ranks 64 \
 //	        -lat 0.5,1,2 -bw 1,10 -fold 1,2 -workers 8 -json report.json
+//	tisweep -dir ti/ -ranks 8 -coll "linear;binomial;auto"   # collective-algorithm study
 //
 // Scenario results are deterministic: the same grid produces byte-identical
 // per-scenario timed traces whatever -workers is set to.
@@ -39,6 +40,7 @@ func main() {
 		power        = flag.String("power", "", "comma-separated flop-rate scale factors (default 1)")
 		fold         = flag.String("fold", "", "comma-separated deployment folding factors (default 1)")
 		hosts        = flag.String("hosts", "", "comma-separated host counts to deploy onto (default: all hosts)")
+		collSpecs    = flag.String("coll", "", "semicolon-separated collective-algorithm configurations (\"linear;binomial;bcast=binomial,allReduce=ring\")")
 		workers      = flag.Int("workers", 0, "worker pool size (default GOMAXPROCS)")
 		partition    = flag.Bool("partition", false, "split scenarios across kernels per disjoint platform component")
 		identity     = flag.Bool("no-mpi-model", false, "disable the piece-wise linear MPI model")
@@ -77,6 +79,9 @@ func main() {
 		fail(err)
 	}
 	if grid.Hosts, err = sweep.ParseIntList(*hosts); err != nil {
+		fail(err)
+	}
+	if grid.Coll, err = sweep.ParseCollList(*collSpecs); err != nil {
 		fail(err)
 	}
 

@@ -1,0 +1,205 @@
+package coll
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"tireplay/internal/smpi"
+)
+
+func TestNamesRoundTrip(t *testing.T) {
+	for kind := Kind(0); kind < NumKinds; kind++ {
+		k, ok := KindFromName(kind.String())
+		if !ok || k != kind {
+			t.Fatalf("kind %v does not round-trip (%v, %v)", kind, k, ok)
+		}
+	}
+	if k, ok := KindFromName("ALLREDUCE"); !ok || k != KindAllReduce {
+		t.Fatalf("case-insensitive kind lookup: %v, %v", k, ok)
+	}
+	for alg := Algorithm(0); alg < numAlgorithms; alg++ {
+		a, ok := AlgorithmFromName(alg.String())
+		if !ok || a != alg {
+			t.Fatalf("algorithm %v does not round-trip (%v, %v)", alg, a, ok)
+		}
+	}
+	if a, ok := AlgorithmFromName("recursive-doubling"); !ok || a != RecursiveDoubling {
+		t.Fatalf("rdb alias: %v, %v", a, ok)
+	}
+	if _, ok := AlgorithmFromName("nope"); ok {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestSupportsMatrix(t *testing.T) {
+	for kind := Kind(0); kind < NumKinds; kind++ {
+		if !Supports(kind, Default) || !Supports(kind, Auto) || !Supports(kind, Linear) {
+			t.Fatalf("%v must support default, auto and linear", kind)
+		}
+	}
+	if Supports(KindBcast, Ring) {
+		t.Fatal("bcast does not implement ring")
+	}
+	if !Supports(KindAllReduce, RecursiveDoubling) || !Supports(KindAllReduce, Ring) {
+		t.Fatal("allReduce must support rdb and ring")
+	}
+	if !Supports(KindBarrier, Tree) || Supports(KindBarrier, Binomial) {
+		t.Fatal("barrier supports tree, not raw binomial")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	c, err := ParseSpec("")
+	if err != nil || !c.IsDefault() {
+		t.Fatalf("empty spec: %+v, %v", c, err)
+	}
+	c, err = ParseSpec("binomial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.For(KindBcast) != Binomial || c.For(KindGather) != Binomial {
+		t.Fatalf("bare binomial must cover bcast and gather: %+v", c)
+	}
+	// Collectives without a binomial schedule keep their default.
+	if c.For(KindAllToAll) != Default || c.For(KindBarrier) != Default {
+		t.Fatalf("bare binomial must not touch allToAll/barrier: %+v", c)
+	}
+	c, err = ParseSpec("bcast=binomial, allReduce=ring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.For(KindBcast) != Binomial || c.For(KindAllReduce) != Ring || c.For(KindReduce) != Default {
+		t.Fatalf("explicit spec: %+v", c)
+	}
+	if _, err := ParseSpec("bcast=ring"); err == nil {
+		t.Fatal("unsupported pair accepted")
+	}
+	if _, err := ParseSpec("bcast=nope"); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, err := ParseSpec("nope=linear"); err == nil {
+		t.Fatal("unknown collective accepted")
+	}
+}
+
+func TestSpecStringRoundTrip(t *testing.T) {
+	for _, spec := range []string{
+		"", "default", "linear", "binomial", "auto",
+		"bcast=binomial", "bcast=binomial,allReduce=ring", "barrier=tree",
+	} {
+		c := MustParseSpec(spec)
+		again, err := ParseSpec(c.String())
+		if err != nil {
+			t.Fatalf("%q -> %q: %v", spec, c.String(), err)
+		}
+		if again != c {
+			t.Fatalf("%q: String() %q does not round-trip (%+v vs %+v)",
+				spec, c.String(), c, again)
+		}
+	}
+	if s := (Config{}).String(); s != "default" {
+		t.Fatalf("zero config renders %q", s)
+	}
+	if s := MustParseSpec("binomial").String(); s != "binomial" {
+		t.Fatalf("bare binomial renders %q", s)
+	}
+}
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	orig := MustParseSpec("bcast=binomial,allReduce=ring")
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Config
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != orig {
+		t.Fatalf("JSON round trip: %v -> %s -> %v", orig, data, back)
+	}
+}
+
+func TestResolve(t *testing.T) {
+	m := smpi.Default()
+	if a := Resolve(KindBcast, Default, m, 8, 1e6); a != Linear {
+		t.Fatalf("default bcast resolves to %v", a)
+	}
+	if a := Resolve(KindAllReduce, Binomial, m, 8, 1e6); a != Binomial {
+		t.Fatalf("concrete algorithm changed to %v", a)
+	}
+	// Auto follows the model's segment boundaries (1 KiB and 64 KiB in the
+	// default model).
+	if a := Resolve(KindAllReduce, Auto, m, 8, 100); a != RecursiveDoubling {
+		t.Fatalf("auto allReduce small: %v", a)
+	}
+	if a := Resolve(KindAllReduce, Auto, m, 8, 8*1024); a != Binomial {
+		t.Fatalf("auto allReduce medium: %v", a)
+	}
+	if a := Resolve(KindAllReduce, Auto, m, 8, 1<<20); a != Ring {
+		t.Fatalf("auto allReduce large: %v", a)
+	}
+	if a := Resolve(KindBcast, Auto, m, 8, 100); a != Binomial {
+		t.Fatalf("auto bcast small: %v", a)
+	}
+	if a := Resolve(KindBcast, Auto, m, 8, 1<<20); a != Linear {
+		t.Fatalf("auto bcast large: %v", a)
+	}
+	if a := Resolve(KindBarrier, Auto, m, 8, 0); a != Tree {
+		t.Fatalf("auto barrier: %v", a)
+	}
+	// Auto with a nil or single-segment model still resolves (built-in
+	// thresholds) and never yields an unsupported algorithm.
+	for _, model := range []*smpi.Model{nil, smpi.Identity()} {
+		for kind := Kind(0); kind < NumKinds; kind++ {
+			for _, bytes := range []float64{0, 100, 1e5, 1e9} {
+				a := Resolve(kind, Auto, model, 8, bytes)
+				if a == Auto || a == Default || !Supports(kind, a) {
+					t.Fatalf("auto %v @%g resolved to %v", kind, bytes, a)
+				}
+			}
+		}
+	}
+	// An unsupported concrete selection degrades to the kind's default
+	// rather than generating a schedule no peer expects.
+	if a := Resolve(KindBcast, Ring, m, 8, 1e6); a != Linear {
+		t.Fatalf("unsupported selection resolved to %v", a)
+	}
+}
+
+func TestRoundsAgreeWithPowersOfTwo(t *testing.T) {
+	if r := Rounds(KindBcast, Binomial, 8); r != 3 {
+		t.Fatalf("binomial bcast n=8: %d rounds", r)
+	}
+	if r := Rounds(KindBcast, Binomial, 9); r != 4 {
+		t.Fatalf("binomial bcast n=9: %d rounds", r)
+	}
+	if r := Rounds(KindAllReduce, RecursiveDoubling, 8); r != 3 {
+		t.Fatalf("rdb n=8: %d rounds", r)
+	}
+	if r := Rounds(KindAllReduce, RecursiveDoubling, 9); r != 5 {
+		t.Fatalf("rdb n=9: %d rounds (fold + 3 + unfold)", r)
+	}
+	if r := Rounds(KindAllReduce, Ring, 5); r != 8 {
+		t.Fatalf("ring allReduce n=5: %d rounds", r)
+	}
+	if r := Rounds(KindAllToAll, Linear, 5); r != 4 {
+		t.Fatalf("pairwise allToAll n=5: %d rounds", r)
+	}
+}
+
+func TestAutoThresholdsFromModel(t *testing.T) {
+	m := smpi.MustNew([]smpi.Segment{
+		{MaxBytes: 512, LatFactor: 1, BwFactor: 1},
+		{MaxBytes: 4096, LatFactor: 1, BwFactor: 1},
+		{MaxBytes: math.Inf(1), LatFactor: 1, BwFactor: 1},
+	})
+	small, eager := autoThresholds(m)
+	if small != 512 || eager != 4096 {
+		t.Fatalf("thresholds = %g, %g", small, eager)
+	}
+	if a := Resolve(KindAllReduce, Auto, m, 8, 1024); a != Binomial {
+		t.Fatalf("auto with custom model: %v", a)
+	}
+}

@@ -1,0 +1,158 @@
+package coll
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Config selects one algorithm per collective. The zero value selects
+// Default everywhere — the paper's linear star — so a zero replay
+// configuration reproduces the historical behaviour exactly.
+//
+// Config is a small value type: copy it freely, compare it with ==. It
+// marshals to and from the textual spec syntax of the -coll flags (see
+// ParseSpec), so sweep scenarios carry it through JSON reports.
+type Config struct {
+	algs [NumKinds]Algorithm
+}
+
+// For returns the algorithm selected for kind (Default if unset).
+func (c Config) For(kind Kind) Algorithm {
+	if int(kind) >= NumKinds {
+		return Default
+	}
+	return c.algs[kind]
+}
+
+// Set selects alg for kind, rejecting combinations no schedule implements.
+func (c *Config) Set(kind Kind, alg Algorithm) error {
+	if int(kind) >= NumKinds {
+		return fmt.Errorf("coll: unknown collective %d", kind)
+	}
+	if !Supports(kind, alg) {
+		return fmt.Errorf("coll: %s does not support the %s algorithm (supported: %s)",
+			kind, alg, algList(supported[kind]))
+	}
+	c.algs[kind] = alg
+	return nil
+}
+
+// IsDefault reports whether every collective uses its default algorithm.
+func (c Config) IsDefault() bool {
+	return c == Config{}
+}
+
+func algList(algs []Algorithm) string {
+	names := make([]string, len(algs))
+	for i, a := range algs {
+		names[i] = a.String()
+	}
+	return strings.Join(names, ", ")
+}
+
+// ParseSpec parses the -coll flag syntax into a Config:
+//
+//	""                              every collective keeps its default
+//	"binomial"                      one algorithm for every collective that
+//	                                supports it (the rest keep their default)
+//	"bcast=binomial,allReduce=ring" explicit per-collective choices,
+//	                                comma-separated; unsupported pairs fail
+//
+// Names are case-insensitive; "auto" selects the size-based SMPI-style
+// choice, "default" and "linear" the paper's star.
+func ParseSpec(spec string) (Config, error) {
+	var c Config
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return c, nil
+	}
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		if k, a, ok := strings.Cut(item, "="); ok {
+			kind, known := KindFromName(strings.TrimSpace(k))
+			if !known {
+				return Config{}, fmt.Errorf("coll: unknown collective %q in %q", k, spec)
+			}
+			alg, known := AlgorithmFromName(strings.TrimSpace(a))
+			if !known {
+				return Config{}, fmt.Errorf("coll: unknown algorithm %q in %q", a, spec)
+			}
+			if err := c.Set(kind, alg); err != nil {
+				return Config{}, err
+			}
+			continue
+		}
+		alg, known := AlgorithmFromName(item)
+		if !known {
+			return Config{}, fmt.Errorf("coll: unknown algorithm %q in %q", item, spec)
+		}
+		for kind := Kind(0); kind < NumKinds; kind++ {
+			if Supports(kind, alg) {
+				c.algs[kind] = alg
+			}
+		}
+	}
+	return c, nil
+}
+
+// MustParseSpec is ParseSpec that panics on error, for tests and static
+// grids.
+func MustParseSpec(spec string) Config {
+	c, err := ParseSpec(spec)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// String renders the canonical spec: "default" for the zero Config, the
+// bare algorithm name when one non-default algorithm covers every
+// collective that supports it, the explicit kind=alg list otherwise.
+// ParseSpec(c.String()) reproduces c.
+func (c Config) String() string {
+	if c.IsDefault() {
+		return "default"
+	}
+	for alg := Algorithm(1); alg < numAlgorithms; alg++ {
+		var bare Config
+		for kind := Kind(0); kind < NumKinds; kind++ {
+			if Supports(kind, alg) {
+				bare.algs[kind] = alg
+			}
+		}
+		if c == bare {
+			return alg.String()
+		}
+	}
+	var parts []string
+	for kind := Kind(0); kind < NumKinds; kind++ {
+		if c.algs[kind] != Default {
+			parts = append(parts, kind.String()+"="+c.algs[kind].String())
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// MarshalText implements encoding.TextMarshaler with the spec syntax.
+func (c Config) MarshalText() ([]byte, error) {
+	return []byte(c.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler; "default" restores the
+// zero Config.
+func (c *Config) UnmarshalText(text []byte) error {
+	s := string(text)
+	if s == "default" {
+		*c = Config{}
+		return nil
+	}
+	parsed, err := ParseSpec(s)
+	if err != nil {
+		return err
+	}
+	*c = parsed
+	return nil
+}

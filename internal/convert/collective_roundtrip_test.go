@@ -1,0 +1,85 @@
+package convert
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tireplay/internal/trace"
+)
+
+// TestCollectiveActionsTextBinaryTextRoundTrip pins the codec path the
+// converter's outputs travel for the schedule-decomposed collective
+// actions: a textual trace using every collective keyword (including the
+// gather/allGather/allToAll/scatter family and waitAll) must survive
+// text -> binary -> text byte-for-byte.
+func TestCollectiveActionsTextBinaryTextRoundTrip(t *testing.T) {
+	const doc = `p0 comm_size 4
+p0 bcast 1e+06
+p0 reduce 100000 2e+06
+p0 allReduce 100000 2e+06
+p0 barrier
+p0 gather 4096
+p0 allGather 8192
+p0 allToAll 512
+p0 scatter 1.5e+06
+p1 Irecv p0
+p1 Irecv p0
+p1 waitAll
+p1 gather 4096
+`
+	actions, err := trace.ParseAll(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bin bytes.Buffer
+	if err := trace.EncodeBinary(&bin, actions); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := trace.DecodeBinaryBytes(bin.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != len(actions) {
+		t.Fatalf("decoded %d actions, want %d", len(decoded), len(actions))
+	}
+	var text bytes.Buffer
+	if err := trace.WriteAll(&text, decoded); err != nil {
+		t.Fatal(err)
+	}
+	if text.String() != doc {
+		t.Fatalf("text -> binary -> text drifted:\nin:\n%s\nout:\n%s", doc, text.String())
+	}
+}
+
+// TestCollectiveActionsBinaryRoundTripProperty widens the check to random
+// collective payload volumes across the whole action alphabet.
+func TestCollectiveActionsBinaryRoundTripProperty(t *testing.T) {
+	var actions []trace.Action
+	for i, typ := range []trace.ActionType{
+		trace.Gather, trace.AllGather, trace.AllToAll, trace.Scatter,
+	} {
+		for _, vol := range []float64{0, 1, 40, 8192, 1.25e7, 3.14159e9} {
+			actions = append(actions, trace.Action{
+				Proc: i, Type: typ, Peer: -1, Volume: vol,
+			})
+		}
+	}
+	actions = append(actions, trace.Action{Proc: 9, Type: trace.WaitAll, Peer: -1})
+	var bin bytes.Buffer
+	if err := trace.EncodeBinary(&bin, actions); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := trace.DecodeBinaryBytes(bin.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != len(actions) {
+		t.Fatalf("decoded %d actions, want %d", len(decoded), len(actions))
+	}
+	for i := range actions {
+		if decoded[i] != actions[i] {
+			t.Fatalf("action %d drifted: %+v -> %+v", i, actions[i], decoded[i])
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package replay
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"tireplay/internal/mpi"
+	"tireplay/internal/npb"
+	"tireplay/internal/smpi"
+	"tireplay/internal/trace"
+)
+
+// This file freezes the pre-refactor collective handlers — the hard-coded
+// star through rank 0 that internal/coll's Linear schedules now generate —
+// and pins, on real NPB traces, that the refactored default path is
+// byte-identical to them: same timed trace, bit-equal makespan, on both the
+// interned and the string-keyed mailbox paths. Any drift in the schedule
+// executor, the round reservation or the mailbox recycling shows up here as
+// a diff against the historical semantics.
+
+// legacyBcast is the pre-refactor handleBcast: rank 0 sends to every peer
+// in rank order, one collective sequence number per collective.
+func legacyBcast(p *Proc, a trace.Action) error {
+	seq := p.reserveColl(1)
+	if p.Rank == 0 {
+		for i := 1; i < p.N; i++ {
+			p.Sim.SendID(p.collMbox(seq, 0, i), a.Volume, nil)
+		}
+		return nil
+	}
+	p.Sim.RecvID(p.collMbox(seq, 0, p.Rank))
+	return nil
+}
+
+// legacyReduce is the pre-refactor handleReduce.
+func legacyReduce(p *Proc, a trace.Action) error {
+	seq := p.reserveColl(1)
+	if p.Rank == 0 {
+		for i := 1; i < p.N; i++ {
+			p.Sim.RecvID(p.collMbox(seq, i, 0))
+		}
+	} else {
+		p.Sim.SendID(p.collMbox(seq, p.Rank, 0), a.Volume, nil)
+	}
+	if a.Volume2 > 0 {
+		p.Sim.Execute(a.Volume2)
+	}
+	return nil
+}
+
+// legacyAllReduce is the pre-refactor handleAllReduce: both star directions
+// shared one sequence number (the refactored linear schedule spends two).
+func legacyAllReduce(p *Proc, a trace.Action) error {
+	seq := p.reserveColl(1)
+	if p.Rank == 0 {
+		for i := 1; i < p.N; i++ {
+			p.Sim.RecvID(p.collMbox(seq, i, 0))
+		}
+		for i := 1; i < p.N; i++ {
+			p.Sim.SendID(p.collMbox(seq, 0, i), a.Volume, nil)
+		}
+	} else {
+		p.Sim.SendID(p.collMbox(seq, p.Rank, 0), a.Volume, nil)
+		p.Sim.RecvID(p.collMbox(seq, 0, p.Rank))
+	}
+	if a.Volume2 > 0 {
+		p.Sim.Execute(a.Volume2)
+	}
+	return nil
+}
+
+// legacyBarrier is the pre-refactor handleBarrier.
+func legacyBarrier(p *Proc, a trace.Action) error {
+	seq := p.reserveColl(1)
+	const token = 1
+	if p.Rank == 0 {
+		for i := 1; i < p.N; i++ {
+			p.Sim.RecvID(p.collMbox(seq, i, 0))
+		}
+		for i := 1; i < p.N; i++ {
+			p.Sim.SendID(p.collMbox(seq, 0, i), token, nil)
+		}
+	} else {
+		p.Sim.SendID(p.collMbox(seq, p.Rank, 0), token, nil)
+		p.Sim.RecvID(p.collMbox(seq, 0, p.Rank))
+	}
+	return nil
+}
+
+// legacyRegistry binds the frozen collective handlers over the defaults.
+func legacyRegistry() *Registry {
+	r := Default()
+	r.Register("bcast", legacyBcast)
+	r.Register("reduce", legacyReduce)
+	r.Register("allReduce", legacyAllReduce)
+	r.Register("barrier", legacyBarrier)
+	return r
+}
+
+// npbTraces records one NPB program's per-rank action lists.
+func npbTraces(t *testing.T, name string, procs int) [][]trace.Action {
+	t.Helper()
+	var prog mpi.Program
+	var err error
+	switch name {
+	case "LU":
+		prog, err = npb.LU(npb.LUConfig{Class: npb.ClassS, Procs: procs})
+	case "CG":
+		prog, err = npb.CG(npb.CGConfig{ClassName: "S", Procs: procs})
+	default:
+		t.Fatalf("unknown fixture %q", name)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	perRank := make([][]trace.Action, procs)
+	for r := 0; r < procs; r++ {
+		if perRank[r], err = mpi.Record(r, procs, prog); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return perRank
+}
+
+// timedReplayRegistry replays the per-rank actions under the given registry
+// and mailbox path, returning makespan and timed trace.
+func timedReplayRegistry(t *testing.T, perRank [][]trace.Action, reg *Registry, stringMailboxes bool) (float64, []byte) {
+	t.Helper()
+	b, d := paperSetup(t, len(perRank))
+	var buf bytes.Buffer
+	tw := NewTimedTraceWriter(&buf)
+	cfg := Config{Model: smpi.Default(), Registry: reg, TimedTracer: tw,
+		StringMailboxes: stringMailboxes}
+	res, err := RunActions(b, d, cfg, perRank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return res.SimulatedTime, buf.Bytes()
+}
+
+// TestDefaultCollectivesMatchLegacyHandlers is the differential back-compat
+// gate: on the NPB LU and CG fixtures, the refactored default (linear)
+// collective path must produce byte-identical timed traces and bit-equal
+// makespans to the frozen pre-refactor handlers, on both mailbox paths.
+func TestDefaultCollectivesMatchLegacyHandlers(t *testing.T) {
+	const procs = 8
+	for _, fixture := range []string{"LU", "CG"} {
+		perRank := npbTraces(t, fixture, procs)
+		for _, stringMailboxes := range []bool{false, true} {
+			name := fmt.Sprintf("%s/stringMailboxes=%v", fixture, stringMailboxes)
+			legacyTime, legacyTrace := timedReplayRegistry(t, perRank, legacyRegistry(), stringMailboxes)
+			newTime, newTrace := timedReplayRegistry(t, perRank, Default(), stringMailboxes)
+			if newTime != legacyTime {
+				t.Fatalf("%s: makespan %v != legacy %v", name, newTime, legacyTime)
+			}
+			if !bytes.Equal(newTrace, legacyTrace) {
+				t.Fatalf("%s: timed traces differ (%d vs %d bytes)",
+					name, len(newTrace), len(legacyTrace))
+			}
+			if len(newTrace) == 0 {
+				t.Fatalf("%s: empty timed trace — tracer not wired", name)
+			}
+		}
+	}
+}
+
+// TestLegacyEquivalenceOnStressTrace extends the differential check to the
+// interning stress trace, which mixes every collective flavour with
+// point-to-point traffic and request queues.
+func TestLegacyEquivalenceOnStressTrace(t *testing.T) {
+	perRank := perRankActions(t, internStressTrace, 4)
+	for _, stringMailboxes := range []bool{false, true} {
+		legacyTime, legacyTrace := timedReplayRegistry(t, perRank, legacyRegistry(), stringMailboxes)
+		newTime, newTrace := timedReplayRegistry(t, perRank, Default(), stringMailboxes)
+		if newTime != legacyTime || !bytes.Equal(newTrace, legacyTrace) {
+			t.Fatalf("stringMailboxes=%v: new path diverges from legacy handlers "+
+				"(makespan %v vs %v, traces %d vs %d bytes)",
+				stringMailboxes, newTime, legacyTime, len(newTrace), len(legacyTrace))
+		}
+	}
+}

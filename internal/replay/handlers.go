@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"tireplay/internal/coll"
 	"tireplay/internal/simx"
 	"tireplay/internal/trace"
 )
@@ -58,11 +59,46 @@ func (p *Proc) collMbox(seq int64, src, dst int) simx.MailboxID {
 	if p.world.stringMailboxes {
 		return p.Sim.Kernel().MailboxID(collMbox(seq, src, dst))
 	}
-	r := p.world.round(seq)
-	if src == 0 {
-		return r.down[dst]
+	return p.world.pairMbox(p.world.round(seq), src, dst)
+}
+
+// runCollective decomposes one traced collective into the point-to-point
+// schedule of the configured algorithm and executes it through the mailbox
+// machinery: the generalisation of the paper's star decomposition. The
+// schedule is a pure function of (rank, world size, volume), so every rank
+// reserves the same span of round numbers and the rendezvous mailboxes
+// derive from the shared counter exactly as before — multi-round algorithms
+// simply consume several seqs per collective.
+func (p *Proc) runCollective(kind coll.Kind, vcomm, vcomp float64) error {
+	alg := coll.Resolve(kind, p.cfg.Collectives.For(kind), p.cfg.Model, p.N, vcomm)
+	rounds := coll.Rounds(kind, alg, p.N)
+	base := p.reserveColl(rounds)
+	p.steps = coll.AppendSchedule(p.steps[:0], kind, alg, p.Rank, p.N, vcomm, vcomp)
+	for i := range p.steps {
+		s := &p.steps[i]
+		switch s.Op {
+		case coll.OpSend:
+			p.Sim.SendID(p.collMbox(base+int64(s.Round), p.Rank, s.To), s.Volume, nil)
+		case coll.OpRecv:
+			p.Sim.RecvID(p.collMbox(base+int64(s.Round), s.From, p.Rank))
+		case coll.OpShift:
+			// Pairwise exchange: post the send asynchronously so two ranks
+			// shifting to each other cannot deadlock, then complete both.
+			c := p.Sim.ISendID(p.collMbox(base+int64(s.Round), p.Rank, s.To), s.Volume, nil)
+			p.Sim.RecvID(p.collMbox(base+int64(s.Round), s.From, p.Rank))
+			p.Sim.WaitComm(c)
+			p.Sim.ReleaseComm(c)
+		case coll.OpCompute:
+			p.Sim.Execute(s.Volume)
+		}
 	}
-	return r.up[src]
+	if !p.world.stringMailboxes {
+		// All of this rank's transfers in [base, base+rounds) have
+		// completed (every step above blocks); once the last rank passes
+		// here the rounds' mailboxes are drained and recycle.
+		p.world.release(base, rounds)
+	}
+	return nil
 }
 
 // handleCompute simulates a CPU burst: the paper's example handler creating
@@ -146,74 +182,66 @@ func handleWait(p *Proc, a trace.Action) error {
 	return nil
 }
 
-// handleBcast broadcasts from rank 0 as a set of point-to-point messages,
-// the decomposition the paper chooses over monolithic collective models.
-func handleBcast(p *Proc, a trace.Action) error {
-	seq := p.nextColl()
-	if p.Rank == 0 {
-		for i := 1; i < p.N; i++ {
-			p.Sim.SendID(p.collMbox(seq, 0, i), a.Volume, nil)
-		}
-		return nil
+// handleWaitAll drains the whole pending-request FIFO in post order,
+// releasing every handle — the MPI_Waitall of a traced request batch. A
+// traced waitAll implies outstanding requests, so an empty FIFO is a trace
+// inconsistency, diagnosed like a stray wait.
+func handleWaitAll(p *Proc, a trace.Action) error {
+	if p.pending.Empty() {
+		return fmt.Errorf("replay: p%d waitAlls with no pending request", p.Rank)
 	}
-	p.Sim.RecvID(p.collMbox(seq, 0, p.Rank))
+	for !p.pending.Empty() {
+		h := p.pending.Pop()
+		p.Sim.WaitComm(h)
+		p.Sim.ReleaseComm(h)
+	}
 	return nil
+}
+
+// handleBcast broadcasts from rank 0 as a set of point-to-point messages,
+// the decomposition the paper chooses over monolithic collective models —
+// by default the linear star, or the algorithm Config.Collectives selects.
+func handleBcast(p *Proc, a trace.Action) error {
+	return p.runCollective(coll.KindBcast, a.Volume, 0)
 }
 
 // handleReduce gathers vcomm bytes to rank 0, then every rank executes the
 // traced reduction work vcomp.
 func handleReduce(p *Proc, a trace.Action) error {
-	seq := p.nextColl()
-	if p.Rank == 0 {
-		for i := 1; i < p.N; i++ {
-			p.Sim.RecvID(p.collMbox(seq, i, 0))
-		}
-	} else {
-		p.Sim.SendID(p.collMbox(seq, p.Rank, 0), a.Volume, nil)
-	}
-	if a.Volume2 > 0 {
-		p.Sim.Execute(a.Volume2)
-	}
-	return nil
+	return p.runCollective(coll.KindReduce, a.Volume, a.Volume2)
 }
 
-// handleAllReduce is a reduce followed by a broadcast of the result, then
-// the local reduction work.
+// handleAllReduce is by default a reduce followed by a broadcast of the
+// result, then the local reduction work; recursive-doubling and ring
+// schedules are selectable.
 func handleAllReduce(p *Proc, a trace.Action) error {
-	seq := p.nextColl()
-	if p.Rank == 0 {
-		for i := 1; i < p.N; i++ {
-			p.Sim.RecvID(p.collMbox(seq, i, 0))
-		}
-		for i := 1; i < p.N; i++ {
-			p.Sim.SendID(p.collMbox(seq, 0, i), a.Volume, nil)
-		}
-	} else {
-		p.Sim.SendID(p.collMbox(seq, p.Rank, 0), a.Volume, nil)
-		p.Sim.RecvID(p.collMbox(seq, 0, p.Rank))
-	}
-	if a.Volume2 > 0 {
-		p.Sim.Execute(a.Volume2)
-	}
-	return nil
+	return p.runCollective(coll.KindAllReduce, a.Volume, a.Volume2)
 }
 
-// handleBarrier synchronises through rank 0 with zero-payload messages.
+// handleBarrier synchronises with 1-byte tokens, by default through rank 0.
 func handleBarrier(p *Proc, a trace.Action) error {
-	seq := p.nextColl()
-	const token = 1
-	if p.Rank == 0 {
-		for i := 1; i < p.N; i++ {
-			p.Sim.RecvID(p.collMbox(seq, i, 0))
-		}
-		for i := 1; i < p.N; i++ {
-			p.Sim.SendID(p.collMbox(seq, 0, i), token, nil)
-		}
-	} else {
-		p.Sim.SendID(p.collMbox(seq, p.Rank, 0), token, nil)
-		p.Sim.RecvID(p.collMbox(seq, 0, p.Rank))
-	}
-	return nil
+	return p.runCollective(coll.KindBarrier, 0, 0)
+}
+
+// handleGather collects one block of the traced volume per rank at rank 0.
+func handleGather(p *Proc, a trace.Action) error {
+	return p.runCollective(coll.KindGather, a.Volume, 0)
+}
+
+// handleAllGather leaves every rank with all blocks.
+func handleAllGather(p *Proc, a trace.Action) error {
+	return p.runCollective(coll.KindAllGather, a.Volume, 0)
+}
+
+// handleAllToAll performs the personalised all-to-all exchange as pairwise
+// shifts.
+func handleAllToAll(p *Proc, a trace.Action) error {
+	return p.runCollective(coll.KindAllToAll, a.Volume, 0)
+}
+
+// handleScatter distributes one block per rank from rank 0.
+func handleScatter(p *Proc, a trace.Action) error {
+	return p.runCollective(coll.KindScatter, a.Volume, 0)
 }
 
 // handleCommSize validates the communicator size declared by the trace
@@ -229,6 +257,7 @@ func handleCommSize(p *Proc, a trace.Action) error {
 // interface check: all default handlers match the Handler signature.
 var _ = []Handler{
 	handleCompute, handleSend, handleIsend, handleRecv, handleIrecv,
-	handleWait, handleBcast, handleReduce, handleAllReduce, handleBarrier,
-	handleCommSize,
+	handleWait, handleWaitAll, handleBcast, handleReduce, handleAllReduce,
+	handleBarrier, handleGather, handleAllGather, handleAllToAll,
+	handleScatter, handleCommSize,
 }

@@ -83,5 +83,10 @@ func Default() *Registry {
 	r.Register("allReduce", handleAllReduce)
 	r.Register("barrier", handleBarrier)
 	r.Register("comm_size", handleCommSize)
+	r.Register("waitAll", handleWaitAll)
+	r.Register("gather", handleGather)
+	r.Register("allGather", handleAllGather)
+	r.Register("allToAll", handleAllToAll)
+	r.Register("scatter", handleScatter)
 	return r
 }

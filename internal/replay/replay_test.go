@@ -384,7 +384,8 @@ func TestDefaultRegistryCoversAllActionTypes(t *testing.T) {
 	for _, typ := range []trace.ActionType{
 		trace.Compute, trace.Send, trace.Isend, trace.Recv, trace.Irecv,
 		trace.Bcast, trace.Reduce, trace.AllReduce, trace.Barrier,
-		trace.CommSize, trace.Wait,
+		trace.CommSize, trace.Wait, trace.WaitAll, trace.Gather,
+		trace.AllGather, trace.AllToAll, trace.Scatter,
 	} {
 		if _, err := r.Lookup(typ); err != nil {
 			t.Errorf("no handler for %v: %v", typ, err)

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tireplay/internal/coll"
 	"tireplay/internal/fifo"
 	"tireplay/internal/platform"
 	"tireplay/internal/simx"
@@ -35,6 +36,11 @@ type Config struct {
 	// the interning equivalence tests; both paths address the same
 	// mailboxes and produce identical timed traces.
 	StringMailboxes bool
+	// Collectives selects the algorithm decomposing each collective action
+	// into point-to-point schedules (see internal/coll). The zero value
+	// replays every collective as the paper's linear star through rank 0;
+	// coll.Auto selects per message size from the MPI model's segments.
+	Collectives coll.Config
 	// Ranks maps the deployment's i-th process entry to the global MPI rank
 	// it replays; nil means the identity mapping. The sweep engine's
 	// platform partitioner uses it to run one connected component's subset
@@ -95,12 +101,21 @@ type Proc struct {
 	// its backing array, so wait-heavy traces do not grow it per round.
 	pending fifo.Queue[*simx.Comm]
 	collSeq int64
+
+	// steps is the rank's reusable collective-schedule buffer; its capacity
+	// stabilises after the first few collectives, keeping the collective
+	// steady state allocation-free like the point-to-point one.
+	steps []coll.Step
 }
 
-// nextColl returns the rank's next collective round number.
-func (p *Proc) nextColl() int64 {
+// reserveColl reserves the next `rounds` consecutive collective round
+// numbers for one collective and returns the first. Every rank executes the
+// same collective sequence with the same deterministic schedule shape (an
+// MPI requirement), so all ranks reserve identical spans and meet in the
+// same rounds.
+func (p *Proc) reserveColl(rounds int) int64 {
 	s := p.collSeq
-	p.collSeq++
+	p.collSeq += int64(rounds)
 	return s
 }
 
@@ -111,35 +126,135 @@ type world struct {
 	n               int
 	stringMailboxes bool
 
-	// coll is the collective mailbox table, indexed by round number. Every
-	// rank executes the same collective sequence, so rounds are created on
-	// demand in round order and all ranks meet in the same anonymous
-	// mailboxes — the IDs derive from the sequence counter, no name is
-	// formatted or hashed.
-	coll []collRound
+	// Collective round window. rounds[head:] holds the live rounds in
+	// sequence order, rounds[head] being round `base`: every rank executes
+	// the same collective sequence, so rounds are created on demand in
+	// round order and all ranks meet in the same anonymous mailboxes — the
+	// IDs derive from the sequence counter, no name is formatted or hashed.
+	// Once every rank has released a round (refs == 0) its mailboxes are
+	// drained, so the whole struct — mailbox IDs included — moves to the
+	// free list and a later round reuses it without touching the kernel:
+	// the collective steady state allocates nothing and the window only
+	// grows with the spread between the fastest and slowest rank.
+	rounds []*collRound
+	head   int
+	base   int64
+	free   []*collRound
 }
 
-// collRound holds the mailboxes of one collective round, indexed by the
-// non-root peer: down[i] carries root-to-i traffic, up[i] carries i-to-root.
+// collRound holds the pair mailboxes of one collective round as a small
+// open-addressing table keyed by src*n+dst: every schedule sends at most
+// once per (round, src, dst), so a round uses at most n directed pairs and
+// the table stays O(n) — a dense n-by-n slice would make the 2(n-1)
+// simultaneously-live rounds of a ring allReduce cost O(n^3) memory. keys
+// holds src*n+dst+1 (0 = empty slot); refs counts the ranks still executing
+// the collective the round belongs to.
 type collRound struct {
-	down []simx.MailboxID
-	up   []simx.MailboxID
+	refs int
+	used int // occupied slots, live and stale
+	keys []int64
+	vals []simx.MailboxID
 }
 
 // round returns (creating rounds up to seq on demand) round seq's mailboxes.
 func (w *world) round(seq int64) *collRound {
-	for int64(len(w.coll)) <= seq {
-		r := collRound{
-			down: make([]simx.MailboxID, w.n),
-			up:   make([]simx.MailboxID, w.n),
+	for idx := int(seq - w.base); idx >= len(w.rounds)-w.head; {
+		var r *collRound
+		if n := len(w.free); n > 0 {
+			r = w.free[n-1]
+			w.free[n-1] = nil
+			w.free = w.free[:n-1]
+		} else {
+			// Power-of-two capacity with load factor <= 1/2 for the n
+			// pairs a round can use.
+			cap := 4
+			for cap < 2*w.n {
+				cap *= 2
+			}
+			r = &collRound{keys: make([]int64, cap), vals: make([]simx.MailboxID, cap)}
 		}
-		for i := 1; i < w.n; i++ {
-			r.down[i] = w.k.NewMailbox()
-			r.up[i] = w.k.NewMailbox()
-		}
-		w.coll = append(w.coll, r)
+		r.refs = w.n
+		w.rounds = append(w.rounds, r)
 	}
-	return &w.coll[seq]
+	return w.rounds[w.head+int(seq-w.base)]
+}
+
+// pairMbox resolves the src-to-dst mailbox of a round, creating it on first
+// use. Recycled rounds keep their tables: a stale entry from a previous
+// occupant of the struct maps the same pair to a mailbox that was drained
+// when that round retired, so reusing it is free — the steady state neither
+// interns a mailbox nor allocates.
+func (w *world) pairMbox(r *collRound, src, dst int) simx.MailboxID {
+	key := int64(src)*int64(w.n) + int64(dst) + 1
+	mask := len(r.keys) - 1
+	// Fibonacci-style multiplicative hash spreads the dense pair keys.
+	i := int(uint64(key)*0x9E3779B97F4A7C15>>32) & mask
+	for {
+		switch r.keys[i] {
+		case key:
+			return r.vals[i]
+		case 0:
+			// Keep occupancy (live + stale) at or below half so probe
+			// chains stay short; growth is geometric and bounded by the
+			// distinct pairs the recycled struct ever sees (<= n^2), so it
+			// amortises away.
+			if r.used >= (mask+1)/2 {
+				r.grow()
+				return w.pairMbox(r, src, dst)
+			}
+			id := w.k.NewMailbox()
+			r.keys[i] = key
+			r.vals[i] = id
+			r.used++
+			return id
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// grow doubles the table, keeping every entry (stale ones stay reusable).
+func (r *collRound) grow() {
+	oldKeys, oldVals := r.keys, r.vals
+	r.keys = make([]int64, 2*len(oldKeys))
+	r.vals = make([]simx.MailboxID, 2*len(oldVals))
+	mask := len(r.keys) - 1
+	for j, k := range oldKeys {
+		if k == 0 {
+			continue
+		}
+		i := int(uint64(k)*0x9E3779B97F4A7C15>>32) & mask
+		for r.keys[i] != 0 {
+			i = (i + 1) & mask
+		}
+		r.keys[i] = k
+		r.vals[i] = oldVals[j]
+	}
+}
+
+// release marks this rank done with the `rounds` rounds starting at seq.
+// Rounds retire in sequence order (a rank finishes collective k before
+// k+1), so the window advances from the head; fully-released rounds go to
+// the free list with their mailboxes.
+func (w *world) release(seq int64, rounds int) {
+	for s := seq; s < seq+int64(rounds); s++ {
+		w.round(s).refs--
+	}
+	for w.head < len(w.rounds) && w.rounds[w.head].refs == 0 {
+		w.free = append(w.free, w.rounds[w.head])
+		w.rounds[w.head] = nil
+		w.head++
+		w.base++
+	}
+	// Compact the window once the dead prefix dominates, so a long trace
+	// does not accumulate head slots.
+	if w.head > 32 && w.head*2 >= len(w.rounds) {
+		n := copy(w.rounds, w.rounds[w.head:])
+		for i := n; i < len(w.rounds); i++ {
+			w.rounds[i] = nil
+		}
+		w.rounds = w.rounds[:n]
+		w.head = 0
+	}
 }
 
 // Source yields the successive actions of one rank's trace. Implementations

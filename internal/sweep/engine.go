@@ -257,7 +257,8 @@ func runTask(cfg *Config, model *smpi.Model, sc Scenario, depl *platform.Deploym
 
 	n := len(depl.Processes)
 	sub := depl
-	rcfg := replay.Config{Model: model, EagerThreshold: cfg.EagerThreshold, WorldSize: n}
+	rcfg := replay.Config{Model: model, EagerThreshold: cfg.EagerThreshold, WorldSize: n,
+		Collectives: sc.Coll}
 	if len(p.ranks) != n {
 		sub = &platform.Deployment{Version: depl.Version}
 		for _, r := range p.ranks {

@@ -41,7 +41,8 @@ func analyze(ts *TraceSet) (*commGraph, error) {
 					seen[a.Peer] = true
 					g.peers[r] = append(g.peers[r], a.Peer)
 				}
-			case trace.Bcast, trace.Reduce, trace.AllReduce, trace.Barrier:
+			case trace.Bcast, trace.Reduce, trace.AllReduce, trace.Barrier,
+				trace.Gather, trace.AllGather, trace.AllToAll, trace.Scatter:
 				g.collective = true
 				return false
 			}

@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"tireplay/internal/coll"
 )
 
 // Grid spans the scenario space as a cross product of its axes. Empty axes
@@ -37,6 +39,10 @@ type Grid struct {
 	// Hosts are candidate host counts; each value deploys onto the first
 	// that-many hosts of the platform (0 means all hosts).
 	Hosts []int
+	// Coll are collective-algorithm configurations (see internal/coll):
+	// the same trace replayed under different collective decompositions —
+	// the scenario-diversity axis the paper's fixed star could not span.
+	Coll []coll.Config
 }
 
 func orFloats(v []float64) []float64 {
@@ -53,10 +59,18 @@ func orInts(v []int, def int) []int {
 	return v
 }
 
+func orColl(v []coll.Config) []coll.Config {
+	if len(v) == 0 {
+		return []coll.Config{{}}
+	}
+	return v
+}
+
 // Size returns the number of scenarios the grid expands to.
 func (g Grid) Size() int {
 	return len(orFloats(g.LatencyScale)) * len(orFloats(g.BandwidthScale)) *
-		len(orFloats(g.PowerScale)) * len(orInts(g.Fold, 1)) * len(orInts(g.Hosts, 0))
+		len(orFloats(g.PowerScale)) * len(orInts(g.Fold, 1)) * len(orInts(g.Hosts, 0)) *
+		len(orColl(g.Coll))
 }
 
 // Scenario is one fully instantiated cell of the grid.
@@ -70,6 +84,9 @@ type Scenario struct {
 	Fold           int     `json:"fold"`
 	// Hosts is the host-count limit (0 = every platform host).
 	Hosts int `json:"hosts,omitempty"`
+	// Coll is the scenario's collective-algorithm configuration; it always
+	// marshals, as the -coll spec string ("default" when unset).
+	Coll coll.Config `json:"coll"`
 }
 
 // Name renders a compact scenario label, e.g. "lat=0.5 bw=2 pow=1 fold=2".
@@ -80,6 +97,9 @@ func (s Scenario) Name() string {
 	if s.Hosts > 0 {
 		fmt.Fprintf(&b, " hosts=%d", s.Hosts)
 	}
+	if !s.Coll.IsDefault() {
+		fmt.Fprintf(&b, " coll=%s", s.Coll)
+	}
 	return b.String()
 }
 
@@ -88,27 +108,32 @@ func trimFloat(f float64) string {
 }
 
 // Expand lists the grid's scenarios in deterministic nested-axis order
-// (hosts outermost, then fold, power, bandwidth, latency innermost).
+// (collectives outermost, then hosts, fold, power, bandwidth, latency
+// innermost).
 func (g Grid) Expand() []Scenario {
 	lats := orFloats(g.LatencyScale)
 	bws := orFloats(g.BandwidthScale)
 	pows := orFloats(g.PowerScale)
 	folds := orInts(g.Fold, 1)
 	hosts := orInts(g.Hosts, 0)
+	colls := orColl(g.Coll)
 	out := make([]Scenario, 0, g.Size())
-	for _, h := range hosts {
-		for _, f := range folds {
-			for _, p := range pows {
-				for _, bw := range bws {
-					for _, lat := range lats {
-						out = append(out, Scenario{
-							Index:          len(out),
-							LatencyScale:   lat,
-							BandwidthScale: bw,
-							PowerScale:     p,
-							Fold:           f,
-							Hosts:          h,
-						})
+	for _, cc := range colls {
+		for _, h := range hosts {
+			for _, f := range folds {
+				for _, p := range pows {
+					for _, bw := range bws {
+						for _, lat := range lats {
+							out = append(out, Scenario{
+								Index:          len(out),
+								LatencyScale:   lat,
+								BandwidthScale: bw,
+								PowerScale:     p,
+								Fold:           f,
+								Hosts:          h,
+								Coll:           cc,
+							})
+						}
 					}
 				}
 			}
@@ -133,6 +158,29 @@ func ParseFloatList(s string) ([]float64, error) {
 			return nil, fmt.Errorf("sweep: factor %g in %q must be positive", v, s)
 		}
 		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseCollList parses tisweep's -coll axis: semicolon-separated collective
+// specs, each in the -coll syntax of internal/coll.ParseSpec
+// ("linear;binomial;bcast=binomial,allReduce=ring").
+func ParseCollList(s string) ([]coll.Config, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []coll.Config
+	for _, part := range strings.Split(s, ";") {
+		if strings.TrimSpace(part) == "" {
+			// A trailing or doubled semicolon is not a scenario: skipping
+			// it keeps the axis free of silent duplicate default cells.
+			continue
+		}
+		c, err := coll.ParseSpec(part)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+		out = append(out, c)
 	}
 	return out, nil
 }

@@ -6,9 +6,11 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
+	"tireplay/internal/coll"
 	"tireplay/internal/mpi"
 	"tireplay/internal/npb"
 	"tireplay/internal/platform"
@@ -68,6 +70,24 @@ func TestParseLists(t *testing.T) {
 	}
 	if _, err := ParseIntList("0"); err == nil {
 		t.Fatal("zero count must fail")
+	}
+	cs, err := ParseCollList("linear; binomial;bcast=binomial,allReduce=ring")
+	if err != nil || len(cs) != 3 ||
+		cs[0].For(coll.KindBcast) != coll.Linear ||
+		cs[1].For(coll.KindBcast) != coll.Binomial ||
+		cs[2].For(coll.KindAllReduce) != coll.Ring {
+		t.Fatalf("ParseCollList = %v, %v", cs, err)
+	}
+	// Trailing and doubled semicolons are not extra default scenarios.
+	cs, err = ParseCollList("linear;;binomial;")
+	if err != nil || len(cs) != 2 {
+		t.Fatalf("ParseCollList with empty parts = %v, %v", cs, err)
+	}
+	if _, err := ParseCollList("linear;bcast=ring"); err == nil {
+		t.Fatal("unsupported pair must fail")
+	}
+	if cs, err := ParseCollList(""); err != nil || cs != nil {
+		t.Fatalf("empty coll list = %v, %v", cs, err)
 	}
 }
 
@@ -376,4 +396,107 @@ func TestRenderOutputs(t *testing.T) {
 	if !bytes.Contains(js.Bytes(), []byte(`"simulated_time"`)) {
 		t.Fatalf("json misses simulated_time:\n%s", js.String())
 	}
+}
+
+// TestSweepCollAxisDeterministicAcrossWorkers extends the determinism
+// guarantee to the collective-algorithm axis, at the acceptance scale of the
+// axis: an 8-scenario `tisweep -coll`-style sweep over LU class A replayed
+// at workers=1 and workers=NumCPU must produce byte-identical per-scenario
+// timed traces — and the axis must actually move the prediction, with the
+// binomial scenarios' makespans differing from the linear ones' in the
+// rendered table.
+func TestSweepCollAxisDeterministicAcrossWorkers(t *testing.T) {
+	const procs = 8
+	ts := luTraces(t, npb.ClassA, procs)
+	// The latency axis weights the collective topology: LU's norm
+	// reductions are 40-byte messages, so at 20x latency the star-vs-tree
+	// depth difference dominates those cells of the grid.
+	grid := Grid{
+		LatencyScale: []float64{1, 20},
+		Coll: []coll.Config{
+			{},
+			coll.MustParseSpec("binomial"),
+			coll.MustParseSpec("allReduce=ring"),
+			coll.MustParseSpec("auto"),
+		},
+	}
+	if grid.Size() != 8 {
+		t.Fatalf("grid expands to %d scenarios, want 8", grid.Size())
+	}
+	base := platform.BordereauWithCores(procs, 1)
+	run := func(workers int) *Result {
+		res, err := Run(context.Background(), &Config{
+			Platform: base,
+			Grid:     grid,
+			Traces:   ts,
+			Workers:  workers,
+			Timed:    true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	workers := runtime.NumCPU()
+	if workers < 4 {
+		workers = 4
+	}
+	serial := run(1)
+	parallel := run(workers)
+	for i := range serial.Scenarios {
+		s, p := &serial.Scenarios[i], &parallel.Scenarios[i]
+		if s.Err != "" || p.Err != "" {
+			t.Fatalf("scenario %d failed: %q / %q", i, s.Err, p.Err)
+		}
+		if s.SimulatedTime != p.SimulatedTime || s.Actions != p.Actions {
+			t.Fatalf("scenario %d (%s): serial %g/%d != parallel %g/%d",
+				i, s.Name, s.SimulatedTime, s.Actions, p.SimulatedTime, p.Actions)
+		}
+		if !bytes.Equal(s.TimedTrace, p.TimedTrace) || len(s.TimedTrace) == 0 {
+			t.Fatalf("scenario %d (%s): timed traces differ across worker counts "+
+				"(%d vs %d bytes)", i, s.Name, len(s.TimedTrace), len(p.TimedTrace))
+		}
+	}
+	// Scenario 1 is linear at lat=20, scenario 3 binomial at lat=20: the
+	// algorithm axis must change the predicted makespan.
+	lin, bin := &serial.Scenarios[1], &serial.Scenarios[3]
+	if !strings.Contains(bin.Name, "coll=binomial") || !strings.Contains(bin.Name, "lat=20") {
+		t.Fatalf("scenario 3 is %q, want the binomial lat=20 cell", bin.Name)
+	}
+	if bin.SimulatedTime >= lin.SimulatedTime {
+		t.Fatalf("binomial makespan %g not below linear %g at 20x latency — the axis is inert",
+			bin.SimulatedTime, lin.SimulatedTime)
+	}
+	// And the rendered table shows both cells with distinct predictions.
+	var tab bytes.Buffer
+	serial.RenderTable(&tab)
+	out := tab.String()
+	for _, want := range []string{"coll=binomial", "coll=allReduce=ring", "coll=auto"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table misses %q:\n%s", want, out)
+		}
+	}
+	linRow, binRow := tableRow(out, lin.Name), tableRow(out, bin.Name)
+	if linRow == "" || binRow == "" || fieldAfterName(linRow) == fieldAfterName(binRow) {
+		t.Fatalf("table rows do not show distinct linear vs binomial predictions:\n%s", out)
+	}
+}
+
+// tableRow returns the rendered table line whose scenario label is name.
+func tableRow(table, name string) string {
+	for _, line := range strings.Split(table, "\n") {
+		if strings.HasPrefix(line, name+" ") || strings.HasPrefix(strings.TrimSpace(line), name) {
+			return line
+		}
+	}
+	return ""
+}
+
+// fieldAfterName extracts the predicted-time cell of a table row.
+func fieldAfterName(row string) string {
+	parts := strings.Split(row, "|")
+	if len(parts) < 2 {
+		return ""
+	}
+	return strings.TrimSpace(parts[1])
 }

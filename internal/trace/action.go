@@ -57,6 +57,19 @@ const (
 	CommSize
 	// Wait completes the oldest pending asynchronous request: "<id> wait".
 	Wait
+	// Gather collects one block per rank at process 0:
+	// "<id> gather <volume>" with volume the per-rank contribution in bytes.
+	Gather
+	// AllGather leaves every rank with all blocks: "<id> allGather <volume>".
+	AllGather
+	// AllToAll is a personalised all-to-all exchange:
+	// "<id> allToAll <volume>" with volume the per-pair block size in bytes.
+	AllToAll
+	// Scatter distributes one block per rank from process 0:
+	// "<id> scatter <volume>".
+	Scatter
+	// WaitAll completes every pending asynchronous request: "<id> waitAll".
+	WaitAll
 
 	numActionTypes = iota
 )
@@ -79,6 +92,11 @@ var names = [numActionTypes]string{
 	Barrier:   "barrier",
 	CommSize:  "comm_size",
 	Wait:      "wait",
+	Gather:    "gather",
+	AllGather: "allGather",
+	AllToAll:  "allToAll",
+	Scatter:   "scatter",
+	WaitAll:   "waitAll",
 }
 
 // typesByName is the inverse of names. Lookup is case-sensitive first and
@@ -151,9 +169,9 @@ func (a Action) Validate() error {
 		if a.Peer < 0 {
 			return fmt.Errorf("trace: %s without source", a.Type)
 		}
-	case Bcast:
+	case Bcast, Gather, AllGather, AllToAll, Scatter:
 		if a.Volume < 0 {
-			return fmt.Errorf("trace: negative bcast size %g", a.Volume)
+			return fmt.Errorf("trace: negative %s size %g", a.Type, a.Volume)
 		}
 	case Reduce, AllReduce:
 		if a.Volume < 0 || a.Volume2 < 0 {
@@ -163,7 +181,7 @@ func (a Action) Validate() error {
 		if a.Volume < 1 {
 			return fmt.Errorf("trace: comm_size %g < 1", a.Volume)
 		}
-	case Barrier, Wait:
+	case Barrier, Wait, WaitAll:
 		// No payload.
 	default:
 		return fmt.Errorf("trace: unknown action type %d", a.Type)
@@ -181,7 +199,7 @@ func (a Action) Format() string {
 	b.WriteByte(' ')
 	b.WriteString(names[a.Type])
 	switch a.Type {
-	case Compute, Bcast:
+	case Compute, Bcast, Gather, AllGather, AllToAll, Scatter:
 		b.WriteByte(' ')
 		b.WriteString(formatVolume(a.Volume))
 	case Send, Isend:
@@ -204,7 +222,7 @@ func (a Action) Format() string {
 	case CommSize:
 		b.WriteByte(' ')
 		b.WriteString(strconv.Itoa(int(a.Volume)))
-	case Barrier, Wait:
+	case Barrier, Wait, WaitAll:
 	}
 	return b.String()
 }

@@ -102,7 +102,7 @@ func (bw *BinaryWriter) Write(a Action) error {
 		return err
 	}
 	switch a.Type {
-	case Compute, Bcast, CommSize:
+	case Compute, Bcast, CommSize, Gather, AllGather, AllToAll, Scatter:
 		if err := bw.putFloat(a.Volume); err != nil {
 			return err
 		}
@@ -129,7 +129,7 @@ func (bw *BinaryWriter) Write(a Action) error {
 		if err := bw.putFloat(a.Volume2); err != nil {
 			return err
 		}
-	case Barrier, Wait:
+	case Barrier, Wait, WaitAll:
 	}
 	bw.count++
 	return nil

@@ -254,8 +254,11 @@ func typeFromBytes(s []byte) (ActionType, bool) {
 			return Bcast, true
 		}
 	case 6:
-		if eqFold(s, "reduce") {
+		switch {
+		case eqFold(s, "reduce"):
 			return Reduce, true
+		case eqFold(s, "gather"):
+			return Gather, true
 		}
 	case 7:
 		switch {
@@ -263,6 +266,14 @@ func typeFromBytes(s []byte) (ActionType, bool) {
 			return Compute, true
 		case eqFold(s, "barrier"):
 			return Barrier, true
+		case eqFold(s, "scatter"):
+			return Scatter, true
+		case eqFold(s, "waitall"):
+			return WaitAll, true
+		}
+	case 8:
+		if eqFold(s, "alltoall") {
+			return AllToAll, true
 		}
 	case 9:
 		switch {
@@ -270,6 +281,8 @@ func typeFromBytes(s []byte) (ActionType, bool) {
 			return AllReduce, true
 		case eqFold(s, "comm_size"):
 			return CommSize, true
+		case eqFold(s, "allgather"):
+			return AllGather, true
 		}
 	}
 	return 0, false
@@ -305,7 +318,7 @@ func ParseLineBytes(line []byte) (a Action, ok bool, err error) {
 		return nil
 	}
 	switch typ {
-	case Compute, Bcast:
+	case Compute, Bcast, Gather, AllGather, AllToAll, Scatter:
 		if err := need(1); err != nil {
 			return Action{}, false, err
 		}
@@ -354,7 +367,7 @@ func ParseLineBytes(line []byte) (a Action, ok bool, err error) {
 			return Action{}, false, fmt.Errorf("trace: bad comm_size in %q", line)
 		}
 		a.Volume = float64(nproc)
-	case Barrier, Wait:
+	case Barrier, Wait, WaitAll:
 	}
 	if err := a.Validate(); err != nil {
 		return Action{}, false, err

@@ -100,6 +100,11 @@ func TestParseLineBytesZeroAllocs(t *testing.T) {
 		[]byte("p7 barrier"),
 		[]byte("p0 comm_size 64"),
 		[]byte("p1 wait"),
+		[]byte("p2 gather 4096"),
+		[]byte("p3 allGather 8192"),
+		[]byte("p4 allToAll 512"),
+		[]byte("p5 scatter 1e+06"),
+		[]byte("p6 waitAll"),
 		[]byte("# a comment line"),
 		[]byte("   "),
 	}

@@ -126,6 +126,12 @@ func FuzzParseLine(f *testing.F) {
 	f.Add("p7 comm_size 8")
 	f.Add("p4 barrier")
 	f.Add("p5 wait")
+	f.Add("p0 gather 4096")
+	f.Add("p2 allGather 8192")
+	f.Add("p6 allToAll 512")
+	f.Add("p0 scatter 1e6")
+	f.Add("p3 waitAll")
+	f.Add("p1 ALLGATHER 64")
 	f.Add("# comment")
 	f.Add("")
 	f.Add("p0 compute 1e999")
@@ -174,6 +180,20 @@ func FuzzBinaryCursor(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(valid.Bytes())
+	// One deterministic stream covering every collective action shape,
+	// including the schedule-decomposed collectives and waitAll.
+	var colls bytes.Buffer
+	if err := EncodeBinary(&colls, []Action{
+		{Proc: 0, Type: Bcast, Peer: -1, Volume: 1e6},
+		{Proc: 1, Type: Gather, Peer: -1, Volume: 4096},
+		{Proc: 2, Type: AllGather, Peer: -1, Volume: 8192},
+		{Proc: 3, Type: AllToAll, Peer: -1, Volume: 512},
+		{Proc: 4, Type: Scatter, Peer: -1, Volume: 2048},
+		{Proc: 5, Type: WaitAll, Peer: -1},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(colls.Bytes())
 	f.Add([]byte("TITB\x01"))
 	f.Add([]byte("TITB"))
 	f.Add([]byte{})

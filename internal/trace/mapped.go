@@ -140,7 +140,7 @@ func (c *BinaryCursor) Next() (a Action, ok bool, err error) {
 	}
 	a = Action{Proc: int(proc), Type: typ, Peer: -1}
 	switch typ {
-	case Compute, Bcast, CommSize:
+	case Compute, Bcast, CommSize, Gather, AllGather, AllToAll, Scatter:
 		if a.Volume, err = c.float(); err != nil {
 			return Action{}, false, err
 		}
@@ -165,7 +165,7 @@ func (c *BinaryCursor) Next() (a Action, ok bool, err error) {
 		if a.Volume2, err = c.float(); err != nil {
 			return Action{}, false, err
 		}
-	case Barrier, Wait:
+	case Barrier, Wait, WaitAll:
 	}
 	if err := a.Validate(); err != nil {
 		return Action{}, false, err

@@ -27,7 +27,7 @@ func (s *Stats) Observe(a Action) {
 		s.Flops += a.Volume
 	case Send, Isend:
 		s.CommBytes += a.Volume
-	case Bcast, Reduce, AllReduce:
+	case Bcast, Reduce, AllReduce, Gather, AllGather, AllToAll, Scatter:
 		s.CommBytes += a.Volume
 		s.Flops += a.Volume2
 	}

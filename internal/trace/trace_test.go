@@ -158,7 +158,7 @@ func randomAction(rng *rand.Rand) Action {
 	a := Action{Proc: rng.Intn(1024), Type: typ, Peer: -1}
 	vol := func() float64 { return math.Trunc(rng.Float64()*1e9*100) / 100 }
 	switch typ {
-	case Compute, Bcast:
+	case Compute, Bcast, Gather, AllGather, AllToAll, Scatter:
 		a.Volume = vol()
 	case Send, Isend:
 		a.Peer = rng.Intn(1024)

@@ -81,11 +81,17 @@ func Verify(perRank [][]Action) []VerifyError {
 					continue
 				}
 				pendingIrecv--
+			case WaitAll:
+				if pendingIrecv == 0 {
+					report(rank, idx, "waitAll with no pending Irecv")
+					continue
+				}
+				pendingIrecv = 0
 			case CommSize:
 				if int(a.Volume) != n {
 					report(rank, idx, "comm_size %d but world has %d processes", int(a.Volume), n)
 				}
-			case Bcast, Reduce, AllReduce, Barrier:
+			case Bcast, Reduce, AllReduce, Barrier, Gather, AllGather, AllToAll, Scatter:
 				collectives[rank] = append(collectives[rank],
 					fmt.Sprintf("%s/%g/%g", a.Type, a.Volume, a.Volume2))
 			}
