@@ -7,6 +7,7 @@
 //
 //	tireplay -platform cluster.xml -deployment depl.xml
 //	tireplay -procs 8 -dir ti/            # built-in bordereau platform
+//	tireplay -procs 8 -dir ti/ -topo torus:4x4   # generated topology
 //
 // The deployment file names each process's trace file in its <argument>
 // element, as in the paper; with -dir, SG_process<rank>.trace files are
@@ -40,13 +41,18 @@ func main() {
 		timed        = flag.String("timed", "", "write a timed trace of the simulated execution to this file")
 		profile      = flag.Bool("profile", false, "print a per-process profile of the simulated execution")
 		collSpec     = flag.String("coll", "", "collective algorithms: an algorithm for all collectives (linear, binomial, auto, ...) or per-collective choices (\"bcast=binomial,allReduce=ring\")")
+		topoSpec     = flag.String("topo", "", "replay on a generated topology instead of the built-in cluster (fat-tree:4 | torus:4x4x2 | dragonfly:2x4x2), with -dir/-procs")
+		routingMode  = flag.String("routing", "computed", "route resolution: computed (zone-composed, O(n) build) or table (eager per-pair reference)")
 	)
 	flag.Parse()
 
+	routing, err := platform.ParseRouting(*routingMode)
+	if err != nil {
+		fail(err)
+	}
 	var (
-		b   *platform.Build
-		d   *platform.Deployment
-		err error
+		b *platform.Build
+		d *platform.Deployment
 	)
 	switch {
 	case *platformPath != "" && *deployPath != "":
@@ -54,7 +60,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		b, err = platform.Instantiate(p)
+		b, err = platform.InstantiateRouting(p, routing)
 		if err != nil {
 			fail(err)
 		}
@@ -63,9 +69,24 @@ func main() {
 			fail(err)
 		}
 	case *dir != "" && *procs > 0:
-		b, err = platform.BuildBordereauCustom(*procs, 1, *power)
-		if err != nil {
-			fail(err)
+		if *topoSpec != "" {
+			if routing != platform.RoutingComputed {
+				fail(fmt.Errorf("-routing %s is not available for generated topologies (they route computed only)", routing))
+			}
+			spec, err := platform.ParseTopo(*topoSpec)
+			if err != nil {
+				fail(err)
+			}
+			spec.Power = *power
+			b, err = spec.Build()
+			if err != nil {
+				fail(err)
+			}
+		} else {
+			b, err = platform.InstantiateRouting(platform.BordereauCustom(*procs, 1, *power), routing)
+			if err != nil {
+				fail(err)
+			}
 		}
 		d, err = platform.RoundRobin(b.HostNames, *procs, 1)
 		if err != nil {

@@ -11,6 +11,8 @@
 //	tisweep -platform cluster.xml -dir ti/ -ranks 64 \
 //	        -lat 0.5,1,2 -bw 1,10 -fold 1,2 -workers 8 -json report.json
 //	tisweep -dir ti/ -ranks 8 -coll "linear;binomial;auto"   # collective-algorithm study
+//	tisweep -dir ti/ -ranks 8 \
+//	        -topo "fat-tree:4,torus:4x4,dragonfly:2x4x2"     # topology study
 //
 // Scenario results are deterministic: the same grid produces byte-identical
 // per-scenario timed traces whatever -workers is set to.
@@ -41,6 +43,7 @@ func main() {
 		fold         = flag.String("fold", "", "comma-separated deployment folding factors (default 1)")
 		hosts        = flag.String("hosts", "", "comma-separated host counts to deploy onto (default: all hosts)")
 		collSpecs    = flag.String("coll", "", "semicolon-separated collective-algorithm configurations (\"linear;binomial;bcast=binomial,allReduce=ring\")")
+		topoSpecs    = flag.String("topo", "", "comma-separated generated topologies replacing the base platform (\"fat-tree:4,torus:4x4x2,dragonfly:2x4x2\")")
 		workers      = flag.Int("workers", 0, "worker pool size (default GOMAXPROCS)")
 		partition    = flag.Bool("partition", false, "split scenarios across kernels per disjoint platform component")
 		identity     = flag.Bool("no-mpi-model", false, "disable the piece-wise linear MPI model")
@@ -82,6 +85,9 @@ func main() {
 		fail(err)
 	}
 	if grid.Coll, err = sweep.ParseCollList(*collSpecs); err != nil {
+		fail(err)
+	}
+	if grid.Topo, err = sweep.ParseTopoList(*topoSpecs); err != nil {
 		fail(err)
 	}
 

@@ -3,10 +3,42 @@ package platform
 import (
 	"fmt"
 	"strconv"
+	"strings"
 
 	"tireplay/internal/simx"
 	"tireplay/internal/units"
 )
+
+// Routing selects how an instantiated platform resolves host-pair routes.
+type Routing int
+
+const (
+	// RoutingComputed (the default) composes routes on demand from a zone
+	// hierarchy: O(hosts + zones²) route state, see zones.go.
+	RoutingComputed Routing = iota
+	// RoutingTable eagerly materializes a route for every host pair — the
+	// historical reference implementation, O(n²·pathlen) memory, kept for
+	// the equivalence tests and cross-checks.
+	RoutingTable
+)
+
+func (r Routing) String() string {
+	if r == RoutingTable {
+		return "table"
+	}
+	return "computed"
+}
+
+// ParseRouting parses a -routing flag value.
+func ParseRouting(s string) (Routing, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "computed", "zone", "zones":
+		return RoutingComputed, nil
+	case "table", "eager", "full":
+		return RoutingTable, nil
+	}
+	return 0, fmt.Errorf("platform: unknown routing mode %q (want computed or table)", s)
+}
 
 // Build is an instantiated platform: a simulation kernel populated with the
 // platform's hosts, links and routes, plus the host naming information the
@@ -15,6 +47,24 @@ type Build struct {
 	Kernel    *simx.Kernel
 	HostNames []string // all hosts in declaration order
 	byCluster map[string][]string
+
+	routing Routing
+	zones   *ZoneRouter // non-nil in computed mode
+}
+
+// Routing reports which route-resolution mode the build was instantiated
+// with.
+func (b *Build) Routing() Routing { return b.routing }
+
+// newBuild creates an empty build in the given routing mode; computed mode
+// installs a ZoneRouter on the fresh kernel.
+func newBuild(r Routing) *Build {
+	b := &Build{Kernel: simx.New(), byCluster: make(map[string][]string), routing: r}
+	if r == RoutingComputed {
+		b.zones = NewZoneRouter()
+		b.Kernel.SetRouter(b.zones)
+	}
+	return b
 }
 
 // ClusterHosts returns the host names of a cluster in index order, or nil
@@ -24,27 +74,36 @@ func (b *Build) ClusterHosts(id string) []string { return b.byCluster[id] }
 // WrapKernel adapts a manually constructed kernel into a Build, for callers
 // assembling custom platforms programmatically instead of from XML.
 func WrapKernel(k *simx.Kernel, hostNames []string) *Build {
-	return &Build{Kernel: k, HostNames: hostNames, byCluster: make(map[string][]string)}
+	return &Build{Kernel: k, HostNames: hostNames, byCluster: make(map[string][]string),
+		routing: RoutingTable}
 }
 
 // clusterInst carries what inter-cluster routing needs about a built
 // cluster: for every host, the ordered links from the host up to the cluster
-// core (its private link, then any intermediate switches), and the core
-// backbone itself.
+// core (its private link, then any intermediate switches), the core backbone
+// itself, and (in computed mode) the cluster's routing zone.
 type clusterInst struct {
 	id       string
 	hosts    []string
 	uplink   map[string][]*simx.Link
 	backbone *simx.Link
+	zone     *Zone
 }
 
 // Instantiate populates a fresh simulation kernel from the platform
 // description: cluster hosts are connected through their private link and
 // the cluster backbone (so two nodes of a cluster communicate through two
 // links and one switch, the topology behind the paper's latency/3 rule), and
-// AS routes join clusters through the declared wide-area links.
+// AS routes join clusters through the declared wide-area links. Routes are
+// composed on demand from the zone hierarchy; InstantiateRouting selects the
+// eager reference tables instead.
 func Instantiate(p *Platform) (*Build, error) {
-	b := &Build{Kernel: simx.New(), byCluster: make(map[string][]string)}
+	return InstantiateRouting(p, RoutingComputed)
+}
+
+// InstantiateRouting is Instantiate with an explicit route-resolution mode.
+func InstantiateRouting(p *Platform, r Routing) (*Build, error) {
+	b := newBuild(r)
 	var clusters []*clusterInst
 	if err := b.walkAS(&p.AS, &clusters); err != nil {
 		return nil, err
@@ -86,7 +145,13 @@ func (b *Build) walkAS(a *AS, clusters *[]*clusterInst) error {
 		if err != nil {
 			return fmt.Errorf("platform: link %q: %w", l.ID, err)
 		}
-		localLinks[l.ID] = k.AddLink(l.ID, bw, lat)
+		sharing, err := parseSharing(l.SharingPolicy)
+		if err != nil {
+			return fmt.Errorf("platform: link %q: %w", l.ID, err)
+		}
+		lk := k.AddLink(l.ID, bw, lat)
+		lk.Sharing = sharing
+		localLinks[l.ID] = lk
 	}
 	for _, r := range a.Routes {
 		links, err := resolveLinks(r.Links, localLinks)
@@ -145,8 +210,9 @@ func (b *Build) walkAS(a *AS, clusters *[]*clusterInst) error {
 	return nil
 }
 
-// buildCluster creates the hosts, private links, backbone and intra-cluster
-// routes of one cluster element.
+// buildCluster creates the hosts, private links and backbone of one cluster
+// element, wiring its intra-cluster routing either as a routing zone
+// (computed mode) or as eagerly materialized per-pair routes (table mode).
 func (b *Build) buildCluster(c *Cluster) (*clusterInst, error) {
 	k := b.Kernel
 	idx, err := ParseRadical(c.Radical)
@@ -169,6 +235,14 @@ func (b *Build) buildCluster(c *Cluster) (*clusterInst, error) {
 	if err != nil {
 		return nil, fmt.Errorf("platform: cluster %q: %w", c.ID, err)
 	}
+	sharing, err := parseSharing(c.SharingPolicy)
+	if err != nil {
+		return nil, fmt.Errorf("platform: cluster %q: %w", c.ID, err)
+	}
+	bbSharing, err := parseSharing(c.BBSharingPolicy)
+	if err != nil {
+		return nil, fmt.Errorf("platform: cluster %q: %w", c.ID, err)
+	}
 	// Backbone defaults to ten times the host link, as in common SimGrid
 	// cluster files, when bb_* attributes are absent.
 	bbBw, bbLat := bw*10, lat
@@ -188,29 +262,44 @@ func (b *Build) buildCluster(c *Cluster) (*clusterInst, error) {
 		uplink:   make(map[string][]*simx.Link),
 		backbone: k.AddLink(c.ID+"_backbone", bbBw, bbLat),
 	}
+	ci.backbone.Sharing = bbSharing
+	if b.zones != nil {
+		ci.zone = b.zones.NewZone(c.ID, nil, ci.backbone)
+	}
 	for _, i := range idx {
 		name := fmt.Sprintf("%s%d%s", c.Prefix, i, c.Suffix)
-		k.AddHost(name, power, cores)
+		h := k.AddHost(name, power, cores)
 		hl := k.AddLink(fmt.Sprintf("%s_link_%d", c.ID, i), bw, lat)
+		hl.Sharing = sharing
 		ci.uplink[name] = []*simx.Link{hl}
 		ci.hosts = append(ci.hosts, name)
 		b.HostNames = append(b.HostNames, name)
+		if ci.zone != nil {
+			b.zones.Attach(h, ci.zone, hl)
+		}
 	}
-	for _, src := range ci.hosts {
-		for _, dst := range ci.hosts {
-			if src == dst {
-				continue
+	if ci.zone == nil {
+		for _, src := range ci.hosts {
+			for _, dst := range ci.hosts {
+				if src == dst {
+					continue
+				}
+				k.AddRoute(src, dst, []*simx.Link{ci.uplink[src][0], ci.backbone, ci.uplink[dst][0]})
 			}
-			k.AddRoute(src, dst, []*simx.Link{ci.uplink[src][0], ci.backbone, ci.uplink[dst][0]})
 		}
 	}
 	b.byCluster[c.ID] = ci.hosts
 	return ci, nil
 }
 
-// connectClusters adds routes from every host of src to every host of dst
-// through their uplinks, both backbones and the wide-area links.
+// connectClusters joins two clusters through their uplinks, both backbones
+// and the wide-area links: one inter-zone declaration in computed mode, a
+// route for every host pair in table mode.
 func (b *Build) connectClusters(src, dst *clusterInst, wan []*simx.Link) {
+	if src.zone != nil && dst.zone != nil {
+		b.zones.ConnectZones(src.zone, dst.zone, wan...)
+		return
+	}
 	k := b.Kernel
 	for _, s := range src.hosts {
 		for _, d := range dst.hosts {
@@ -238,6 +327,18 @@ func resolveLinks(refs []LinkRef, links map[string]*simx.Link) ([]*simx.Link, er
 		out = append(out, l)
 	}
 	return out, nil
+}
+
+// parseSharing maps a SimGrid sharing_policy attribute onto the kernel's
+// link policy. Absent means SHARED.
+func parseSharing(s string) (simx.Sharing, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "", "SHARED":
+		return simx.SharingShared, nil
+	case "FATPIPE":
+		return simx.SharingFatpipe, nil
+	}
+	return 0, fmt.Errorf("unknown sharing_policy %q (want SHARED or FATPIPE)", s)
 }
 
 func parseCores(s string) (int, error) {

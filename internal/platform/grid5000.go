@@ -112,7 +112,12 @@ func BuildGdx(nodes int) (*Build, error) {
 
 // BuildGdxWithCores instantiates gdx with an explicit per-node core count.
 func BuildGdxWithCores(nodes, cores int) (*Build, error) {
-	b := &Build{Kernel: simx.New(), byCluster: make(map[string][]string)}
+	return buildGdxRouting(nodes, cores, RoutingComputed)
+}
+
+// buildGdxRouting instantiates gdx in the given routing mode.
+func buildGdxRouting(nodes, cores int, r Routing) (*Build, error) {
+	b := newBuild(r)
 	if _, err := b.buildGdxInto(nodes, cores); err != nil {
 		return nil, err
 	}
@@ -120,7 +125,10 @@ func BuildGdxWithCores(nodes, cores int) (*Build, error) {
 }
 
 // buildGdxInto constructs the gdx topology in the Build's kernel and returns
-// its clusterInst for inter-site routing.
+// its clusterInst for inter-site routing. In computed mode the cabinet pairs
+// behind each first-level switch become nested zones of the gdx zone, so a
+// composed same-switch route crosses one switch and a distant-cabinet route
+// three — the exact paths the table mode materializes.
 func (b *Build) buildGdxInto(nodes, cores int) (*clusterInst, error) {
 	if nodes <= 0 || nodes > GdxNodes {
 		nodes = GdxNodes
@@ -140,31 +148,44 @@ func (b *Build) buildGdxInto(nodes, cores int) (*clusterInst, error) {
 	for i := range switches {
 		switches[i] = k.AddLink(fmt.Sprintf("gdx_switch_%d", i), GigaEthernetBw, ClusterLatency)
 	}
+	var groupZones []*Zone
+	if b.zones != nil {
+		ci.zone = b.zones.NewZone("gdx", nil, ci.backbone)
+		groupZones = make([]*Zone, nSwitch)
+		for i, sw := range switches {
+			groupZones[i] = b.zones.NewZone(fmt.Sprintf("gdx_group_%d", i), ci.zone, sw)
+		}
+	}
 	group := make([]int, nodes) // host index -> first-level switch index
 	for i := 0; i < nodes; i++ {
 		cabinet := i / perCabinet
 		group[i] = cabinet / 2
 		name := fmt.Sprintf("gdx-%d.orsay.grid5000.fr", i)
-		k.AddHost(name, GdxPower, cores)
+		h := k.AddHost(name, GdxPower, cores)
 		hl := k.AddLink(fmt.Sprintf("gdx_link_%d", i), GigaEthernetBw, ClusterLatency)
 		ci.uplink[name] = []*simx.Link{hl, switches[group[i]]}
 		ci.hosts = append(ci.hosts, name)
 		b.HostNames = append(b.HostNames, name)
+		if groupZones != nil {
+			b.zones.Attach(h, groupZones[group[i]], hl)
+		}
 	}
-	for i, src := range ci.hosts {
-		for j, dst := range ci.hosts {
-			if i == j {
-				continue
-			}
-			hlS, hlD := ci.uplink[src][0], ci.uplink[dst][0]
-			if group[i] == group[j] {
-				// Same first-level switch: one switch on the path.
-				k.AddRoute(src, dst, []*simx.Link{hlS, switches[group[i]], hlD})
-			} else {
-				// Distant cabinets: three switches on the path.
-				k.AddRoute(src, dst, []*simx.Link{
-					hlS, switches[group[i]], ci.backbone, switches[group[j]], hlD,
-				})
+	if ci.zone == nil {
+		for i, src := range ci.hosts {
+			for j, dst := range ci.hosts {
+				if i == j {
+					continue
+				}
+				hlS, hlD := ci.uplink[src][0], ci.uplink[dst][0]
+				if group[i] == group[j] {
+					// Same first-level switch: one switch on the path.
+					k.AddRoute(src, dst, []*simx.Link{hlS, switches[group[i]], hlD})
+				} else {
+					// Distant cabinets: three switches on the path.
+					k.AddRoute(src, dst, []*simx.Link{
+						hlS, switches[group[i]], ci.backbone, switches[group[j]], hlD,
+					})
+				}
 			}
 		}
 	}
@@ -182,7 +203,12 @@ func BuildGrid5000(bordereauNodes, gdxNodes int) (*Build, error) {
 // BuildGrid5000WithCores instantiates both sites with an explicit per-node
 // core count (0 keeps each cluster's physical count).
 func BuildGrid5000WithCores(bordereauNodes, gdxNodes, cores int) (*Build, error) {
-	b := &Build{Kernel: simx.New(), byCluster: make(map[string][]string)}
+	return buildGrid5000Routing(bordereauNodes, gdxNodes, cores, RoutingComputed)
+}
+
+// buildGrid5000Routing instantiates both sites in the given routing mode.
+func buildGrid5000Routing(bordereauNodes, gdxNodes, cores int, r Routing) (*Build, error) {
+	b := newBuild(r)
 	bCores, gCores := BordereauCores, GdxCores
 	if cores > 0 {
 		bCores, gCores = cores, cores

@@ -9,7 +9,11 @@ import "fmt"
 // components can never contend for a link, so a replay whose communication
 // stays inside one component is exactly reproducible on a kernel holding
 // only that component — the property the parallel what-if sweep engine uses
-// to spread one scenario over several kernels.
+// to spread one scenario over several kernels. The partition is computed on
+// the description, independent of the routing mode the platform is later
+// instantiated with (zones compose exactly the connectivity declared here);
+// generated topologies (topo.go) are single-component by construction, so
+// the sweep engine replays their scenarios whole.
 
 // Hosts returns every host name declared by the platform in declaration
 // order: for each AS, cluster hosts (expanded from the radical) first, then

@@ -52,6 +52,10 @@ type Cluster struct {
 	Lat     string `xml:"lat,attr"`
 	BBBw    string `xml:"bb_bw,attr"`
 	BBLat   string `xml:"bb_lat,attr"`
+	// SharingPolicy / BBSharingPolicy set the bandwidth sharing of the host
+	// links and the backbone: SHARED (default) or FATPIPE.
+	SharingPolicy   string `xml:"sharing_policy,attr"`
+	BBSharingPolicy string `xml:"bb_sharing_policy,attr"`
 }
 
 // HostDef is an explicitly declared host.
@@ -66,6 +70,9 @@ type LinkDef struct {
 	ID        string `xml:"id,attr"`
 	Bandwidth string `xml:"bandwidth,attr"`
 	Latency   string `xml:"latency,attr"`
+	// SharingPolicy is SHARED (default, max-min contention) or FATPIPE
+	// (every flow gets the full bandwidth).
+	SharingPolicy string `xml:"sharing_policy,attr"`
 }
 
 // RouteDef is an explicit route between two hosts, listing link references.

@@ -1,0 +1,249 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+
+	"tireplay/internal/simx"
+)
+
+// This file pins the computed routing layer against the eager reference
+// tables: on every platform description the repo ships — the paper's radical
+// cluster file, a two-cluster ASroute description, the hierarchical gdx
+// interconnect and the combined Grid'5000 build — every host pair must
+// resolve to the same links in the same order with the same latency under
+// both modes.
+
+// routesEqual resolves every ordered host pair through both kernels' routers
+// and compares links (by name, since the kernels hold distinct instances)
+// and latency exactly.
+func routesEqual(t *testing.T, computed, table *Build) {
+	t.Helper()
+	if len(computed.HostNames) != len(table.HostNames) {
+		t.Fatalf("host counts differ: %d vs %d", len(computed.HostNames), len(table.HostNames))
+	}
+	ck, tk := computed.Kernel, table.Kernel
+	for _, s := range computed.HostNames {
+		for _, d := range computed.HostNames {
+			if s == d {
+				continue
+			}
+			rc := ck.Router().Route(ck.Host(s), ck.Host(d))
+			rt := tk.Router().Route(tk.Host(s), tk.Host(d))
+			if rc == nil || rt == nil {
+				t.Fatalf("%s->%s: computed=%v table=%v (route missing)", s, d, rc, rt)
+			}
+			if rc.Latency != rt.Latency {
+				t.Fatalf("%s->%s: computed latency %g != table %g", s, d, rc.Latency, rt.Latency)
+			}
+			if len(rc.Links) != len(rt.Links) {
+				t.Fatalf("%s->%s: computed %s != table %s", s, d, linkNames(rc), linkNames(rt))
+			}
+			for i := range rc.Links {
+				if rc.Links[i].Name != rt.Links[i].Name {
+					t.Fatalf("%s->%s: link %d: computed %s != table %s",
+						s, d, i, linkNames(rc), linkNames(rt))
+				}
+			}
+		}
+	}
+}
+
+func linkNames(r *simx.Route) string {
+	names := make([]string, len(r.Links))
+	for i, l := range r.Links {
+		names[i] = l.Name
+	}
+	return "[" + strings.Join(names, " ") + "]"
+}
+
+func TestComputedRoutesMatchTableOnRadicalCluster(t *testing.T) {
+	p, err := Parse(strings.NewReader(paperPlatformXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	computed, err := InstantiateRouting(p, RoutingComputed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if computed.Routing() != RoutingComputed {
+		t.Fatalf("routing mode = %v", computed.Routing())
+	}
+	table, err := InstantiateRouting(p, RoutingTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routesEqual(t, computed, table)
+}
+
+// twoClusterXML joins two radical clusters through an ASroute over a WAN
+// link, the scattering-mode shape of the paper.
+const twoClusterXML = `<?xml version='1.0'?>
+<platform version="3">
+  <AS id="AS_grid" routing="Full">
+    <cluster id="west" prefix="w-" suffix=".site" radical="0-3"
+             power="1.17E9" bw="1.25E8" lat="16.67E-6"
+             bb_bw="1.25E9" bb_lat="16.67E-6"/>
+    <cluster id="east" prefix="e-" suffix=".site" radical="0-2"
+             power="1E9" bw="1.25E8" lat="16.67E-6"/>
+    <link id="wan" bandwidth="1.25E9" latency="5E-3"/>
+    <ASroute src="west" dst="east"><link_ctn id="wan"/></ASroute>
+  </AS>
+</platform>`
+
+func TestComputedRoutesMatchTableOnASRoute(t *testing.T) {
+	p, err := Parse(strings.NewReader(twoClusterXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	computed, err := InstantiateRouting(p, RoutingComputed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := InstantiateRouting(p, RoutingTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routesEqual(t, computed, table)
+}
+
+func TestComputedRoutesMatchTableOnGdx(t *testing.T) {
+	computed, err := buildGdxRouting(40, GdxCores, RoutingComputed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := buildGdxRouting(40, GdxCores, RoutingTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routesEqual(t, computed, table)
+}
+
+func TestComputedRoutesMatchTableOnGrid5000(t *testing.T) {
+	computed, err := buildGrid5000Routing(6, 12, 0, RoutingComputed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := buildGrid5000Routing(6, 12, 0, RoutingTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routesEqual(t, computed, table)
+}
+
+// TestExplicitRouteOverridesZones: an XML <route> between cluster hosts must
+// win over the composed zone route in computed mode, exactly as it replaces
+// the table entry in table mode.
+func TestExplicitRouteOverridesZones(t *testing.T) {
+	const doc = `<platform version="3">
+  <AS id="AS0" routing="Full">
+    <cluster id="c" prefix="n" suffix="" radical="0-1"
+             power="1E9" bw="1.25E8" lat="1E-5"/>
+    <link id="short" bandwidth="1E9" latency="1E-6"/>
+    <route src="n0" dst="n1"><link_ctn id="short"/></route>
+  </AS>
+</platform>`
+	p, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []Routing{RoutingComputed, RoutingTable} {
+		b, err := InstantiateRouting(p, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := b.Kernel
+		r := k.Router().Route(k.Host("n0"), k.Host("n1"))
+		if r == nil || len(r.Links) != 1 || r.Links[0].Name != "short" {
+			t.Fatalf("%v: override not applied: %+v", mode, r)
+		}
+		// The reverse direction is symmetrical by default.
+		rr := k.Router().Route(k.Host("n1"), k.Host("n0"))
+		if rr == nil || len(rr.Links) != 1 || rr.Links[0].Name != "short" {
+			t.Fatalf("%v: symmetric override not applied: %+v", mode, rr)
+		}
+	}
+}
+
+// TestZoneRouterMemoryScalesLinearly is the structural half of the O(n)
+// claim (the benchmark measures bytes): a 256-host cluster's zone router
+// holds one attachment per host, one zone, and no per-pair state until a
+// pair actually communicates.
+func TestZoneRouterMemoryScalesLinearly(t *testing.T) {
+	p := BordereauCustom(64, 1, BordereauPower)
+	p.AS.Clusters[0].Radical = FormatRadical(64)
+	b, err := InstantiateRouting(p, RoutingComputed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zr := b.zones
+	if zr == nil {
+		t.Fatal("computed build has no zone router")
+	}
+	if got := len(zr.explicit); got != 0 {
+		t.Fatalf("explicit overrides = %d, want 0", got)
+	}
+	if got := len(zr.attach); got != 64 {
+		t.Fatalf("attachments = %d, want 64", got)
+	}
+	if got := zr.Zones(); got != 1 {
+		t.Fatalf("zones = %d, want 1", got)
+	}
+	if got := len(zr.spine); got > 1 {
+		t.Fatalf("spine cache pre-populated with %d segments", got)
+	}
+	// Resolving every pair grows the spine cache by zones², not hosts².
+	k := b.Kernel
+	for _, s := range b.HostNames {
+		for _, d := range b.HostNames {
+			if s != d && k.Router().Route(k.Host(s), k.Host(d)) == nil {
+				t.Fatalf("no route %s->%s", s, d)
+			}
+		}
+	}
+	if got := len(zr.spine); got != 1 {
+		t.Fatalf("spine segments after full resolution = %d, want 1 (zones²)", got)
+	}
+}
+
+// TestFatpipeClusterAttribute threads the XML sharing policies through to
+// the kernel links.
+func TestFatpipeClusterAttribute(t *testing.T) {
+	const doc = `<platform version="3">
+  <AS id="AS0" routing="Full">
+    <cluster id="c" prefix="n" suffix="" radical="0-1"
+             power="1E9" bw="1.25E8" lat="1E-5"
+             bb_sharing_policy="FATPIPE"/>
+    <link id="l" bandwidth="1E9" latency="1E-6" sharing_policy="FATPIPE"/>
+  </AS>
+</platform>`
+	p, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Instantiate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Kernel.Link("c_backbone").Sharing; got != simx.SharingFatpipe {
+		t.Fatalf("backbone sharing = %v", got)
+	}
+	if got := b.Kernel.Link("l").Sharing; got != simx.SharingFatpipe {
+		t.Fatalf("link sharing = %v", got)
+	}
+	if got := b.Kernel.Link("c_link_0").Sharing; got != simx.SharingShared {
+		t.Fatalf("host link sharing = %v", got)
+	}
+	const bad = `<platform version="3">
+  <AS id="AS0" routing="Full">
+    <link id="l" bandwidth="1E9" latency="1E-6" sharing_policy="HALFDUPLEX"/>
+  </AS>
+</platform>`
+	pb, err := Parse(strings.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Instantiate(pb); err == nil {
+		t.Fatal("expected error for unknown sharing policy")
+	}
+}

@@ -102,8 +102,10 @@ type Kernel struct {
 
 	hosts map[string]*Host
 	links map[string]*Link
-	// routes maps "src|dst" to the route between two hosts.
-	routes map[string]*Route
+	// router resolves host-pair routes; the default is a dense-keyed
+	// TableRouter fed by AddRoute, platform layers may install computed
+	// routers (see Router).
+	router Router
 
 	procs []*Proc
 	// runq reuses one backing array across scheduling batches instead of
@@ -172,7 +174,7 @@ func New() *Kernel {
 	return &Kernel{
 		hosts:             make(map[string]*Host),
 		links:             make(map[string]*Link),
-		routes:            make(map[string]*Route),
+		router:            NewTableRouter(),
 		mailboxes:         make(map[string]*Mailbox),
 		LoopbackBandwidth: 10e9, // 10 GB/s shared-memory copy rate
 		LoopbackLatency:   1e-7, // 100 ns

@@ -80,14 +80,19 @@ func (s *maxMinSolver) solve(flows []*activity) {
 	}
 
 	for len(s.unalloc) > 0 {
-		// Find the bottleneck link.
+		// Find the bottleneck link. A fatpipe link offers every flow its
+		// full remaining bandwidth (flows do not share it), so its fair
+		// share is cap itself, independent of the flow count.
 		best := -1
 		bestShare := 0.0
 		for i := range s.links {
 			if s.nflow[i] == 0 {
 				continue
 			}
-			share := s.cap[i] / float64(s.nflow[i])
+			share := s.cap[i]
+			if s.links[i].Sharing == SharingShared {
+				share /= float64(s.nflow[i])
+			}
 			if best == -1 || share < bestShare {
 				best = i
 				bestShare = share
@@ -114,9 +119,13 @@ func (s *maxMinSolver) solve(flows []*activity) {
 			}
 			a.allocated = bestShare
 			for _, l := range a.links {
-				s.cap[l.idx] -= bestShare
-				if s.cap[l.idx] < 0 {
-					s.cap[l.idx] = 0
+				// Frozen shares consume capacity only on shared links; a
+				// fatpipe keeps its full bandwidth on offer to every flow.
+				if l.Sharing == SharingShared {
+					s.cap[l.idx] -= bestShare
+					if s.cap[l.idx] < 0 {
+						s.cap[l.idx] = 0
+					}
 				}
 				s.nflow[l.idx]--
 			}

@@ -12,23 +12,47 @@ type Host struct {
 	Speed float64 // flop/s per core
 	Cores int
 
+	// id is the host's dense kernel-assigned index (declaration order);
+	// routers key pair lookups and attachment tables off it, so route
+	// resolution never touches the host name.
+	id int
+
 	// computes holds the running compute activities in start order; each
 	// activity records its index in pos, so removal is O(1) without a map.
 	computes []*activity
 	loop     *Link  // private loopback link for intra-host communications
 	loopRt   *Route // cached single-link route over loop
 	// routeTo caches resolved outgoing routes under a pointer key, so the
-	// per-match lookup neither concatenates a string key nor hashes one.
+	// per-match lookup neither concatenates a string key nor hashes one —
+	// and a computed router composes each used pair at most once.
 	routeTo map[*Host]*Route
 }
 
+// ID returns the host's dense kernel index, assigned in declaration order.
+func (h *Host) ID() int { return h.id }
+
+// Sharing is a link's bandwidth sharing policy.
+type Sharing uint8
+
+const (
+	// SharingShared divides the link bandwidth among the flows crossing it
+	// according to max-min fairness — the default, SimGrid's SHARED policy.
+	SharingShared Sharing = iota
+	// SharingFatpipe caps every flow at the full link bandwidth without
+	// contention between flows — SimGrid's FATPIPE policy, the model of a
+	// non-blocking switch fabric or an aggregate of parallel cables.
+	SharingFatpipe
+)
+
 // Link is a network resource with a nominal bandwidth (byte/s) and latency
 // (seconds). Concurrent flows crossing a link share its bandwidth according
-// to the kernel's max-min fairness model.
+// to the kernel's max-min fairness model, or each use the full bandwidth
+// when the link is a fatpipe.
 type Link struct {
 	Name      string
 	Bandwidth float64
 	Latency   float64
+	Sharing   Sharing
 
 	// index assigned by the max-min solver for fast lookups.
 	idx int
@@ -47,6 +71,82 @@ type Route struct {
 	Latency float64
 }
 
+// NewRoute builds a route over the given links with the summed latency.
+func NewRoute(links []*Link) *Route {
+	lat := 0.0
+	for _, l := range links {
+		lat += l.Latency
+	}
+	return &Route{Links: links, Latency: lat}
+}
+
+// Router resolves the route a transfer between two distinct hosts follows.
+// The kernel consults its router on the first transfer of each (src, dst)
+// pair and caches the result for the rest of the simulation, so a router may
+// compose routes on demand (zone hierarchies, generated topologies) instead
+// of materializing a per-pair table — the returned route must simply stay
+// valid once handed out. Route returns nil when no route exists.
+type Router interface {
+	Route(src, dst *Host) *Route
+}
+
+// RouteAdder is implemented by routers that accept explicit per-pair routes;
+// Kernel.AddRoute delegates to it.
+type RouteAdder interface {
+	AddRoute(src, dst *Host, r *Route)
+}
+
+// pairKey packs two dense host IDs into one map key; route lookups hash one
+// integer instead of concatenating and hashing a "src|dst" string.
+func pairKey(src, dst *Host) uint64 {
+	return uint64(uint32(src.id))<<32 | uint64(uint32(dst.id))
+}
+
+// TableRouter is the kernel's default router: an explicit route table under
+// dense host-ID pair keys.
+type TableRouter struct {
+	routes map[uint64]*Route
+}
+
+// NewTableRouter returns an empty explicit route table.
+func NewTableRouter() *TableRouter {
+	return &TableRouter{routes: make(map[uint64]*Route)}
+}
+
+// AddRoute declares the route from src to dst, replacing any previous one.
+func (t *TableRouter) AddRoute(src, dst *Host, r *Route) {
+	t.routes[pairKey(src, dst)] = r
+}
+
+// Route returns the declared route or nil.
+func (t *TableRouter) Route(src, dst *Host) *Route {
+	return t.routes[pairKey(src, dst)]
+}
+
+// StringTableRouter is the reference route table keyed by the historical
+// "src|dst" name concatenation. It exists to pin the dense-keyed TableRouter
+// against the original semantics (see TestTableRouterMatchesStringTable);
+// nothing on a hot path formats or hashes a string through it unless it is
+// explicitly installed.
+type StringTableRouter struct {
+	routes map[string]*Route
+}
+
+// NewStringTableRouter returns an empty string-keyed reference table.
+func NewStringTableRouter() *StringTableRouter {
+	return &StringTableRouter{routes: make(map[string]*Route)}
+}
+
+// AddRoute declares the route from src to dst, replacing any previous one.
+func (t *StringTableRouter) AddRoute(src, dst *Host, r *Route) {
+	t.routes[src.Name+"|"+dst.Name] = r
+}
+
+// Route returns the declared route or nil.
+func (t *StringTableRouter) Route(src, dst *Host) *Route {
+	return t.routes[src.Name+"|"+dst.Name]
+}
+
 // AddHost declares a host. Speed is per-core flop/s.
 func (k *Kernel) AddHost(name string, speed float64, cores int) *Host {
 	if _, dup := k.hosts[name]; dup {
@@ -59,6 +159,7 @@ func (k *Kernel) AddHost(name string, speed float64, cores int) *Host {
 		Name:  name,
 		Speed: speed,
 		Cores: cores,
+		id:    len(k.hosts),
 		loop: &Link{
 			Name:      name + "_loopback",
 			Bandwidth: k.LoopbackBandwidth,
@@ -76,7 +177,7 @@ func (k *Kernel) Host(name string) *Host { return k.hosts[name] }
 // Hosts returns the number of declared hosts.
 func (k *Kernel) Hosts() int { return len(k.hosts) }
 
-// AddLink declares a network link.
+// AddLink declares a network link with the default shared policy.
 func (k *Kernel) AddLink(name string, bandwidth, latency float64) *Link {
 	if _, dup := k.links[name]; dup {
 		panic("simx: duplicate link " + name)
@@ -89,24 +190,43 @@ func (k *Kernel) AddLink(name string, bandwidth, latency float64) *Link {
 // Link returns the named link or nil.
 func (k *Kernel) Link(name string) *Link { return k.links[name] }
 
+// SetRouter installs the route resolver consulted for host pairs without a
+// cached route. The default is a dense-keyed TableRouter fed by AddRoute;
+// platform layers install computed routers (zone hierarchies, generated
+// topologies) instead. Installing a router drops every cached resolution.
+func (k *Kernel) SetRouter(r Router) {
+	k.router = r
+	for _, h := range k.hosts {
+		h.routeTo = nil
+	}
+}
+
+// Router returns the installed route resolver.
+func (k *Kernel) Router() Router { return k.router }
+
 // AddRoute declares the route used by transfers from src to dst. Routes are
 // directional; callers wanting symmetry add both directions. The route
-// latency is the sum of the link latencies.
+// latency is the sum of the link latencies. The installed router must accept
+// explicit routes (the default table does; computed routers may, as
+// overrides).
 func (k *Kernel) AddRoute(src, dst string, links []*Link) {
-	if k.hosts[src] == nil || k.hosts[dst] == nil {
+	s, d := k.hosts[src], k.hosts[dst]
+	if s == nil || d == nil {
 		panic(fmt.Sprintf("simx: route between undeclared hosts %q -> %q", src, dst))
 	}
-	lat := 0.0
-	for _, l := range links {
-		lat += l.Latency
+	ra, ok := k.router.(RouteAdder)
+	if !ok {
+		panic(fmt.Sprintf("simx: router %T does not accept explicit routes", k.router))
 	}
-	k.routes[src+"|"+dst] = &Route{Links: links, Latency: lat}
+	ra.AddRoute(s, d, NewRoute(links))
 	// Drop any cached resolution of the replaced route.
-	delete(k.hosts[src].routeTo, k.hosts[dst])
+	delete(s.routeTo, d)
 }
 
 // routeBetween resolves the route for a transfer, falling back to the
-// host-private loopback when source and destination coincide.
+// host-private loopback when source and destination coincide. The first
+// resolution of a pair goes through the router; the result is cached under a
+// pointer key on the source host.
 func (k *Kernel) routeBetween(src, dst *Host) *Route {
 	if src == dst {
 		return src.loopRt
@@ -114,7 +234,7 @@ func (k *Kernel) routeBetween(src, dst *Host) *Route {
 	if r := src.routeTo[dst]; r != nil {
 		return r
 	}
-	r := k.routes[src.Name+"|"+dst.Name]
+	r := k.router.Route(src, dst)
 	if r == nil {
 		panic(fmt.Sprintf("simx: no route from %q to %q", src.Name, dst.Name))
 	}

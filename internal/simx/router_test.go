@@ -1,0 +1,221 @@
+package simx
+
+import (
+	"fmt"
+	"testing"
+)
+
+// buildRouterKernel populates k with a small two-"cluster" platform: hosts
+// a0,a1 behind backbone A, hosts b0,b1 behind backbone B, a wan link between
+// them, and full pairwise routes. Routes are added through k.AddRoute, so
+// they land in whatever router is installed.
+func buildRouterKernel(k *Kernel) {
+	hosts := []string{"a0", "a1", "b0", "b1"}
+	up := make(map[string]*Link)
+	for _, h := range hosts {
+		k.AddHost(h, 1e9, 1)
+		up[h] = k.AddLink(h+"_up", 1.25e8, 1e-5)
+	}
+	bbA := k.AddLink("bbA", 1.25e9, 1e-5)
+	bbB := k.AddLink("bbB", 1.25e9, 1e-5)
+	wan := k.AddLink("wan", 1.25e9, 1e-3)
+	bb := func(h string) *Link {
+		if h[0] == 'a' {
+			return bbA
+		}
+		return bbB
+	}
+	for _, s := range hosts {
+		for _, d := range hosts {
+			if s == d {
+				continue
+			}
+			if s[0] == d[0] {
+				k.AddRoute(s, d, []*Link{up[s], bb(s), up[d]})
+			} else {
+				k.AddRoute(s, d, []*Link{up[s], bb(s), wan, bb(d), up[d]})
+			}
+		}
+	}
+}
+
+// TestTableRouterMatchesStringTable pins the dense pair-keyed default table
+// against the historical "src|dst" string-keyed reference: every pair must
+// resolve to the same links and latency, and a simulation driven through
+// either router must finish at the bit-identical instant.
+func TestTableRouterMatchesStringTable(t *testing.T) {
+	dense := New()
+	buildRouterKernel(dense)
+	ref := New()
+	ref.SetRouter(NewStringTableRouter())
+	buildRouterKernel(ref)
+
+	hosts := []string{"a0", "a1", "b0", "b1"}
+	for _, s := range hosts {
+		for _, d := range hosts {
+			if s == d {
+				continue
+			}
+			rd := dense.Router().Route(dense.Host(s), dense.Host(d))
+			rs := ref.Router().Route(ref.Host(s), ref.Host(d))
+			if rd == nil || rs == nil {
+				t.Fatalf("%s->%s: route missing (dense=%v ref=%v)", s, d, rd, rs)
+			}
+			if rd.Latency != rs.Latency {
+				t.Fatalf("%s->%s: latency %g != %g", s, d, rd.Latency, rs.Latency)
+			}
+			if len(rd.Links) != len(rs.Links) {
+				t.Fatalf("%s->%s: %d links != %d", s, d, len(rd.Links), len(rs.Links))
+			}
+			for i := range rd.Links {
+				if rd.Links[i].Name != rs.Links[i].Name {
+					t.Fatalf("%s->%s link %d: %q != %q", s, d, i, rd.Links[i].Name, rs.Links[i].Name)
+				}
+			}
+		}
+	}
+
+	run := func(k *Kernel) float64 {
+		k.Spawn("s0", k.Host("a0"), func(p *Proc) { p.Send("m0", 5e6, nil) })
+		k.Spawn("r0", k.Host("b1"), func(p *Proc) { p.Recv("m0") })
+		k.Spawn("s1", k.Host("a1"), func(p *Proc) { p.Send("m1", 3e6, nil) })
+		k.Spawn("r1", k.Host("b0"), func(p *Proc) { p.Recv("m1") })
+		end, err := k.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}
+	if td, ts := run(dense), run(ref); td != ts {
+		t.Fatalf("dense router makespan %v != string-keyed %v", td, ts)
+	}
+}
+
+// TestAddRouteRejectsNonAdderRouter: a router without explicit-route support
+// must make AddRoute panic instead of silently dropping the route.
+func TestAddRouteRejectsNonAdderRouter(t *testing.T) {
+	k := New()
+	k.AddHost("a", 1e9, 1)
+	k.AddHost("b", 1e9, 1)
+	l := k.AddLink("l", 1e8, 1e-5)
+	k.SetRouter(routeFunc(func(src, dst *Host) *Route { return nil }))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic adding a route to a non-adder router")
+		}
+	}()
+	k.AddRoute("a", "b", []*Link{l})
+}
+
+// routeFunc adapts a function to the Router interface.
+type routeFunc func(src, dst *Host) *Route
+
+func (f routeFunc) Route(src, dst *Host) *Route { return f(src, dst) }
+
+// TestComputedRouterResolution drives a transfer through a router that
+// composes the route on demand and checks the kernel caches the resolution
+// (the router is consulted once per pair).
+func TestComputedRouterResolution(t *testing.T) {
+	k := New()
+	a := k.AddHost("a", 1e9, 1)
+	b := k.AddHost("b", 1e9, 1)
+	l := k.AddLink("l", 1.25e8, 2e-5)
+	calls := 0
+	k.SetRouter(routeFunc(func(src, dst *Host) *Route {
+		calls++
+		return NewRoute([]*Link{l})
+	}))
+	if a.ID() == b.ID() {
+		t.Fatalf("dense host ids collide: %d", a.ID())
+	}
+	k.Spawn("s", a, func(p *Proc) {
+		p.Send("m", 1e6, nil)
+		p.Send("m", 1e6, nil)
+	})
+	k.Spawn("r", b, func(p *Proc) { p.Recv("m"); p.Recv("m") })
+	end, err := k.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * (2e-5 + 1e6/1.25e8)
+	if !almost(end, want) {
+		t.Fatalf("makespan %g, want %g", end, want)
+	}
+	if calls != 1 {
+		t.Fatalf("router consulted %d times for one pair, want 1 (cached)", calls)
+	}
+}
+
+// TestFatpipeSharing checks the sharing-policy axis of the max-min model:
+// two concurrent flows over a shared link halve its bandwidth, while the
+// same two flows over a fatpipe each progress at the full rate.
+func TestFatpipeSharing(t *testing.T) {
+	const bw, lat, bytes = 1e8, 1e-5, 1e6
+	for _, tc := range []struct {
+		sharing Sharing
+		want    float64
+	}{
+		{SharingShared, lat + 2*bytes/bw}, // half bandwidth each
+		{SharingFatpipe, lat + bytes/bw},  // full bandwidth each
+	} {
+		k := New()
+		k.AddHost("s0", 1e9, 1)
+		k.AddHost("s1", 1e9, 1)
+		k.AddHost("d0", 1e9, 1)
+		k.AddHost("d1", 1e9, 1)
+		l := k.AddLink("fabric", bw, lat)
+		l.Sharing = tc.sharing
+		k.AddRoute("s0", "d0", []*Link{l})
+		k.AddRoute("s1", "d1", []*Link{l})
+		k.Spawn("p0", k.Host("s0"), func(p *Proc) { p.Send("m0", bytes, nil) })
+		k.Spawn("p1", k.Host("d0"), func(p *Proc) { p.Recv("m0") })
+		k.Spawn("p2", k.Host("s1"), func(p *Proc) { p.Send("m1", bytes, nil) })
+		k.Spawn("p3", k.Host("d1"), func(p *Proc) { p.Recv("m1") })
+		end, err := k.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almost(end, tc.want) {
+			t.Fatalf("sharing=%d: makespan %g, want %g", tc.sharing, end, tc.want)
+		}
+	}
+}
+
+// TestFatpipeMixedPath: a flow crossing a fatpipe and a narrower shared link
+// is constrained by the shared link alone; the fatpipe never becomes the
+// bottleneck for contending flows.
+func TestFatpipeMixedPath(t *testing.T) {
+	const lat = 1e-5
+	k := New()
+	for i := 0; i < 4; i++ {
+		k.AddHost(fmt.Sprintf("h%d", i), 1e9, 1)
+	}
+	fat := k.AddLink("fat", 1e9, lat)
+	fat.Sharing = SharingFatpipe
+	narrow0 := k.AddLink("n0", 1e8, lat)
+	narrow1 := k.AddLink("n1", 1e8, lat)
+	k.AddRoute("h0", "h1", []*Link{narrow0, fat})
+	k.AddRoute("h2", "h3", []*Link{narrow1, fat})
+	k.Spawn("a", k.Host("h0"), func(p *Proc) { p.Send("ma", 1e6, nil) })
+	k.Spawn("b", k.Host("h1"), func(p *Proc) { p.Recv("ma") })
+	k.Spawn("c", k.Host("h2"), func(p *Proc) { p.Send("mc", 1e6, nil) })
+	k.Spawn("d", k.Host("h3"), func(p *Proc) { p.Recv("mc") })
+	end, err := k.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both flows run concurrently at their private narrow-link rate: the
+	// shared fatpipe does not split its 1e9 between them.
+	want := 2*lat + 1e6/1e8
+	if !almost(end, want) {
+		t.Fatalf("makespan %g, want %g (fatpipe must not contend)", end, want)
+	}
+}
+
+func almost(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-12+1e-9*b
+}

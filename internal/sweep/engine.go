@@ -17,9 +17,10 @@ import (
 
 // Config parameterises a sweep.
 type Config struct {
-	// Platform is the base platform description every scenario derives from
-	// (required). It is only read; each scenario instantiates its own
-	// kernel from its own scaled copy.
+	// Platform is the base platform description scenarios without a
+	// topology derive from (required unless every grid cell sets a Topo).
+	// It is only read; each scenario instantiates its own kernel from its
+	// own scaled copy.
 	Platform *platform.Platform
 	// Grid spans the scenario space.
 	Grid Grid
@@ -104,9 +105,6 @@ type partOut struct {
 // reported with Err "sweep: canceled", and Run returns the partial result
 // together with the context's error.
 func Run(ctx context.Context, cfg *Config) (*Result, error) {
-	if cfg.Platform == nil {
-		return nil, fmt.Errorf("sweep: nil platform")
-	}
 	if cfg.Traces == nil || cfg.Traces.Ranks() == 0 {
 		return nil, fmt.Errorf("sweep: empty trace set")
 	}
@@ -119,20 +117,36 @@ func Run(ctx context.Context, cfg *Config) (*Result, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	hosts, err := cfg.Platform.Hosts()
-	if err != nil {
-		return nil, err
+	scenarios := cfg.Grid.Expand()
+	needBase := false
+	for i := range scenarios {
+		if scenarios[i].Topo == nil {
+			needBase = true
+		}
 	}
-	if len(hosts) == 0 {
-		return nil, fmt.Errorf("sweep: platform declares no hosts")
+
+	var hosts []string
+	var err error
+	if needBase {
+		if cfg.Platform == nil {
+			return nil, fmt.Errorf("sweep: nil platform")
+		}
+		if hosts, err = cfg.Platform.Hosts(); err != nil {
+			return nil, err
+		}
+		if len(hosts) == 0 {
+			return nil, fmt.Errorf("sweep: platform declares no hosts")
+		}
 	}
 
 	// The shared read-only inputs of every task: the communication graph of
 	// the traces and the host components of the base platform (scaling
 	// never changes connectivity, so one analysis serves every scenario).
+	// Generated topologies are always a single connected component, so
+	// their scenarios replay whole regardless of Partition.
 	var graph *commGraph
 	hostComp := make(map[string]int)
-	if cfg.Partition {
+	if cfg.Partition && needBase {
 		if graph, err = analyze(cfg.Traces); err != nil {
 			return nil, err
 		}
@@ -147,18 +161,21 @@ func Run(ctx context.Context, cfg *Config) (*Result, error) {
 		}
 	}
 
-	scenarios := cfg.Grid.Expand()
 	n := cfg.Traces.Ranks()
 	depls := make([]*platform.Deployment, len(scenarios))
 	tasks := make([]task, 0, len(scenarios))
 	for si, sc := range scenarios {
-		d, err := scenarioDeployment(hosts, sc, n)
+		scHosts := hosts
+		if sc.Topo != nil {
+			scHosts = sc.Topo.HostNames()
+		}
+		d, err := scenarioDeployment(scHosts, sc, n)
 		if err != nil {
 			return nil, fmt.Errorf("sweep: scenario %d (%s): %w", si, sc.Name(), err)
 		}
 		depls[si] = d
 		parts := []part{wholePart(n)}
-		if cfg.Partition {
+		if cfg.Partition && sc.Topo == nil {
 			parts = partition(graph, hostComp, d.Processes)
 		}
 		for pi, p := range parts {
@@ -242,15 +259,24 @@ func scenarioDeployment(hosts []string, sc Scenario, n int) (*platform.Deploymen
 // pools and interning tables, the sources, the tracers — is created here
 // and owned by this task alone.
 func runTask(cfg *Config, model *smpi.Model, sc Scenario, depl *platform.Deployment, p part) partOut {
-	scaled, err := cfg.Platform.Scaled(platform.Scale{
+	scale := platform.Scale{
 		Latency:   sc.LatencyScale,
 		Bandwidth: sc.BandwidthScale,
 		Power:     sc.PowerScale,
-	})
-	if err != nil {
-		return partOut{err: err}
 	}
-	b, err := platform.Instantiate(scaled)
+	var b *platform.Build
+	var err error
+	if sc.Topo != nil {
+		// A generated topology replaces the base platform; the what-if
+		// factors multiply the generator's base quantities.
+		b, err = sc.Topo.Scaled(scale).Build()
+	} else {
+		var scaled *platform.Platform
+		if scaled, err = cfg.Platform.Scaled(scale); err != nil {
+			return partOut{err: err}
+		}
+		b, err = platform.Instantiate(scaled)
+	}
 	if err != nil {
 		return partOut{err: err}
 	}

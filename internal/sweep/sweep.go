@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"tireplay/internal/coll"
+	"tireplay/internal/platform"
 )
 
 // Grid spans the scenario space as a cross product of its axes. Empty axes
@@ -43,6 +44,12 @@ type Grid struct {
 	// the same trace replayed under different collective decompositions —
 	// the scenario-diversity axis the paper's fixed star could not span.
 	Coll []coll.Config
+	// Topo are generated topologies (see platform.ParseTopo): each entry
+	// replaces the base platform with a fat-tree, torus or dragonfly
+	// interconnect, so one sweep compares the same trace across network
+	// architectures. The scale axes above compose with it (they multiply
+	// the generator's base quantities).
+	Topo []platform.TopoSpec
 }
 
 func orFloats(v []float64) []float64 {
@@ -66,11 +73,25 @@ func orColl(v []coll.Config) []coll.Config {
 	return v
 }
 
+// orTopos returns the topology axis as pointers, nil standing for the base
+// platform when the axis is empty.
+func orTopos(v []platform.TopoSpec) []*platform.TopoSpec {
+	if len(v) == 0 {
+		return []*platform.TopoSpec{nil}
+	}
+	out := make([]*platform.TopoSpec, len(v))
+	for i := range v {
+		spec := v[i]
+		out[i] = &spec
+	}
+	return out
+}
+
 // Size returns the number of scenarios the grid expands to.
 func (g Grid) Size() int {
 	return len(orFloats(g.LatencyScale)) * len(orFloats(g.BandwidthScale)) *
 		len(orFloats(g.PowerScale)) * len(orInts(g.Fold, 1)) * len(orInts(g.Hosts, 0)) *
-		len(orColl(g.Coll))
+		len(orColl(g.Coll)) * len(orTopos(g.Topo))
 }
 
 // Scenario is one fully instantiated cell of the grid.
@@ -87,6 +108,9 @@ type Scenario struct {
 	// Coll is the scenario's collective-algorithm configuration; it always
 	// marshals, as the -coll spec string ("default" when unset).
 	Coll coll.Config `json:"coll"`
+	// Topo, when non-nil, replaces the base platform with a generated
+	// topology; it marshals as the -topo spec string.
+	Topo *platform.TopoSpec `json:"topo,omitempty"`
 }
 
 // Name renders a compact scenario label, e.g. "lat=0.5 bw=2 pow=1 fold=2".
@@ -100,6 +124,9 @@ func (s Scenario) Name() string {
 	if !s.Coll.IsDefault() {
 		fmt.Fprintf(&b, " coll=%s", s.Coll)
 	}
+	if s.Topo != nil {
+		fmt.Fprintf(&b, " topo=%s", s.Topo)
+	}
 	return b.String()
 }
 
@@ -108,8 +135,8 @@ func trimFloat(f float64) string {
 }
 
 // Expand lists the grid's scenarios in deterministic nested-axis order
-// (collectives outermost, then hosts, fold, power, bandwidth, latency
-// innermost).
+// (topologies outermost, then collectives, hosts, fold, power, bandwidth,
+// latency innermost).
 func (g Grid) Expand() []Scenario {
 	lats := orFloats(g.LatencyScale)
 	bws := orFloats(g.BandwidthScale)
@@ -117,22 +144,26 @@ func (g Grid) Expand() []Scenario {
 	folds := orInts(g.Fold, 1)
 	hosts := orInts(g.Hosts, 0)
 	colls := orColl(g.Coll)
+	topos := orTopos(g.Topo)
 	out := make([]Scenario, 0, g.Size())
-	for _, cc := range colls {
-		for _, h := range hosts {
-			for _, f := range folds {
-				for _, p := range pows {
-					for _, bw := range bws {
-						for _, lat := range lats {
-							out = append(out, Scenario{
-								Index:          len(out),
-								LatencyScale:   lat,
-								BandwidthScale: bw,
-								PowerScale:     p,
-								Fold:           f,
-								Hosts:          h,
-								Coll:           cc,
-							})
+	for _, tp := range topos {
+		for _, cc := range colls {
+			for _, h := range hosts {
+				for _, f := range folds {
+					for _, p := range pows {
+						for _, bw := range bws {
+							for _, lat := range lats {
+								out = append(out, Scenario{
+									Index:          len(out),
+									LatencyScale:   lat,
+									BandwidthScale: bw,
+									PowerScale:     p,
+									Fold:           f,
+									Hosts:          h,
+									Coll:           cc,
+									Topo:           tp,
+								})
+							}
 						}
 					}
 				}
@@ -181,6 +212,27 @@ func ParseCollList(s string) ([]coll.Config, error) {
 			return nil, fmt.Errorf("sweep: %w", err)
 		}
 		out = append(out, c)
+	}
+	return out, nil
+}
+
+// ParseTopoList parses tisweep's -topo axis: comma-separated topology specs
+// in the platform.ParseTopo syntax
+// ("fat-tree:4,torus:4x4x2,dragonfly:2x4x2").
+func ParseTopoList(s string) ([]platform.TopoSpec, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []platform.TopoSpec
+	for _, part := range strings.Split(s, ",") {
+		if strings.TrimSpace(part) == "" {
+			continue
+		}
+		spec, err := platform.ParseTopo(part)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+		out = append(out, spec)
 	}
 	return out, nil
 }

@@ -1,0 +1,142 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"strings"
+	"testing"
+
+	"tireplay/internal/npb"
+	"tireplay/internal/platform"
+)
+
+// TestParseTopoList covers the -topo axis syntax.
+func TestParseTopoList(t *testing.T) {
+	specs, err := ParseTopoList("fat-tree:4,torus:4x4x2,dragonfly:2x4x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 3 || specs[0].Kind != "fat-tree" || specs[1].Kind != "torus" ||
+		specs[2].Kind != "dragonfly" {
+		t.Fatalf("specs = %+v", specs)
+	}
+	if specs[1].String() != "torus:4x4x2" {
+		t.Fatalf("round trip = %q", specs[1].String())
+	}
+	if got, err := ParseTopoList(""); got != nil || err != nil {
+		t.Fatalf("empty list = %v, %v", got, err)
+	}
+	if _, err := ParseTopoList("fat-tree:4,mesh:3"); err == nil {
+		t.Fatal("expected error for unknown topology kind")
+	}
+}
+
+// TestSweepTopoAxisDeterministicAcrossWorkers is the acceptance gate of the
+// topology axis: a `tisweep -topo fat-tree:...,torus:...,dragonfly:...`
+// style multi-topology sweep replayed at workers=1 and workers=NumCPU must
+// produce byte-identical per-scenario timed traces — and the axis must move
+// the prediction, with different interconnects yielding different
+// makespans. No base platform is needed when every cell sets a topology.
+func TestSweepTopoAxisDeterministicAcrossWorkers(t *testing.T) {
+	const procs = 8
+	ts := luTraces(t, npb.ClassS, procs)
+	grid := Grid{
+		LatencyScale: []float64{1, 50},
+		Topo: []platform.TopoSpec{
+			{Kind: "fat-tree", K: 4},
+			{Kind: "torus", Dims: []int{4, 4}},
+			{Kind: "dragonfly", Groups: 2, Routers: 4, HostsPer: 2},
+		},
+	}
+	if grid.Size() != 6 {
+		t.Fatalf("grid expands to %d scenarios, want 6", grid.Size())
+	}
+	run := func(workers int) *Result {
+		res, err := Run(context.Background(), &Config{
+			Grid:    grid,
+			Traces:  ts,
+			Workers: workers,
+			Timed:   true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	workers := runtime.NumCPU()
+	if workers < 4 {
+		workers = 4
+	}
+	serial := run(1)
+	parallel := run(workers)
+	for i := range serial.Scenarios {
+		s, p := &serial.Scenarios[i], &parallel.Scenarios[i]
+		if s.Err != "" || p.Err != "" {
+			t.Fatalf("scenario %d failed: %q / %q", i, s.Err, p.Err)
+		}
+		if s.SimulatedTime != p.SimulatedTime || s.Actions != p.Actions {
+			t.Fatalf("scenario %d (%s): serial %g/%d != parallel %g/%d",
+				i, s.Name, s.SimulatedTime, s.Actions, p.SimulatedTime, p.Actions)
+		}
+		if !bytes.Equal(s.TimedTrace, p.TimedTrace) || len(s.TimedTrace) == 0 {
+			t.Fatalf("scenario %d (%s): timed traces differ across worker counts "+
+				"(%d vs %d bytes)", i, s.Name, len(s.TimedTrace), len(p.TimedTrace))
+		}
+	}
+	// The interconnect must matter: at 50x latency the three topologies'
+	// hop counts (up to 11 for the cross-pod fat-tree paths vs 3-5 inside a
+	// dragonfly group) give distinct makespans.
+	ft, to, df := serial.Scenarios[1].SimulatedTime, serial.Scenarios[3].SimulatedTime,
+		serial.Scenarios[5].SimulatedTime
+	if ft == to && to == df {
+		t.Fatalf("all three topologies predict %g — the axis is inert", ft)
+	}
+	// Scenario labels carry the topo spec, and the JSON report round-trips
+	// it as the spec string.
+	if !strings.Contains(serial.Scenarios[1].Name, "topo=fat-tree:4") {
+		t.Fatalf("scenario 1 name %q misses topo label", serial.Scenarios[1].Name)
+	}
+	var buf bytes.Buffer
+	if err := serial.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"topo": "fat-tree:4"`, `"topo": "torus:4x4"`, `"topo": "dragonfly:2x4x2"`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("JSON report misses %s:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestSweepTopoComposesWithHostAxis: the host-count axis (and an unused
+// base platform) compose with a generated topology, and an empty topo axis
+// still requires the base platform.
+func TestSweepTopoComposesWithHostAxis(t *testing.T) {
+	const procs = 4
+	ts := luTraces(t, npb.ClassS, procs)
+	res, err := Run(context.Background(), &Config{
+		Platform: platform.BordereauWithCores(procs, 1),
+		Grid: Grid{
+			Hosts: []int{procs},
+			Topo:  []platform.TopoSpec{{Kind: "torus", Dims: []int{2, 2}}},
+		},
+		Traces: ts,
+		Timed:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scenarios) != 1 {
+		t.Fatalf("%d scenarios", len(res.Scenarios))
+	}
+	if res.Scenarios[0].Err != "" {
+		t.Fatal(res.Scenarios[0].Err)
+	}
+	// And with the axis empty, the same config still needs the platform.
+	if _, err := Run(context.Background(), &Config{
+		Grid:   Grid{Topo: []platform.TopoSpec{}},
+		Traces: ts,
+	}); err == nil {
+		t.Fatal("expected nil-platform error when a scenario has no topology")
+	}
+}
