@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"tireplay/internal/acquisition"
+	"tireplay/internal/cli"
 	"tireplay/internal/mpi"
 	"tireplay/internal/npb"
 	"tireplay/internal/tau"
@@ -40,7 +41,7 @@ func main() {
 
 	prog, err := buildProgram(*app, *class, *procs)
 	if err != nil {
-		fail(err)
+		fail(cli.Usage(err))
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fail(err)
@@ -56,7 +57,7 @@ func main() {
 	case "sim":
 		m, err := parseMode(*mode)
 		if err != nil {
-			fail(err)
+			fail(cli.Usage(err))
 		}
 		camp := &acquisition.Campaign{Procs: *procs, Program: prog, OverheadPerEvent: *overhead}
 		b, d, err := camp.Build(m)
@@ -70,7 +71,7 @@ func main() {
 		fmt.Printf("mode %s on %v node(s)\n", m.Name(), mustNodes(m, *procs))
 		report(makespan, files)
 	default:
-		fail(fmt.Errorf("unknown engine %q", *engine))
+		fail(cli.Usagef("unknown engine %q", *engine))
 	}
 }
 
@@ -136,6 +137,5 @@ func report(makespan float64, files *tau.AcquisitionFiles) {
 }
 
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, "acquire:", err)
-	os.Exit(1)
+	cli.Fail("acquire", err)
 }

@@ -38,9 +38,11 @@ import (
 	"io"
 	"os"
 	"regexp"
+
 	"sort"
 	"strconv"
 	"strings"
+	"tireplay/internal/cli"
 )
 
 // Result is one benchmark's aggregated measurement.
@@ -384,7 +386,7 @@ func main() {
 
 	floors, err := parseFloors(*floorsFlag)
 	if err != nil {
-		fail(err)
+		fail(cli.Usage(err))
 	}
 	in := os.Stdin
 	if *benchPath != "-" {
@@ -467,6 +469,5 @@ func writeJSON(path string, v any) error {
 }
 
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, "benchdiff:", err)
-	os.Exit(1)
+	cli.Fail("benchdiff", err)
 }

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"tireplay/internal/calibrate"
+	"tireplay/internal/cli"
 	"tireplay/internal/mpi"
 	"tireplay/internal/npb"
 	"tireplay/internal/platform"
@@ -36,7 +37,7 @@ func main() {
 
 	cls, err := npb.ClassByName(*class)
 	if err != nil {
-		fail(err)
+		fail(cli.Usage(err))
 	}
 	prog, err := npb.LU(npb.LUConfig{Class: cls, Procs: *procs})
 	if err != nil {
@@ -96,6 +97,5 @@ func main() {
 }
 
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, "calibrate:", err)
-	os.Exit(1)
+	cli.Fail("calibrate", err)
 }

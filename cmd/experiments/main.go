@@ -17,6 +17,7 @@ import (
 	"os"
 	"strings"
 
+	"tireplay/internal/cli"
 	"tireplay/internal/experiments"
 	"tireplay/internal/npb"
 )
@@ -38,7 +39,7 @@ func main() {
 	case "paper":
 		cfg = &experiments.Config{}
 	default:
-		fail(fmt.Errorf("unknown scale %q", *scale))
+		fail(cli.Usagef("unknown scale %q", *scale))
 	}
 	if *verbose {
 		cfg.Progress = os.Stderr
@@ -48,7 +49,7 @@ func main() {
 		for _, name := range strings.Split(*classes, ",") {
 			c, err := npb.ClassByName(strings.TrimSpace(name))
 			if err != nil {
-				fail(err)
+				fail(cli.Usage(err))
 			}
 			cfg.Classes = append(cfg.Classes, c)
 		}
@@ -58,7 +59,7 @@ func main() {
 		for _, s := range strings.Split(*procs, ",") {
 			var n int
 			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &n); err != nil {
-				fail(fmt.Errorf("bad process count %q", s))
+				fail(cli.Usagef("bad process count %q", s))
 			}
 			cfg.Procs = append(cfg.Procs, n)
 		}
@@ -138,6 +139,5 @@ func main() {
 }
 
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
+	cli.Fail("experiments", err)
 }

@@ -14,6 +14,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"tireplay/internal/cli"
 	"tireplay/internal/convert"
 	"tireplay/internal/trace"
 	"tireplay/internal/units"
@@ -29,7 +30,7 @@ func main() {
 	)
 	flag.Parse()
 	if *procs <= 0 {
-		fail(fmt.Errorf("-procs is required"))
+		fail(cli.Usagef("-procs is required"))
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fail(err)
@@ -57,7 +58,7 @@ func main() {
 			name = trace.BinaryFileName(rank)
 		case "text":
 		default:
-			fail(fmt.Errorf("unknown format %q", *format))
+			fail(cli.Usagef("unknown format %q", *format))
 		}
 		path := filepath.Join(*out, name)
 		if *format == "binary" {
@@ -87,6 +88,5 @@ func main() {
 }
 
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, "tau2ti:", err)
-	os.Exit(1)
+	cli.Fail("tau2ti", err)
 }

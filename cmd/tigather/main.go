@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"tireplay/internal/cli"
 	"tireplay/internal/gather"
 	"tireplay/internal/platform"
 	"tireplay/internal/units"
@@ -29,7 +30,7 @@ func main() {
 	flag.Parse()
 	files := flag.Args()
 	if len(files) == 0 {
-		fail(fmt.Errorf("no trace files given"))
+		fail(cli.Usagef("no trace files given"))
 	}
 
 	sizes := make([]float64, len(files))
@@ -66,6 +67,5 @@ func main() {
 }
 
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, "tigather:", err)
-	os.Exit(1)
+	cli.Fail("tigather", err)
 }

@@ -8,6 +8,8 @@
 //	tireplay -platform cluster.xml -deployment depl.xml
 //	tireplay -procs 8 -dir ti/            # built-in bordereau platform
 //	tireplay -procs 8 -dir ti/ -topo torus:4x4   # generated topology
+//	tireplay -procs 8 -dir ti/ -fault host:1@5   # fail-stop fault, abort policy
+//	tireplay -procs 8 -dir ti/ -fault mtbf:3600,seed:7 -ckpt 60/5/10/30
 //
 // The deployment file names each process's trace file in its <argument>
 // element, as in the paper; with -dir, SG_process<rank>.trace files are
@@ -22,6 +24,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"tireplay/internal/cli"
 	"tireplay/internal/coll"
 	"tireplay/internal/platform"
 	"tireplay/internal/replay"
@@ -43,12 +46,14 @@ func main() {
 		collSpec     = flag.String("coll", "", "collective algorithms: an algorithm for all collectives (linear, binomial, auto, ...) or per-collective choices (\"bcast=binomial,allReduce=ring\")")
 		topoSpec     = flag.String("topo", "", "replay on a generated topology instead of the built-in cluster (fat-tree:4 | torus:4x4x2 | dragonfly:2x4x2), with -dir/-procs")
 		routingMode  = flag.String("routing", "computed", "route resolution: computed (zone-composed, O(n) build) or table (eager per-pair reference)")
+		faultSpec    = flag.String("fault", "", "availability profile injected into the replay (\"host:1@5,hosts:25%@60,bw:0.5@10-20,mtbf:3600,seed:7\")")
+		ckptSpec     = flag.String("ckpt", "", "checkpoint/restart protocol riding through fail-stop faults: \"interval[/cost[/restart[/down]]]\" in seconds")
 	)
 	flag.Parse()
 
 	routing, err := platform.ParseRouting(*routingMode)
 	if err != nil {
-		fail(err)
+		fail(cli.Usage(err))
 	}
 	var (
 		b *platform.Build
@@ -71,11 +76,11 @@ func main() {
 	case *dir != "" && *procs > 0:
 		if *topoSpec != "" {
 			if routing != platform.RoutingComputed {
-				fail(fmt.Errorf("-routing %s is not available for generated topologies (they route computed only)", routing))
+				fail(cli.Usagef("-routing %s is not available for generated topologies (they route computed only)", routing))
 			}
 			spec, err := platform.ParseTopo(*topoSpec)
 			if err != nil {
-				fail(err)
+				fail(cli.Usage(err))
 			}
 			spec.Power = *power
 			b, err = spec.Build()
@@ -101,7 +106,7 @@ func main() {
 			fail(err)
 		}
 	default:
-		fail(fmt.Errorf("need either -platform and -deployment, or -dir and -procs"))
+		fail(cli.Usagef("need either -platform and -deployment, or -dir and -procs"))
 	}
 
 	cfg := replay.Config{Model: smpi.Default()}
@@ -109,7 +114,13 @@ func main() {
 		cfg.Model = smpi.Identity()
 	}
 	if cfg.Collectives, err = coll.ParseSpec(*collSpec); err != nil {
-		fail(err)
+		fail(cli.Usage(err))
+	}
+	if cfg.Faults, err = platform.ParseFaultSpec(*faultSpec); err != nil {
+		fail(cli.Usage(err))
+	}
+	if cfg.Ckpt, err = replay.ParseCkpt(*ckptSpec); err != nil {
+		fail(cli.Usage(err))
 	}
 	var tracers replay.Tee
 	var prof *replay.Profile
@@ -140,6 +151,13 @@ func main() {
 	}
 	fmt.Printf("simulated execution time: %s\n", units.FormatSeconds(res.SimulatedTime))
 	fmt.Printf("replayed %d actions in %v\n", res.Actions, res.WallTime)
+	if r := res.Resilience; r != nil {
+		fmt.Printf("fault-free time: %s; %d checkpoint(s) costing %s\n",
+			units.FormatSeconds(r.FaultFree), r.Checkpoints, units.FormatSeconds(r.CkptTime))
+		fmt.Printf("failures: %d; wasted %s (of which recomputed %s); downtime %s\n",
+			r.Failures, units.FormatSeconds(r.Wasted), units.FormatSeconds(r.Recomputed),
+			units.FormatSeconds(r.Downtime))
+	}
 	if prof != nil {
 		fmt.Println()
 		prof.Render(os.Stdout, res.SimulatedTime)
@@ -164,6 +182,5 @@ func fileExists(p string) bool {
 }
 
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, "tireplay:", err)
-	os.Exit(1)
+	cli.Fail("tireplay", err)
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"tireplay/internal/cli"
 	"tireplay/internal/trace"
 	"tireplay/internal/units"
 )
@@ -22,8 +23,7 @@ func main() {
 	flag.Parse()
 	files := flag.Args()
 	if len(files) == 0 {
-		fmt.Fprintln(os.Stderr, "tistat: no trace files given")
-		os.Exit(1)
+		cli.Fail("tistat", cli.Usagef("no trace files given"))
 	}
 
 	perRank := make([][]trace.Action, len(files))
@@ -31,8 +31,7 @@ func main() {
 	for i, path := range files {
 		actions, err := trace.ReadFile(path)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "tistat:", err)
-			os.Exit(1)
+			cli.Fail("tistat", fmt.Errorf("reading %s: %w", path, err))
 		}
 		perRank[i] = actions
 		st := trace.Collect(actions)
@@ -55,6 +54,6 @@ func main() {
 		for _, e := range errs {
 			fmt.Println(" ", e)
 		}
-		os.Exit(1)
+		os.Exit(cli.ExitFailure)
 	}
 }

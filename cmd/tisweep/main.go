@@ -13,6 +13,8 @@
 //	tisweep -dir ti/ -ranks 8 -coll "linear;binomial;auto"   # collective-algorithm study
 //	tisweep -dir ti/ -ranks 8 \
 //	        -topo "fat-tree:4,torus:4x4,dragonfly:2x4x2"     # topology study
+//	tisweep -dir ti/ -ranks 8 -ckpt "none;30/5;60/5" \
+//	        -fault "none;mtbf:3600,seed:7"                   # resilience study
 //
 // Scenario results are deterministic: the same grid produces byte-identical
 // per-scenario timed traces whatever -workers is set to.
@@ -27,6 +29,7 @@ import (
 	"path/filepath"
 	"runtime"
 
+	"tireplay/internal/cli"
 	"tireplay/internal/platform"
 	"tireplay/internal/smpi"
 	"tireplay/internal/sweep"
@@ -44,6 +47,8 @@ func main() {
 		hosts        = flag.String("hosts", "", "comma-separated host counts to deploy onto (default: all hosts)")
 		collSpecs    = flag.String("coll", "", "semicolon-separated collective-algorithm configurations (\"linear;binomial;bcast=binomial,allReduce=ring\")")
 		topoSpecs    = flag.String("topo", "", "comma-separated generated topologies replacing the base platform (\"fat-tree:4,torus:4x4x2,dragonfly:2x4x2\")")
+		faultSpecs   = flag.String("fault", "", "semicolon-separated availability profiles (\"none;host:1@5;hosts:25%@10,mtbf:3600\")")
+		ckptSpecs    = flag.String("ckpt", "", "semicolon-separated checkpoint/restart protocols (\"none;30/5;60/5/10/30\")")
 		workers      = flag.Int("workers", 0, "worker pool size (default GOMAXPROCS)")
 		partition    = flag.Bool("partition", false, "split scenarios across kernels per disjoint platform component")
 		identity     = flag.Bool("no-mpi-model", false, "disable the piece-wise linear MPI model")
@@ -54,7 +59,7 @@ func main() {
 	flag.Parse()
 
 	if *dir == "" || *ranks <= 0 {
-		fail(fmt.Errorf("need -dir and a positive -ranks"))
+		fail(cli.Usagef("need -dir and a positive -ranks"))
 	}
 	var (
 		base *platform.Platform
@@ -70,25 +75,31 @@ func main() {
 
 	grid := sweep.Grid{}
 	if grid.LatencyScale, err = sweep.ParseFloatList(*lat); err != nil {
-		fail(err)
+		fail(cli.Usage(err))
 	}
 	if grid.BandwidthScale, err = sweep.ParseFloatList(*bw); err != nil {
-		fail(err)
+		fail(cli.Usage(err))
 	}
 	if grid.PowerScale, err = sweep.ParseFloatList(*power); err != nil {
-		fail(err)
+		fail(cli.Usage(err))
 	}
 	if grid.Fold, err = sweep.ParseIntList(*fold); err != nil {
-		fail(err)
+		fail(cli.Usage(err))
 	}
 	if grid.Hosts, err = sweep.ParseIntList(*hosts); err != nil {
-		fail(err)
+		fail(cli.Usage(err))
 	}
 	if grid.Coll, err = sweep.ParseCollList(*collSpecs); err != nil {
-		fail(err)
+		fail(cli.Usage(err))
 	}
 	if grid.Topo, err = sweep.ParseTopoList(*topoSpecs); err != nil {
-		fail(err)
+		fail(cli.Usage(err))
+	}
+	if grid.Faults, err = sweep.ParseFaultList(*faultSpecs); err != nil {
+		fail(cli.Usage(err))
+	}
+	if grid.Ckpt, err = sweep.ParseCkptList(*ckptSpecs); err != nil {
+		fail(cli.Usage(err))
 	}
 
 	traces, err := sweep.LoadDir(*dir, *ranks)
@@ -115,15 +126,18 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "tisweep: %d scenarios on %d workers\n", grid.Size(), w)
 
-	// Interrupt stops scheduling new scenarios; running kernels finish.
+	// Interrupt stops scheduling new scenarios; running kernels finish,
+	// their rows are flushed below (table and JSON alike), the unstarted
+	// remainder stays marked "sweep: canceled", and the exit status is 130.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	res, err := sweep.Run(ctx, cfg)
 	if res == nil {
 		fail(err)
 	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "tisweep: sweep interrupted: %v\n", err)
+	interrupted := err != nil
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "tisweep: sweep interrupted: %v; flushing completed scenarios\n", err)
 	}
 
 	res.RenderTable(os.Stdout)
@@ -156,6 +170,9 @@ func main() {
 			fail(err)
 		}
 	}
+	if interrupted {
+		os.Exit(cli.ExitCanceled)
+	}
 	for i := range res.Scenarios {
 		if res.Scenarios[i].Err != "" {
 			os.Exit(1)
@@ -164,6 +181,5 @@ func main() {
 }
 
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, "tisweep:", err)
-	os.Exit(1)
+	cli.Fail("tisweep", err)
 }

@@ -1,0 +1,61 @@
+// Package cli centralises the exit-status convention of the cmd/* tools:
+// usage mistakes (bad flag values, missing required arguments) exit with
+// status 2, following the Go flag package's own convention, while data and
+// runtime failures (unreadable traces, failed replays) exit with status 1.
+// An interrupted run that still flushed partial results exits with 130, the
+// shell convention for death-by-SIGINT.
+package cli
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+// Exit statuses of the cmd/* tools.
+const (
+	// ExitFailure is the status for data and runtime errors.
+	ExitFailure = 1
+	// ExitUsage is the status for command-line usage errors.
+	ExitUsage = 2
+	// ExitCanceled is the status for runs interrupted by SIGINT after
+	// flushing partial results (128 + SIGINT's signal number 2).
+	ExitCanceled = 130
+)
+
+// UsageError marks an error as a command-line usage mistake.
+type UsageError struct{ Err error }
+
+func (e *UsageError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying error to errors.Is/As chains.
+func (e *UsageError) Unwrap() error { return e.Err }
+
+// Usage wraps err as a usage error.
+func Usage(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &UsageError{Err: err}
+}
+
+// Usagef builds a usage error from a format string.
+func Usagef(format string, args ...any) error {
+	return &UsageError{Err: fmt.Errorf(format, args...)}
+}
+
+// ExitCode maps an error to the tool's exit status: ExitUsage for usage
+// errors anywhere in the chain, ExitFailure otherwise.
+func ExitCode(err error) int {
+	var ue *UsageError
+	if errors.As(err, &ue) {
+		return ExitUsage
+	}
+	return ExitFailure
+}
+
+// Fail prints "tool: err" to stderr and exits with ExitCode(err).
+func Fail(tool string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	os.Exit(ExitCode(err))
+}

@@ -1,0 +1,38 @@
+package cli
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+)
+
+func TestExitCode(t *testing.T) {
+	if got := ExitCode(errors.New("boom")); got != ExitFailure {
+		t.Fatalf("runtime error exit = %d, want %d", got, ExitFailure)
+	}
+	if got := ExitCode(Usagef("need -dir")); got != ExitUsage {
+		t.Fatalf("usage error exit = %d, want %d", got, ExitUsage)
+	}
+	// The marker survives %w wrapping anywhere in the chain.
+	wrapped := fmt.Errorf("tool: %w", Usage(os.ErrNotExist))
+	if got := ExitCode(wrapped); got != ExitUsage {
+		t.Fatalf("wrapped usage error exit = %d, want %d", got, ExitUsage)
+	}
+	if !errors.Is(wrapped, os.ErrNotExist) {
+		t.Fatal("UsageError must not hide the underlying error from errors.Is")
+	}
+}
+
+func TestUsageNil(t *testing.T) {
+	if Usage(nil) != nil {
+		t.Fatal("Usage(nil) must stay nil")
+	}
+}
+
+func TestUsageErrorMessage(t *testing.T) {
+	err := Usagef("bad count %q", "x")
+	if err.Error() != `bad count "x"` {
+		t.Fatalf("message = %q", err.Error())
+	}
+}

@@ -106,6 +106,18 @@ func (q *Queue) Remove(ev *Event) bool {
 	return true
 }
 
+// Each calls fn for every pending event, in heap order. The order is
+// deterministic for a given operation history but otherwise unspecified;
+// callers needing time order must sort. fn must not push, remove or update
+// events — collect first, mutate after. The kernel's fault injector uses it
+// to find every live activity touching a failed resource (each one owns
+// exactly one pending completion event).
+func (q *Queue) Each(fn func(*Event)) {
+	for _, ev := range q.heap {
+		fn(ev)
+	}
+}
+
 // Recycle returns a fired or removed event to the queue's free list for
 // reuse by a later Push. The handle must not be used afterwards. Recycling
 // an event still pending in the queue is a no-op (the queue owns it).

@@ -263,3 +263,26 @@ func TestUpdateRandomisedAgainstRemovePush(t *testing.T) {
 		}
 	}
 }
+
+func TestEachVisitsEveryPendingEvent(t *testing.T) {
+	var q Queue
+	var evs []*Event
+	for i := 0; i < 10; i++ {
+		evs = append(evs, q.Push(float64(i), i))
+	}
+	q.Remove(evs[3])
+	q.Pop() // removes time 0
+	seen := make(map[int]bool)
+	q.Each(func(ev *Event) {
+		seen[ev.Payload.(int)] = true
+	})
+	if len(seen) != 8 {
+		t.Fatalf("Each visited %d events, want 8", len(seen))
+	}
+	for i := 0; i < 10; i++ {
+		want := i != 0 && i != 3
+		if seen[i] != want {
+			t.Errorf("payload %d visited=%v, want %v", i, seen[i], want)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -51,6 +52,19 @@ type Config struct {
 	// number of deployed processes. It must cover every rank and peer the
 	// replayed traces name.
 	WorldSize int
+	// Faults is the availability profile injected into the run; nil replays
+	// fault-free. Index clauses ("host:0") address the deployment's process
+	// slots in order. Without Ckpt the recovery policy is abort: fail-stops
+	// kill the affected ranks and Run returns a *FailedRanksError diagnosing
+	// the lost work.
+	Faults *platform.FaultSpec
+	// Ckpt switches the recovery policy to coordinated checkpoint/restart:
+	// the kernel simulates the fault-free schedule (degradation clauses
+	// still injected), and the checkpoint overhead plus the rewind waste of
+	// the spec's fail-stop clauses are applied analytically — exact because
+	// the replay is deterministic. The Result carries the waste breakdown
+	// in Resilience. Ckpt without Faults still pays the checkpoint writes.
+	Ckpt *Ckpt
 }
 
 func (c *Config) setDefaults() {
@@ -77,6 +91,10 @@ type Result struct {
 	Actions int64
 	// WallTime is the host time the simulation itself took (Figure 9).
 	WallTime time.Duration
+	// Resilience is the checkpoint/restart waste breakdown; non-nil exactly
+	// when Config.Ckpt was set, in which case SimulatedTime is its
+	// Effective makespan.
+	Resilience *Resilience
 }
 
 // Proc is the per-rank replayer context handed to action handlers.
@@ -316,6 +334,13 @@ type run struct {
 	world   *world
 	errs    []error
 	actions atomic.Int64
+
+	// rankActions[slot] counts the actions rank slot completed; failed[slot]
+	// records the fail-stop that killed it. Plain slices: the kernel
+	// schedules one rank at a time and k.Run establishes the happens-before
+	// with the caller.
+	rankActions []int64
+	failed      []*simx.FailedError
 }
 
 // Run replays one Source per rank on the platform: the engine of the whole
@@ -352,10 +377,34 @@ func Run(b *platform.Build, depl *platform.Deployment, cfg Config, sources []Sou
 		k.SetTracer(cfg.TimedTracer)
 	}
 
+	if err := cfg.Ckpt.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Faults != nil || cfg.Ckpt != nil {
+		// The availability profile's index clauses address the deployment's
+		// process slots; folded deployments may name a host several times
+		// (killing it once is idempotent).
+		hosts := make([]string, n)
+		for i, pd := range depl.Processes {
+			hosts[i] = pd.Host
+		}
+		cfg.Faults.InjectDegradations(k)
+		if cfg.Ckpt == nil {
+			// Abort policy: fail-stops play out in the kernel and kill ranks.
+			if err := cfg.Faults.InjectFailStops(k, hosts); err != nil {
+				return nil, err
+			}
+		}
+		// Under Ckpt the fail-stop clauses are consumed analytically after
+		// the fault-free run (see applyCkpt).
+	}
+
 	r := &run{
-		cfg:   cfg,
-		world: &world{k: k, n: worldN, stringMailboxes: cfg.StringMailboxes},
-		errs:  make([]error, n),
+		cfg:         cfg,
+		world:       &world{k: k, n: worldN, stringMailboxes: cfg.StringMailboxes},
+		errs:        make([]error, n),
+		rankActions: make([]int64, n),
+		failed:      make([]*simx.FailedError, n),
 	}
 	var taken map[int]bool
 	if cfg.Ranks != nil {
@@ -388,10 +437,41 @@ func Run(b *platform.Build, depl *platform.Deployment, cfg Config, sources []Sou
 			return nil, err
 		}
 	}
+	var lost []RankFailure
+	for slot, fe := range r.failed {
+		if fe == nil {
+			continue
+		}
+		rank := slot
+		if cfg.Ranks != nil {
+			rank = cfg.Ranks[slot]
+		}
+		lost = append(lost, RankFailure{Rank: rank, Host: depl.Processes[slot].Host,
+			Actions: r.rankActions[slot], At: fe.Time, Cause: fe.Error()})
+	}
+	if len(lost) > 0 {
+		sort.Slice(lost, func(i, j int) bool { return lost[i].Rank < lost[j].Rank })
+		// Survivors blocked on a rendezvous with a dead rank deadlock when
+		// the queue drains; that is the expected shape of an aborted run,
+		// not a stall.
+		if _, deadlock := runErr.(*simx.DeadlockError); runErr != nil && !deadlock {
+			return nil, fmt.Errorf("replay: simulation stalled: %w", runErr)
+		}
+		return nil, &FailedRanksError{Time: makespan, Ranks: lost}
+	}
 	if runErr != nil {
 		return nil, fmt.Errorf("replay: simulation stalled: %w", runErr)
 	}
-	return &Result{SimulatedTime: makespan, Actions: r.actions.Load(), WallTime: wall}, nil
+	res := &Result{SimulatedTime: makespan, Actions: r.actions.Load(), WallTime: wall}
+	if cfg.Ckpt != nil {
+		ra, err := applyCkpt(makespan, cfg.Ckpt, cfg.Faults.Arrivals(n))
+		if err != nil {
+			return nil, err
+		}
+		res.Resilience = ra
+		res.SimulatedTime = ra.Effective
+	}
+	return res, nil
 }
 
 // spawnRank creates the kernel process replaying one rank's source. slot is
@@ -413,6 +493,20 @@ func (r *run) spawnRank(k *simx.Kernel, fn string, host *simx.Host, slot, rank i
 		}
 	}
 	k.Spawn(fn, host, func(sp *simx.Proc) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if fe := simx.FailureOf(rec); fe != nil {
+				// A fail-stop killed the rank (its own host, or a peer's
+				// death propagated through a rendezvous): record the loss
+				// and die quietly — Run diagnoses it after the simulation.
+				r.failed[slot] = fe
+				return
+			}
+			panic(rec)
+		}()
 		p := &Proc{Sim: sp, Rank: rank, N: r.world.n, cfg: &r.cfg, world: r.world,
 			sendMb: sendMb, recvMb: recvMb}
 		for {
@@ -438,6 +532,7 @@ func (r *run) spawnRank(k *simx.Kernel, fn string, host *simx.Host, slot, rank i
 				return
 			}
 			r.actions.Add(1)
+			r.rankActions[slot]++
 		}
 	})
 }

@@ -56,6 +56,13 @@ type activity struct {
 	host  *Host   // compute only
 	links []*Link // route links (comm), cached for the solver
 
+	// srcHost/dstHost are the transfer endpoints and owner the proc behind a
+	// compute or sleep; the fault injector targets activities through them
+	// when a resource fail-stops.
+	srcHost *Host
+	dstHost *Host
+	owner   *Proc
+
 	ownerName string // proc that created it (compute, sleep)
 	srcName   string // comm: sending process
 	dstName   string // comm: receiving process
@@ -99,6 +106,7 @@ func (k *Kernel) startCompute(p *Proc, h *Host, flops float64) *activity {
 	a.lastUpdate = k.now
 	a.start = k.now
 	a.host = h
+	a.owner = p
 	a.ownerName = p.name
 	a.bwFactor = 1
 	k.settleHost(h)
@@ -125,6 +133,7 @@ func (k *Kernel) startSleep(p *Proc, seconds float64) *activity {
 	a.phase = phaseSleep
 	a.lastUpdate = k.now
 	a.start = k.now
+	a.owner = p
 	a.ownerName = p.name
 	a.bwFactor = 1
 	a.doneEv = k.queue.Push(k.now+seconds, a)
@@ -148,6 +157,8 @@ func (k *Kernel) startTransfer(src, dst *Host, srcName, dstName string, bytes fl
 	a.lastUpdate = k.now
 	a.start = k.now
 	a.links = route.Links
+	a.srcHost = src
+	a.dstHost = dst
 	a.srcName = srcName
 	a.dstName = dstName
 	a.bwFactor = bwF

@@ -102,6 +102,12 @@ type Kernel struct {
 
 	hosts map[string]*Host
 	links map[string]*Link
+	// hostList/linkList keep the declaration order: fault injection walks
+	// all hosts or links (e.g. a global bandwidth degradation) and must do
+	// so deterministically — map iteration order would leak into completion
+	// event tie-breaking.
+	hostList []*Host
+	linkList []*Link
 	// router resolves host-pair routes; the default is a dense-keyed
 	// TableRouter fed by AddRoute, platform layers may install computed
 	// routers (see Router).
@@ -159,6 +165,16 @@ type Kernel struct {
 	// communication handles.
 	actPool  []*activity
 	commPool []*Comm
+
+	// faultsActive is set once any fault is scheduled; the rendezvous path
+	// only pays the failed-resource checks when it is. doomed is the scratch
+	// list of activities collected for killing on a fail-stop, and
+	// pendingTimers counts scheduled callbacks still in the queue so Run can
+	// tell "only fault timers left" from real pending work (a fault scheduled
+	// past the natural end of the simulation must not extend the makespan).
+	faultsActive  bool
+	doomed        []*activity
+	pendingTimers int
 
 	// DefaultLoopback is used for communications between two processes on
 	// the same host (e.g. folded acquisitions); it is modelled as a private
@@ -238,6 +254,13 @@ func (k *Kernel) Run() (float64, error) {
 				return k.now, k.procPanic
 			}
 		}
+		if k.living == 0 && k.pendingTimers == k.queue.Len() {
+			// Every process is done and the queue holds nothing but scheduled
+			// fault callbacks (every live activity owns a pending non-timer
+			// event): firing them could only advance the clock past the real
+			// makespan, with no process left to observe the fault.
+			break
+		}
 		ev := k.queue.Pop()
 		if ev == nil {
 			break
@@ -263,10 +286,16 @@ func (k *Kernel) Run() (float64, error) {
 	return k.now, nil
 }
 
-// handleEvent dispatches a fired event to the owning activity.
+// handleEvent dispatches a fired event to the owning activity, or runs a
+// scheduled kernel callback (fault injection).
 func (k *Kernel) handleEvent(ev *eventq.Event) {
 	a, ok := ev.Payload.(*activity)
 	if !ok {
+		if te, ok := ev.Payload.(*timerEvent); ok {
+			k.pendingTimers--
+			te.fn()
+			return
+		}
 		panic("simx: unknown event payload")
 	}
 	a.doneEv = nil // the fired event is the activity's completion event

@@ -36,6 +36,7 @@ type Mailbox struct {
 type Comm struct {
 	act     *activity // non-nil only while matched and in flight
 	done    bool
+	failed  *FailedError // non-nil when a fail-stop killed the communication
 	payload any
 	bytes   float64
 	src     string
@@ -62,6 +63,11 @@ func (c *Comm) Src() string { return c.src }
 
 // Dst returns the name of the receiving process (empty until matched).
 func (c *Comm) Dst() string { return c.dst }
+
+// Failed returns the fail-stop error that killed the communication, or nil.
+// A failed comm reports Done() true; waiting on it raises the failure in the
+// waiting process (recoverable via FailureOf).
+func (c *Comm) Failed() *FailedError { return c.failed }
 
 func (c *Comm) matched() bool { return c.done || c.act != nil }
 
@@ -170,8 +176,17 @@ func (k *Kernel) postRecv(p *Proc, mb *Mailbox) *Comm {
 }
 
 // match joins a send handle and a receive handle: the transfer activity
-// starts now, between the posters' hosts.
+// starts now, between the posters' hosts. When faults are active and an
+// endpoint host or a route link has fail-stopped, the rendezvous fails
+// instead: both handles complete with the failure attached, so a surviving
+// peer observes its partner's death rather than blocking forever.
 func (k *Kernel) match(sc, rc *Comm) {
+	if k.faultsActive {
+		if err := k.routeFailure(sc.proc.host, rc.proc.host); err != nil {
+			k.failMatch(sc, rc, err)
+			return
+		}
+	}
 	act := k.startTransfer(sc.proc.host, rc.proc.host, sc.proc.name, rc.proc.name, sc.bytes)
 	sc.act = act
 	rc.act = act

@@ -29,6 +29,13 @@ type Proc struct {
 	blockComm *Comm   // set for blockComm / blockMatch
 	blockVol  float64 // flops or seconds for blockCompute / blockSleep
 
+	// failed is sticky: set when the process's own host fail-stops, so every
+	// later simulation call dies with the failure. opFailed delivers a
+	// single operation's failure (e.g. the peer's host died mid-transfer) at
+	// wake-up; it is consumed by the next return from block.
+	failed   *FailedError
+	opFailed *FailedError
+
 	resume chan struct{} // kernel -> process handoff
 	yield  chan struct{} // process -> kernel handoff
 
@@ -59,6 +66,13 @@ func (k *Kernel) Spawn(name string, host *Host, body func(*Proc)) *Proc {
 		func() {
 			defer func() {
 				if r := recover(); r != nil {
+					if _, killed := r.(killSignal); killed {
+						// A fail-stop kill unwinding the body is a normal
+						// death, not a bug: the process is gone, the
+						// simulation carries on. Bodies that want to record
+						// the failure recover it themselves via FailureOf.
+						return
+					}
 					// Surface the panic as a Run error instead of killing
 					// the whole program; the kernel aborts the simulation.
 					if p.k.procPanic == nil {
@@ -100,13 +114,22 @@ const (
 )
 
 // block suspends the calling process until the kernel wakes it. Must be
-// called from the process goroutine.
+// called from the process goroutine. A wake-up caused by a fail-stop raises
+// the kill signal instead of returning: the blocked operation can never
+// complete, so the process unwinds (see FailureOf).
 func (p *Proc) block(kind blockKind) {
 	p.state = stateBlocked
 	p.blockKind = kind
 	p.k.blocked++
 	p.yield <- struct{}{}
 	<-p.resume
+	if p.failed != nil {
+		panic(killSignal{p.failed})
+	}
+	if e := p.opFailed; e != nil {
+		p.opFailed = nil
+		panic(killSignal{e})
+	}
 }
 
 // blockReason renders the block diagnostics; only called when building a
@@ -142,6 +165,7 @@ func (p *Proc) Kernel() *Kernel { return p.k }
 // process's host, blocking until it completes. Concurrent bursts on the same
 // host share its power fairly.
 func (p *Proc) Execute(flops float64) {
+	p.ensureAlive()
 	a := p.k.startCompute(p, p.host, flops)
 	a.waiters = append(a.waiters, p)
 	p.blockVol = flops
@@ -150,6 +174,7 @@ func (p *Proc) Execute(flops float64) {
 
 // Sleep suspends the process for the given simulated duration.
 func (p *Proc) Sleep(seconds float64) {
+	p.ensureAlive()
 	a := p.k.startSleep(p, seconds)
 	a.waiters = append(a.waiters, p)
 	p.blockVol = seconds
@@ -166,6 +191,7 @@ func (p *Proc) Send(mailbox string, bytes float64, payload any) {
 // SendID is Send addressing an interned mailbox; the replay hot path uses it
 // to skip name formatting and hashing on every rendezvous.
 func (p *Proc) SendID(mailbox MailboxID, bytes float64, payload any) {
+	p.ensureAlive()
 	c := p.k.post(p, p.k.mailboxAt(mailbox), bytes, payload, false)
 	p.WaitComm(c)
 	// The handle was never exposed: back to the pool.
@@ -180,6 +206,7 @@ func (p *Proc) ISend(mailbox string, bytes float64, payload any) *Comm {
 
 // ISendID is ISend addressing an interned mailbox.
 func (p *Proc) ISendID(mailbox MailboxID, bytes float64, payload any) *Comm {
+	p.ensureAlive()
 	return p.k.post(p, p.k.mailboxAt(mailbox), bytes, payload, false)
 }
 
@@ -191,6 +218,7 @@ func (p *Proc) ISendDetached(mailbox string, bytes float64, payload any) {
 
 // ISendDetachedID is ISendDetached addressing an interned mailbox.
 func (p *Proc) ISendDetachedID(mailbox MailboxID, bytes float64, payload any) {
+	p.ensureAlive()
 	p.k.post(p, p.k.mailboxAt(mailbox), bytes, payload, true)
 }
 
@@ -202,6 +230,7 @@ func (p *Proc) Recv(mailbox string) any {
 
 // RecvID is Recv addressing an interned mailbox.
 func (p *Proc) RecvID(mailbox MailboxID) any {
+	p.ensureAlive()
 	c := p.k.postRecv(p, p.k.mailboxAt(mailbox))
 	p.WaitComm(c)
 	payload := c.payload
@@ -216,6 +245,7 @@ func (p *Proc) IRecv(mailbox string) *Comm {
 
 // IRecvID is IRecv addressing an interned mailbox.
 func (p *Proc) IRecvID(mailbox MailboxID) *Comm {
+	p.ensureAlive()
 	return p.k.postRecv(p, p.k.mailboxAt(mailbox))
 }
 
@@ -236,6 +266,7 @@ func (p *Proc) WaitComm(c *Comm) {
 	if c == nil {
 		panic("simx: WaitComm(nil)")
 	}
+	p.ensureAlive()
 	for !c.matched() {
 		// The comm has no activity yet: the peer has not posted. Block on
 		// the request itself; the mailbox wakes us at match time, then we
@@ -245,6 +276,9 @@ func (p *Proc) WaitComm(c *Comm) {
 		p.block(blockMatch)
 	}
 	if c.done {
+		if c.failed != nil {
+			panic(killSignal{c.failed})
+		}
 		return
 	}
 	c.act.waiters = append(c.act.waiters, p)

@@ -12,6 +12,11 @@ type Host struct {
 	Speed float64 // flop/s per core
 	Cores int
 
+	// off marks a fail-stopped host (see Kernel.FailHostAt): its running
+	// activities were killed and any later operation touching it fails with
+	// a *FailedError.
+	off bool
+
 	// id is the host's dense kernel-assigned index (declaration order);
 	// routers key pair lookups and attachment tables off it, so route
 	// resolution never touches the host name.
@@ -53,6 +58,11 @@ type Link struct {
 	Bandwidth float64
 	Latency   float64
 	Sharing   Sharing
+
+	// off marks a fail-stopped link (see Kernel.FailRouteAt): flows crossing
+	// it were killed and any later transfer routed over it fails with a
+	// *FailedError.
+	off bool
 
 	// index assigned by the max-min solver for fast lookups.
 	idx int
@@ -168,6 +178,7 @@ func (k *Kernel) AddHost(name string, speed float64, cores int) *Host {
 	}
 	h.loopRt = &Route{Links: []*Link{h.loop}, Latency: h.loop.Latency}
 	k.hosts[name] = h
+	k.hostList = append(k.hostList, h)
 	return h
 }
 
@@ -184,6 +195,7 @@ func (k *Kernel) AddLink(name string, bandwidth, latency float64) *Link {
 	}
 	l := &Link{Name: name, Bandwidth: bandwidth, Latency: latency}
 	k.links[name] = l
+	k.linkList = append(k.linkList, l)
 	return l
 }
 

@@ -28,6 +28,9 @@ type Config struct {
 	Traces *TraceSet
 	// Model is the MPI communication model; nil means smpi.Default().
 	Model *smpi.Model
+	// Registry binds action keywords to handlers for every scenario replay;
+	// nil means replay.Default(). It is shared read-only between workers.
+	Registry *replay.Registry
 	// EagerThreshold is forwarded to every replay (see replay.Config).
 	EagerThreshold float64
 	// Workers bounds the pool replaying scenarios concurrently; <= 0 means
@@ -70,6 +73,9 @@ type ScenarioResult struct {
 	// Profile holds the per-process profile rows when Config.Profile is
 	// set, sorted by process name.
 	Profile []*replay.ProcProfile `json:"profile,omitempty"`
+	// Resilience is the checkpoint/restart waste accounting of the
+	// scenario; non-nil exactly when the scenario sets a Ckpt protocol.
+	Resilience *replay.Resilience `json:"resilience,omitempty"`
 	// Err reports a failed or cancelled scenario; the zero value means
 	// success.
 	Err string `json:"err,omitempty"`
@@ -175,7 +181,11 @@ func Run(ctx context.Context, cfg *Config) (*Result, error) {
 		}
 		depls[si] = d
 		parts := []part{wholePart(n)}
-		if cfg.Partition && sc.Topo == nil {
+		// A faulted or checkpointed scenario always replays whole: fault
+		// host indices address the full deployment and the waste algebra
+		// applies to the global makespan, neither of which survives a
+		// split across kernels.
+		if cfg.Partition && sc.Topo == nil && sc.Fault == nil && sc.Ckpt == nil {
 			parts = partition(graph, hostComp, d.Processes)
 		}
 		for pi, p := range parts {
@@ -208,7 +218,7 @@ func Run(ctx context.Context, cfg *Config) (*Result, error) {
 			defer wg.Done()
 			for ti := range jobs {
 				t := tasks[ti]
-				outs[t.si][t.pi] = runTask(cfg, model, scenarios[t.si], depls[t.si], t.part)
+				outs[t.si][t.pi] = safeRunTask(cfg, model, scenarios[t.si], depls[t.si], t.part)
 				if remaining[t.si].Add(-1) == 0 {
 					results[t.si] = mergeScenario(cfg, scenarios[t.si], outs[t.si])
 					if cfg.OnResult != nil {
@@ -254,6 +264,21 @@ func scenarioDeployment(hosts []string, sc Scenario, n int) (*platform.Deploymen
 	return platform.RoundRobin(use, n, fold)
 }
 
+// safeRunTask shields the worker pool from a crashing scenario: a panic
+// anywhere in one component's replay — a custom handler bug, a pathological
+// trace, a kernel invariant violation — becomes that scenario's error
+// instead of taking down the whole sweep, so sibling scenarios complete and
+// their results are still flushed.
+func safeRunTask(cfg *Config, model *smpi.Model, sc Scenario, depl *platform.Deployment, p part) (out partOut) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = partOut{err: fmt.Errorf("sweep: scenario %d (%s) panicked: %v",
+				sc.Index, sc.Name(), r)}
+		}
+	}()
+	return runTask(cfg, model, sc, depl, p)
+}
+
 // runTask replays one scenario component on its own kernel. Every mutable
 // structure — the scaled description, the instantiated kernel with its
 // pools and interning tables, the sources, the tracers — is created here
@@ -283,8 +308,9 @@ func runTask(cfg *Config, model *smpi.Model, sc Scenario, depl *platform.Deploym
 
 	n := len(depl.Processes)
 	sub := depl
-	rcfg := replay.Config{Model: model, EagerThreshold: cfg.EagerThreshold, WorldSize: n,
-		Collectives: sc.Coll}
+	rcfg := replay.Config{Model: model, Registry: cfg.Registry,
+		EagerThreshold: cfg.EagerThreshold, WorldSize: n,
+		Collectives: sc.Coll, Faults: sc.Fault, Ckpt: sc.Ckpt}
 	if len(p.ranks) != n {
 		sub = &platform.Deployment{Version: depl.Version}
 		for _, r := range p.ranks {
@@ -339,6 +365,11 @@ func mergeScenario(cfg *Config, sc Scenario, parts []partOut) ScenarioResult {
 		}
 		if p.res.SimulatedTime > out.SimulatedTime {
 			out.SimulatedTime = p.res.SimulatedTime
+		}
+		if p.res.Resilience != nil {
+			// Checkpointed scenarios always replay whole (one part), so
+			// this assigns at most once.
+			out.Resilience = p.res.Resilience
 		}
 		out.Actions += p.res.Actions
 		out.Wall += p.res.WallTime

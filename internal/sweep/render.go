@@ -23,8 +23,22 @@ func (r *Result) WriteJSON(w io.Writer) error {
 // cancelled there is no baseline, and the speedup column prints "-" rather
 // than silently re-basing on some other scenario.
 func (r *Result) RenderTable(w io.Writer) {
-	fmt.Fprintf(w, "%-40s | %12s | %8s | %5s | %8s\n",
+	// Resilience columns only appear when some scenario carries a
+	// checkpoint/restart accounting, so fault-free sweeps render unchanged.
+	resilient := false
+	for i := range r.Scenarios {
+		if r.Scenarios[i].Resilience != nil {
+			resilient = true
+			break
+		}
+	}
+	fmt.Fprintf(w, "%-40s | %12s | %8s | %5s | %8s",
 		"scenario", "predicted", "speedup", "parts", "actions")
+	if resilient {
+		fmt.Fprintf(w, " | %12s | %10s | %10s | %5s",
+			"fault-free", "wasted", "recomputed", "fails")
+	}
+	fmt.Fprintln(w)
 	var baseline float64
 	if len(r.Scenarios) > 0 && r.Scenarios[0].Err == "" {
 		baseline = r.Scenarios[0].SimulatedTime
@@ -39,7 +53,17 @@ func (r *Result) RenderTable(w io.Writer) {
 		if s.SimulatedTime > 0 && baseline > 0 {
 			speedup = fmt.Sprintf("%7.2fx", baseline/s.SimulatedTime)
 		}
-		fmt.Fprintf(w, "%-40s | %12s | %8s | %5d | %8d\n",
+		fmt.Fprintf(w, "%-40s | %12s | %8s | %5d | %8d",
 			s.Name, units.FormatSeconds(s.SimulatedTime), speedup, s.Components, s.Actions)
+		if resilient {
+			if res := s.Resilience; res != nil {
+				fmt.Fprintf(w, " | %12s | %10s | %10s | %5d",
+					units.FormatSeconds(res.FaultFree), units.FormatSeconds(res.Wasted),
+					units.FormatSeconds(res.Recomputed), res.Failures)
+			} else {
+				fmt.Fprintf(w, " | %12s | %10s | %10s | %5s", "-", "-", "-", "-")
+			}
+		}
+		fmt.Fprintln(w)
 	}
 }

@@ -22,6 +22,7 @@ import (
 
 	"tireplay/internal/coll"
 	"tireplay/internal/platform"
+	"tireplay/internal/replay"
 )
 
 // Grid spans the scenario space as a cross product of its axes. Empty axes
@@ -50,6 +51,16 @@ type Grid struct {
 	// architectures. The scale axes above compose with it (they multiply
 	// the generator's base quantities).
 	Topo []platform.TopoSpec
+	// Faults are availability profiles (see platform.ParseFaultSpec): each
+	// entry replays the trace with those fail-stop faults and degradation
+	// windows injected. A nil entry is the fault-free cell. Fault host
+	// indices address the scenario deployment's process slots.
+	Faults []*platform.FaultSpec
+	// Ckpt are checkpoint/restart protocols (see replay.ParseCkpt) crossed
+	// with the fault axis: a nil entry replays faulted cells under the
+	// abort policy (lost ranks reported as the scenario error), a non-nil
+	// one rides through failures and reports the waste accounting.
+	Ckpt []*replay.Ckpt
 }
 
 func orFloats(v []float64) []float64 {
@@ -87,11 +98,29 @@ func orTopos(v []platform.TopoSpec) []*platform.TopoSpec {
 	return out
 }
 
+// orFaults returns the fault axis, nil standing for the fault-free cell
+// when the axis is empty.
+func orFaults(v []*platform.FaultSpec) []*platform.FaultSpec {
+	if len(v) == 0 {
+		return []*platform.FaultSpec{nil}
+	}
+	return v
+}
+
+// orCkpts returns the checkpoint axis, nil standing for the abort policy.
+func orCkpts(v []*replay.Ckpt) []*replay.Ckpt {
+	if len(v) == 0 {
+		return []*replay.Ckpt{nil}
+	}
+	return v
+}
+
 // Size returns the number of scenarios the grid expands to.
 func (g Grid) Size() int {
 	return len(orFloats(g.LatencyScale)) * len(orFloats(g.BandwidthScale)) *
 		len(orFloats(g.PowerScale)) * len(orInts(g.Fold, 1)) * len(orInts(g.Hosts, 0)) *
-		len(orColl(g.Coll)) * len(orTopos(g.Topo))
+		len(orColl(g.Coll)) * len(orTopos(g.Topo)) *
+		len(orFaults(g.Faults)) * len(orCkpts(g.Ckpt))
 }
 
 // Scenario is one fully instantiated cell of the grid.
@@ -111,6 +140,12 @@ type Scenario struct {
 	// Topo, when non-nil, replaces the base platform with a generated
 	// topology; it marshals as the -topo spec string.
 	Topo *platform.TopoSpec `json:"topo,omitempty"`
+	// Fault, when non-nil, is the availability profile injected into this
+	// cell's replay; it marshals as the -fault spec string.
+	Fault *platform.FaultSpec `json:"fault,omitempty"`
+	// Ckpt, when non-nil, is the checkpoint/restart protocol of this cell;
+	// it marshals as the -ckpt spec string.
+	Ckpt *replay.Ckpt `json:"ckpt,omitempty"`
 }
 
 // Name renders a compact scenario label, e.g. "lat=0.5 bw=2 pow=1 fold=2".
@@ -127,6 +162,12 @@ func (s Scenario) Name() string {
 	if s.Topo != nil {
 		fmt.Fprintf(&b, " topo=%s", s.Topo)
 	}
+	if s.Fault != nil {
+		fmt.Fprintf(&b, " fault=%s", s.Fault)
+	}
+	if s.Ckpt != nil {
+		fmt.Fprintf(&b, " ckpt=%s", s.Ckpt)
+	}
 	return b.String()
 }
 
@@ -135,8 +176,8 @@ func trimFloat(f float64) string {
 }
 
 // Expand lists the grid's scenarios in deterministic nested-axis order
-// (topologies outermost, then collectives, hosts, fold, power, bandwidth,
-// latency innermost).
+// (checkpoint protocols outermost, then faults, topologies, collectives,
+// hosts, fold, power, bandwidth, latency innermost).
 func (g Grid) Expand() []Scenario {
 	lats := orFloats(g.LatencyScale)
 	bws := orFloats(g.BandwidthScale)
@@ -145,24 +186,32 @@ func (g Grid) Expand() []Scenario {
 	hosts := orInts(g.Hosts, 0)
 	colls := orColl(g.Coll)
 	topos := orTopos(g.Topo)
+	faults := orFaults(g.Faults)
+	ckpts := orCkpts(g.Ckpt)
 	out := make([]Scenario, 0, g.Size())
-	for _, tp := range topos {
-		for _, cc := range colls {
-			for _, h := range hosts {
-				for _, f := range folds {
-					for _, p := range pows {
-						for _, bw := range bws {
-							for _, lat := range lats {
-								out = append(out, Scenario{
-									Index:          len(out),
-									LatencyScale:   lat,
-									BandwidthScale: bw,
-									PowerScale:     p,
-									Fold:           f,
-									Hosts:          h,
-									Coll:           cc,
-									Topo:           tp,
-								})
+	for _, ck := range ckpts {
+		for _, fs := range faults {
+			for _, tp := range topos {
+				for _, cc := range colls {
+					for _, h := range hosts {
+						for _, f := range folds {
+							for _, p := range pows {
+								for _, bw := range bws {
+									for _, lat := range lats {
+										out = append(out, Scenario{
+											Index:          len(out),
+											LatencyScale:   lat,
+											BandwidthScale: bw,
+											PowerScale:     p,
+											Fold:           f,
+											Hosts:          h,
+											Coll:           cc,
+											Topo:           tp,
+											Fault:          fs,
+											Ckpt:           ck,
+										})
+									}
+								}
 							}
 						}
 					}
@@ -233,6 +282,50 @@ func ParseTopoList(s string) ([]platform.TopoSpec, error) {
 			return nil, fmt.Errorf("sweep: %w", err)
 		}
 		out = append(out, spec)
+	}
+	return out, nil
+}
+
+// ParseFaultList parses tisweep's -fault axis: semicolon-separated fault
+// specs, each in the platform.ParseFaultSpec syntax
+// ("none;host:1@5;hosts:25%@10,mtbf:3600"). "none" entries are kept as the
+// fault-free cell, so the axis can compare faulted against clean runs.
+func ParseFaultList(s string) ([]*platform.FaultSpec, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []*platform.FaultSpec
+	for _, part := range strings.Split(s, ";") {
+		if strings.TrimSpace(part) == "" {
+			continue
+		}
+		fs, err := platform.ParseFaultSpec(part)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+		out = append(out, fs)
+	}
+	return out, nil
+}
+
+// ParseCkptList parses tisweep's -ckpt axis: semicolon-separated
+// checkpoint/restart specs, each in the replay.ParseCkpt syntax
+// ("none;30/5;60/5/10/30"). "none" entries are kept as the no-protocol
+// (abort policy) cell.
+func ParseCkptList(s string) ([]*replay.Ckpt, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []*replay.Ckpt
+	for _, part := range strings.Split(s, ";") {
+		if strings.TrimSpace(part) == "" {
+			continue
+		}
+		ck, err := replay.ParseCkpt(part)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+		out = append(out, ck)
 	}
 	return out, nil
 }

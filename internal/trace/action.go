@@ -25,6 +25,7 @@ package trace
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -148,6 +149,16 @@ type Action struct {
 	HasVolume bool
 }
 
+// usableVolume reports whether v can serve as a volume. NaN, ±Inf and
+// negative values would all poison the replay's resource arithmetic (a NaN
+// compute burst never completes, an infinite message size deadlocks the
+// sharing solver), so Validate rejects them at the codec boundary — on both
+// the text and binary paths, reading and writing alike. The comparison
+// rejects NaN without an explicit IsNaN call: NaN >= 0 is false.
+func usableVolume(v float64) bool {
+	return v >= 0 && v <= math.MaxFloat64
+}
+
 // Validate checks structural invariants of the action.
 func (a Action) Validate() error {
 	if a.Proc < 0 {
@@ -155,31 +166,34 @@ func (a Action) Validate() error {
 	}
 	switch a.Type {
 	case Compute:
-		if a.Volume < 0 {
-			return fmt.Errorf("trace: negative compute volume %g", a.Volume)
+		if !usableVolume(a.Volume) {
+			return fmt.Errorf("trace: bad compute volume %g (want finite >= 0)", a.Volume)
 		}
 	case Send, Isend:
 		if a.Peer < 0 {
 			return fmt.Errorf("trace: %s without destination", a.Type)
 		}
-		if a.Volume < 0 {
-			return fmt.Errorf("trace: negative message size %g", a.Volume)
+		if !usableVolume(a.Volume) {
+			return fmt.Errorf("trace: bad message size %g (want finite >= 0)", a.Volume)
 		}
 	case Recv, Irecv:
 		if a.Peer < 0 {
 			return fmt.Errorf("trace: %s without source", a.Type)
 		}
+		if a.HasVolume && !usableVolume(a.Volume) {
+			return fmt.Errorf("trace: bad %s volume %g (want finite >= 0)", a.Type, a.Volume)
+		}
 	case Bcast, Gather, AllGather, AllToAll, Scatter:
-		if a.Volume < 0 {
-			return fmt.Errorf("trace: negative %s size %g", a.Type, a.Volume)
+		if !usableVolume(a.Volume) {
+			return fmt.Errorf("trace: bad %s size %g (want finite >= 0)", a.Type, a.Volume)
 		}
 	case Reduce, AllReduce:
-		if a.Volume < 0 || a.Volume2 < 0 {
-			return fmt.Errorf("trace: negative %s volumes (%g, %g)", a.Type, a.Volume, a.Volume2)
+		if !usableVolume(a.Volume) || !usableVolume(a.Volume2) {
+			return fmt.Errorf("trace: bad %s volumes (%g, %g) (want finite >= 0)", a.Type, a.Volume, a.Volume2)
 		}
 	case CommSize:
-		if a.Volume < 1 {
-			return fmt.Errorf("trace: comm_size %g < 1", a.Volume)
+		if !(a.Volume >= 1) || a.Volume > math.MaxFloat64 {
+			return fmt.Errorf("trace: bad comm_size %g (want finite >= 1)", a.Volume)
 		}
 	case Barrier, Wait, WaitAll:
 		// No payload.

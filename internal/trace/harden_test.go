@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestValidateRejectsNonFiniteVolumes pins the hardened Validate: NaN,
+// ±Inf and negative volumes are refused for every action shape that
+// carries one, including the explicit receive volume that used to slip
+// through unchecked.
+func TestValidateRejectsNonFiniteVolumes(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	bad := []Action{
+		{Proc: 0, Type: Compute, Peer: -1, Volume: nan},
+		{Proc: 0, Type: Compute, Peer: -1, Volume: inf},
+		{Proc: 0, Type: Compute, Peer: -1, Volume: -1},
+		{Proc: 0, Type: Send, Peer: 1, Volume: nan},
+		{Proc: 0, Type: Isend, Peer: 1, Volume: inf},
+		{Proc: 0, Type: Recv, Peer: 1, Volume: nan, HasVolume: true},
+		{Proc: 0, Type: Irecv, Peer: 1, Volume: -2, HasVolume: true},
+		{Proc: 0, Type: Bcast, Peer: -1, Volume: inf},
+		{Proc: 0, Type: Gather, Peer: -1, Volume: nan},
+		{Proc: 0, Type: Reduce, Peer: -1, Volume: 1, Volume2: nan},
+		{Proc: 0, Type: AllReduce, Peer: -1, Volume: inf, Volume2: 1},
+		{Proc: 0, Type: CommSize, Peer: -1, Volume: nan},
+		{Proc: 0, Type: CommSize, Peer: -1, Volume: inf},
+	}
+	for _, a := range bad {
+		if err := a.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", a)
+		}
+	}
+	// An omitted receive volume stays legal whatever garbage the zeroed
+	// field holds semantically — HasVolume is the gate.
+	ok := Action{Proc: 0, Type: Recv, Peer: 1}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("Validate rejected volume-less recv: %v", err)
+	}
+}
+
+// TestTextPathRejectsNonFiniteWithLineNumber drives the non-finite
+// rejection through the text codec: strconv parses "NaN" happily, so the
+// validation layer must catch it — and the scanner must say which line.
+func TestTextPathRejectsNonFiniteWithLineNumber(t *testing.T) {
+	for _, line := range []string{
+		"p0 compute NaN",
+		"p0 send p1 Inf",
+		"p0 Irecv p1 NaN",
+		"p0 reduce 1 NaN",
+		"p0 comm_size Inf",
+	} {
+		if a, ok, err := ParseLine(line); err == nil {
+			t.Errorf("ParseLine(%q) = %+v, ok=%v, want error", line, a, ok)
+		}
+	}
+	s := NewScanner(strings.NewReader("p0 compute 1e6\np0 compute NaN\n"))
+	for s.Scan() {
+	}
+	if err := s.Err(); err == nil || !strings.Contains(err.Error(), "line 2:") {
+		t.Fatalf("scanner error = %v, want a line-2 diagnosis", err)
+	}
+}
+
+// TestBinaryPathRejectsNonFiniteWithRecordNumber crafts binary streams the
+// hardened writer refuses to produce and checks the cursor rejects them
+// with a record position, mirroring the text scanner's line numbers.
+func TestBinaryPathRejectsNonFiniteWithRecordNumber(t *testing.T) {
+	record := func(v float64) []byte {
+		b := []byte{byte(Compute), 0x00}
+		return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	stream := append([]byte(binaryMagic), binaryVersion)
+	stream = append(stream, record(1e6)...)
+	stream = append(stream, record(2e6)...)
+	stream = append(stream, record(math.NaN())...)
+
+	if _, err := DecodeBinaryBytes(stream); err == nil ||
+		!strings.Contains(err.Error(), "record 3:") {
+		t.Fatalf("DecodeBinaryBytes error = %v, want a record-3 diagnosis", err)
+	}
+
+	// A truncated stream is positioned too.
+	if _, err := DecodeBinaryBytes(stream[:len(stream)-4]); err == nil ||
+		!strings.Contains(err.Error(), "record 3:") {
+		t.Fatalf("truncated stream error = %v, want a record-3 diagnosis", err)
+	}
+
+	// The writer side refuses to emit the poison in the first place.
+	var buf bytes.Buffer
+	bw := NewBinaryWriter(&buf)
+	if err := bw.Write(Action{Proc: 0, Type: Compute, Peer: -1, Volume: math.NaN()}); err == nil {
+		t.Fatal("BinaryWriter.Write accepted a NaN volume")
+	}
+	if err := bw.Write(Action{Proc: 0, Type: Irecv, Peer: 1, Volume: math.Inf(1), HasVolume: true}); err == nil {
+		t.Fatal("BinaryWriter.Write accepted an infinite receive volume")
+	}
+}

@@ -83,6 +83,9 @@ func readWholeFile(path string) ([]byte, func() error, error) {
 type BinaryCursor struct {
 	data []byte
 	off  int
+	// rec counts decoded records so errors carry a position, the binary
+	// analogue of the text scanner's line numbers.
+	rec int
 }
 
 // NewBinaryCursor validates the binary header of data and returns a cursor
@@ -121,38 +124,45 @@ func (c *BinaryCursor) float() (float64, error) {
 	return v, nil
 }
 
+// fail positions a record-decoding error: "record N: ...", counting records
+// from 1 — the binary counterpart of the text scanner's "line N:" wrapping.
+func (c *BinaryCursor) fail(err error) (Action, bool, error) {
+	return Action{}, false, fmt.Errorf("record %d: %w", c.rec, err)
+}
+
 // Next decodes the next record. It returns ok=false with a nil error at the
 // end of the stream.
 func (c *BinaryCursor) Next() (a Action, ok bool, err error) {
 	if c.off >= len(c.data) {
 		return Action{}, false, nil
 	}
+	c.rec++
 	tb := c.data[c.off]
 	c.off++
 	noVol := tb&flagNoVolume != 0
 	typ := ActionType(tb &^ flagNoVolume)
 	if int(typ) >= numActionTypes {
-		return Action{}, false, fmt.Errorf("trace: bad binary action type %d", typ)
+		return c.fail(fmt.Errorf("trace: bad binary action type %d", typ))
 	}
 	proc, err := c.uvarint()
 	if err != nil {
-		return Action{}, false, fmt.Errorf("trace: binary rank: %w", err)
+		return c.fail(err)
 	}
 	a = Action{Proc: int(proc), Type: typ, Peer: -1}
 	switch typ {
 	case Compute, Bcast, CommSize, Gather, AllGather, AllToAll, Scatter:
 		if a.Volume, err = c.float(); err != nil {
-			return Action{}, false, err
+			return c.fail(err)
 		}
 	case Send, Isend, Recv, Irecv:
 		peer, err := c.uvarint()
 		if err != nil {
-			return Action{}, false, err
+			return c.fail(err)
 		}
 		a.Peer = int(peer)
 		if typ == Send || typ == Isend || !noVol {
 			if a.Volume, err = c.float(); err != nil {
-				return Action{}, false, err
+				return c.fail(err)
 			}
 			if typ == Recv || typ == Irecv {
 				a.HasVolume = true
@@ -160,15 +170,15 @@ func (c *BinaryCursor) Next() (a Action, ok bool, err error) {
 		}
 	case Reduce, AllReduce:
 		if a.Volume, err = c.float(); err != nil {
-			return Action{}, false, err
+			return c.fail(err)
 		}
 		if a.Volume2, err = c.float(); err != nil {
-			return Action{}, false, err
+			return c.fail(err)
 		}
 	case Barrier, Wait, WaitAll:
 	}
 	if err := a.Validate(); err != nil {
-		return Action{}, false, err
+		return c.fail(err)
 	}
 	return a, true, nil
 }
