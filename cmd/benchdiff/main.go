@@ -251,12 +251,15 @@ func parseFloors(s string) ([]floorSpec, error) {
 	for _, part := range strings.Split(s, ",") {
 		part = strings.TrimSpace(part)
 		name, rest, ok := strings.Cut(part, ":")
-		if !ok {
+		if !ok || name == "" {
 			return nil, fmt.Errorf("bad -floor entry %q (want Name:metric=min)", part)
 		}
 		metric, minStr, ok := strings.Cut(rest, "=")
-		if !ok {
+		if !ok || metric == "" {
 			return nil, fmt.Errorf("bad -floor entry %q (want Name:metric=min)", part)
+		}
+		if strings.Contains(minStr, "=") {
+			return nil, fmt.Errorf("bad -floor entry %q: more than one %q (want Name:metric=min)", part, "=")
 		}
 		min, err := strconv.ParseFloat(minStr, 64)
 		if err != nil {

@@ -255,3 +255,32 @@ BenchmarkPlain   200   42.5 ns/op
 		t.Fatalf("plain = %+v", runs["BenchmarkPlain"])
 	}
 }
+
+func TestParseFloorsRejectsMalformedSpecs(t *testing.T) {
+	// Every malformed shape must be a hard usage error: a silently dropped
+	// or misparsed floor would let a perf regression through CI unchecked.
+	cases := []struct {
+		spec string
+		ok   bool
+	}{
+		{"", true},
+		{"BenchmarkX:speedup=3", true},
+		{"BenchmarkX:speedup=3,BenchmarkY:ratio=2.5", true},
+		{" BenchmarkX:speedup=3 ", true},
+		{"garbage", false},                 // no colon
+		{":speedup=3", false},              // empty benchmark name
+		{"BenchmarkX:=3", false},           // empty metric name
+		{"BenchmarkX:speedup", false},      // no minimum
+		{"BenchmarkX:speedup=1=2", false},  // doubled '='
+		{"BenchmarkX:speedup=fast", false}, // non-numeric minimum
+	}
+	for _, tc := range cases {
+		floors, err := parseFloors(tc.spec)
+		if tc.ok && err != nil {
+			t.Errorf("parseFloors(%q) = %v, want success", tc.spec, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("parseFloors(%q) accepted as %+v, want error", tc.spec, floors)
+		}
+	}
+}

@@ -17,7 +17,10 @@
 //	        -fault "none;mtbf:3600,seed:7"                   # resilience study
 //
 // Scenario results are deterministic: the same grid produces byte-identical
-// per-scenario timed traces whatever -workers is set to.
+// per-scenario timed traces whatever -workers is set to. Scenarios differing
+// only in their collective algorithm or checkpoint policy replay their common
+// trace prefix once and fork from a kernel snapshot (-fork=off disables the
+// optimisation); results are provably identical either way.
 package main
 
 import (
@@ -50,6 +53,7 @@ func main() {
 		faultSpecs   = flag.String("fault", "", "semicolon-separated availability profiles (\"none;host:1@5;hosts:25%@10,mtbf:3600\")")
 		ckptSpecs    = flag.String("ckpt", "", "semicolon-separated checkpoint/restart protocols (\"none;30/5;60/5/10/30\")")
 		workers      = flag.Int("workers", 0, "worker pool size (default GOMAXPROCS)")
+		forkMode     = flag.String("fork", "on", "shared-prefix forking: scenarios differing only in -coll/-ckpt replay their common prefix once (on/off)")
 		partition    = flag.Bool("partition", false, "split scenarios across kernels per disjoint platform component")
 		identity     = flag.Bool("no-mpi-model", false, "disable the piece-wise linear MPI model")
 		jsonPath     = flag.String("json", "", "write the JSON report to this file ('-' for stdout)")
@@ -60,6 +64,15 @@ func main() {
 
 	if *dir == "" || *ranks <= 0 {
 		fail(cli.Usagef("need -dir and a positive -ranks"))
+	}
+	var fork bool
+	switch *forkMode {
+	case "on", "true":
+		fork = true
+	case "off", "false":
+		fork = false
+	default:
+		fail(cli.Usagef("-fork must be on or off, got %q", *forkMode))
 	}
 	var (
 		base *platform.Platform
@@ -116,6 +129,7 @@ func main() {
 		Timed:     *timedDir != "",
 		Profile:   *profile,
 		Partition: *partition,
+		Fork:      fork,
 	}
 	if *identity {
 		cfg.Model = smpi.Identity()

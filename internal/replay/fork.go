@@ -1,0 +1,560 @@
+package replay
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"tireplay/internal/platform"
+	"tireplay/internal/simx"
+	"tireplay/internal/trace"
+)
+
+// This file implements shared-prefix forking: a group of replays that agree
+// on the platform, the fault stream and an action prefix runs that prefix
+// once on a donor kernel, parks every rank at its divergence point, snapshots
+// the quiesced kernel (simx.KernelSnapshot) and resumes each member from the
+// recorded park times. The time-independence of the traces is what makes the
+// result provably identical to a from-scratch run — and a post-hoc safety
+// check falls back to from-scratch whenever the proof obligations don't
+// hold, so forking is an optimisation, never a semantic change.
+
+// ErrForkUnsafe reports that a forked replay could not be proven equivalent
+// to a from-scratch run: a post-divergence activity overlapped a resource
+// the prefix was still using, or an exact completion-time tie made the
+// merged timed-trace order ambiguous. Callers rerun the member from scratch.
+var ErrForkUnsafe = errors.New("replay: forked run not provably equivalent")
+
+// Forkable reports whether a replay configuration may participate in a
+// shared-prefix fork group at all. Custom registries are opaque (a handler
+// may keep state across the cut), partitioned runs replay on sub-kernels the
+// planner does not model, and fail-stops without a checkpoint policy play
+// out inside the kernel — killing parked ranks the donor cannot represent.
+func (c *Config) Forkable() bool {
+	return c.Registry == nil && c.Ranks == nil &&
+		!(c.Faults.FailStops() && c.Ckpt == nil)
+}
+
+// CollectiveDependent reports whether replaying an action depends on
+// Config.Collectives — the first such action on each rank is where replays
+// that differ only in their collective algorithm diverge. comm_size is not
+// in the family: it validates the world size and touches no kernel state.
+func CollectiveDependent(t trace.ActionType) bool {
+	switch t {
+	case trace.Bcast, trace.Reduce, trace.AllReduce, trace.Barrier,
+		trace.Gather, trace.AllGather, trace.AllToAll, trace.Scatter:
+		return true
+	}
+	return false
+}
+
+// PrefixPlan describes the longest shareable prefix of a trace set: actions
+// [0, Cuts[r]) of rank r replay identically for every member of a fork
+// group.
+type PrefixPlan struct {
+	// Cuts is the per-rank count of shared actions.
+	Cuts []int
+	// Actions is the total number of shared actions (sum of Cuts).
+	Actions int64
+	// Full reports that the prefix covers every rank's entire trace — the
+	// shape of a group that diverges only in analytic (checkpoint) state.
+	Full bool
+}
+
+// PlanPrefix streams each rank's trace once and computes the shared prefix
+// for an n-rank fork group. With collCut set the prefix stops at each rank's
+// first collective-dependent action (members differ in their collective
+// algorithm); otherwise it covers the whole trace.
+//
+// visit must replay rank r's actions in order into yield, stopping early
+// when yield returns false — the sweep trace set streams from mmap without
+// materialising anything.
+//
+// ok is false when the prefix is not safely parkable: a send/recv pair
+// straddles the cut (the donor would deadlock or fail to quiesce) or a rank
+// would park with outstanding Irecv requests its resumed half expects to
+// wait on. A false plan simply means the group replays from scratch.
+func PlanPrefix(n int, collCut bool, visit func(rank int, yield func(trace.Action) bool) error) (plan *PrefixPlan, ok bool, err error) {
+	plan = &PrefixPlan{Cuts: make([]int, n), Full: true}
+	// balance[s*n+d] counts prefix sends s->d minus prefix recvs of d from s;
+	// every pair must come out zero or the rendezvous state straddles the cut.
+	balance := make([]int64, n*n)
+	for r := 0; r < n; r++ {
+		pending := 0
+		parkable := true
+		err := visit(r, func(a trace.Action) bool {
+			if collCut && CollectiveDependent(a.Type) {
+				plan.Full = false
+				return false
+			}
+			switch a.Type {
+			case trace.Send, trace.Isend:
+				if a.Peer >= 0 && a.Peer < n {
+					balance[r*n+a.Peer]++
+				}
+			case trace.Recv:
+				if a.Peer >= 0 && a.Peer < n {
+					balance[a.Peer*n+r]--
+				}
+			case trace.Irecv:
+				if a.Peer >= 0 && a.Peer < n {
+					balance[a.Peer*n+r]--
+				}
+				pending++
+			case trace.Wait:
+				if pending == 0 {
+					parkable = false // the replay itself will error here
+					return false
+				}
+				pending--
+			case trace.WaitAll:
+				pending = 0
+			}
+			plan.Cuts[r]++
+			return true
+		})
+		if err != nil {
+			return nil, false, err
+		}
+		if !parkable {
+			return nil, false, nil
+		}
+		// A rank cut mid-trace must not park with outstanding Irecvs: the
+		// resumed half would wait on requests only the donor ever held. A
+		// full-trace cut replays nothing afterwards, so leftovers are fine
+		// as long as they were matched (the balance check below).
+		if pending != 0 && plan.Cuts[r] < fullLen(visit, r) {
+			return nil, false, nil
+		}
+	}
+	for _, d := range balance {
+		if d != 0 {
+			return nil, false, nil
+		}
+	}
+	for _, c := range plan.Cuts {
+		plan.Actions += int64(c)
+	}
+	return plan, true, nil
+}
+
+// fullLen counts rank r's total actions; only consulted on the rare
+// park-with-pending path, so the extra streaming pass stays off the common
+// planner path.
+func fullLen(visit func(rank int, yield func(trace.Action) bool) error, r int) int {
+	total := 0
+	_ = visit(r, func(trace.Action) bool { total++; return true })
+	return total
+}
+
+// forkRecord is one completed activity as observed by the fork recorder —
+// the same fields the timed-trace tracer callbacks carry.
+type forkRecord struct {
+	comm       bool
+	a, b       string // proc, host for computes; src, dst procs for comms
+	vol        float64
+	start, end float64
+}
+
+// forkRecorder observes a fork-group run. On the donor it accumulates the
+// per-resource usage horizon (the last instant the prefix used each host and
+// link) and, when the group needs timed output, the records themselves plus
+// the set of exact completion instants. On a member it checks each completed
+// activity against the donor's horizon on the fly.
+type forkRecorder struct {
+	k      *simx.Kernel
+	hostOf map[string]string // proc name -> host name, from the deployment
+	keep   bool              // retain records (timed traces / profiles)
+	recs   []forkRecord
+
+	// Donor side.
+	lastEnd map[string]float64
+	ends    map[float64]struct{} // populated when tieCheck
+
+	// Member side: donor horizons to validate against.
+	donorLast map[string]float64
+	donorEnds map[float64]struct{}
+	unsafe    bool
+
+	scratch []string
+}
+
+// resources appends the keys of the resources an activity occupied:
+// "h:<host>" for computes, "l:<link>" per crossed link for transfers (the
+// host-private loopback when source and destination ranks share a host).
+func (t *forkRecorder) resources(comm bool, a, b string, names []string) []string {
+	if !comm {
+		return append(names, "h:"+b)
+	}
+	sh, ok1 := t.hostOf[a]
+	dh, ok2 := t.hostOf[b]
+	if !ok1 || !ok2 {
+		// A proc outside the deployment cannot be attributed; refuse the fork.
+		t.unsafe = true
+		return names
+	}
+	n := len(names)
+	names = t.k.RouteLinks(sh, dh, names)
+	for i := n; i < len(names); i++ {
+		names[i] = "l:" + names[i]
+	}
+	return names
+}
+
+func (t *forkRecorder) observe(comm bool, a, b string, vol, start, end float64) {
+	if t.keep {
+		t.recs = append(t.recs, forkRecord{comm, a, b, vol, start, end})
+	}
+	t.scratch = t.resources(comm, a, b, t.scratch[:0])
+	if t.donorLast != nil {
+		// Member: every resumed activity must start at or after the donor
+		// stopped using each of its resources, or the contention the prefix
+		// run saw is not the contention a from-scratch run would see.
+		if _, tie := t.donorEnds[end]; tie {
+			t.unsafe = true
+		}
+		for _, res := range t.scratch {
+			if start < t.donorLast[res] {
+				t.unsafe = true
+			}
+		}
+		return
+	}
+	for _, res := range t.scratch {
+		if end > t.lastEnd[res] {
+			t.lastEnd[res] = end
+		}
+	}
+	if t.ends != nil {
+		t.ends[end] = struct{}{}
+	}
+}
+
+func (t *forkRecorder) Compute(proc, host string, flops, start, end float64) {
+	t.observe(false, proc, host, flops, start, end)
+}
+
+func (t *forkRecorder) Comm(src, dst string, bytes, start, end float64) {
+	t.observe(true, src, dst, bytes, start, end)
+}
+
+// PrefixOptions parameterises a donor run.
+type PrefixOptions struct {
+	// Cuts is the per-rank shared-action count from PlanPrefix.
+	Cuts []int
+	// RecordTrace retains the prefix's per-activity records so members can
+	// merge them into byte-identical timed traces and profiles.
+	RecordTrace bool
+	// TieCheck additionally rejects forked activities completing at an
+	// instant the prefix also completed one — the merged trace order would
+	// be ambiguous. Only byte-identity of timed output needs it.
+	TieCheck bool
+}
+
+// PrefixRun is the shared product of replaying a fork group's common prefix
+// once: the quiesced donor kernel and its snapshot, the per-rank park times
+// and park order, the recorded activities and the per-resource usage
+// horizons. It is immutable after RunPrefix returns except for the one-shot
+// donor-kernel claim, so any number of members may fork from it concurrently.
+type PrefixRun struct {
+	build *platform.Build
+	depl  *platform.Deployment
+	opt   PrefixOptions
+
+	park  []float64
+	order []int
+	rec   *forkRecorder
+	snap  *simx.KernelSnapshot
+
+	// Actions is the number of trace actions the prefix replayed — work
+	// every forked member inherits without re-simulating it.
+	Actions int64
+
+	claimed atomic.Bool
+}
+
+// RunPrefix replays actions [0, opt.Cuts[r]) of every rank on the build's
+// kernel, parks the ranks, and captures the quiesced kernel. cfg is the
+// group's shared configuration; its Ckpt is ignored (members apply their own
+// analytic policies) and its fault spec must not fail-stop (Forkable rules
+// such groups out). Any error — including a donor that deadlocks or fails to
+// quiesce on a prefix the planner accepted — simply means the group replays
+// from scratch.
+func RunPrefix(b *platform.Build, depl *platform.Deployment, cfg Config, sources []Source, opt PrefixOptions) (*PrefixRun, error) {
+	n := len(depl.Processes)
+	if n == 0 {
+		return nil, fmt.Errorf("replay: empty deployment")
+	}
+	if len(sources) != n || len(opt.Cuts) != n {
+		return nil, fmt.Errorf("replay: %d sources and %d cuts for %d deployed processes",
+			len(sources), len(opt.Cuts), n)
+	}
+	if !cfg.Forkable() {
+		return nil, fmt.Errorf("replay: configuration not forkable")
+	}
+	cfg.setDefaults()
+	worldN := cfg.WorldSize
+	if worldN == 0 {
+		worldN = n
+	}
+	if worldN < n {
+		return nil, fmt.Errorf("replay: world size %d below %d deployed processes", worldN, n)
+	}
+	k := b.Kernel
+	k.SetRateModel(cfg.Model.RateModel())
+	cfg.Faults.InjectDegradations(k)
+
+	rec := &forkRecorder{k: k, hostOf: procHosts(depl), keep: opt.RecordTrace,
+		lastEnd: make(map[string]float64)}
+	if opt.TieCheck {
+		rec.ends = make(map[float64]struct{})
+	}
+	k.SetTracer(rec)
+
+	pr := &PrefixRun{build: b, depl: depl, opt: opt,
+		park: make([]float64, n), rec: rec}
+	r := &run{
+		cfg:         cfg,
+		world:       &world{k: k, n: worldN, stringMailboxes: cfg.StringMailboxes},
+		errs:        make([]error, n),
+		rankActions: make([]int64, n),
+		failed:      make([]*simx.FailedError, n),
+	}
+	for i, pd := range depl.Processes {
+		host := k.Host(pd.Host)
+		if host == nil {
+			return nil, fmt.Errorf("replay: deployment host %q not in platform", pd.Host)
+		}
+		r.spawnRankPrefix(k, pd.Function, host, i, sources[i], opt.Cuts[i], pr)
+	}
+	if _, err := k.Run(); err != nil {
+		return nil, fmt.Errorf("replay: prefix run: %w", err)
+	}
+	for _, err := range r.errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	snap, err := k.Snapshot(nil)
+	if err != nil {
+		return nil, fmt.Errorf("replay: prefix did not quiesce: %w", err)
+	}
+	pr.snap = snap
+	pr.Actions = r.actions.Load()
+	return pr, nil
+}
+
+// spawnRankPrefix is spawnRank bounded to the first cut actions, recording
+// the rank's park time and park order for the resumed members.
+func (r *run) spawnRankPrefix(k *simx.Kernel, fn string, host *simx.Host, slot int, src Source, cut int, pr *PrefixRun) {
+	sendMb, recvMb := r.mailboxTables()
+	k.Spawn(fn, host, func(sp *simx.Proc) {
+		p := &Proc{Sim: sp, Rank: slot, N: r.world.n, cfg: &r.cfg, world: r.world,
+			sendMb: sendMb, recvMb: recvMb}
+		for i := 0; i < cut; i++ {
+			if !r.stepAction(p, src, slot) {
+				return
+			}
+		}
+		// Park: record when and in which order this rank reached its
+		// divergence point — the resumed members sleep to exactly here, and
+		// same-instant resumptions wake in park order, preserving the
+		// interleaving of a from-scratch run.
+		pr.park[slot] = sp.Now()
+		pr.order = append(pr.order, slot) // one rank runs at a time: no race
+	})
+}
+
+// mailboxTables allocates the per-rank interned mailbox ID caches (nil on
+// the string-keyed reference path), shared by all spawn variants.
+func (r *run) mailboxTables() (sendMb, recvMb []simx.MailboxID) {
+	if r.cfg.StringMailboxes {
+		return nil, nil
+	}
+	sendMb = make([]simx.MailboxID, r.world.n)
+	recvMb = make([]simx.MailboxID, r.world.n)
+	for peer := range sendMb {
+		sendMb[peer] = -1
+		recvMb[peer] = -1
+	}
+	return sendMb, recvMb
+}
+
+// stepAction fetches and executes one action of rank slot, mirroring the
+// spawnRank loop body; false stops the rank (end of trace or recorded error).
+func (r *run) stepAction(p *Proc, src Source, slot int) bool {
+	a, ok, err := src.Next()
+	if err != nil {
+		r.errs[slot] = fmt.Errorf("replay: p%d trace: %w", p.Rank, err)
+		return false
+	}
+	if !ok {
+		return false
+	}
+	if a.Proc != p.Rank {
+		r.errs[slot] = fmt.Errorf("replay: p%d trace contains action of p%d", p.Rank, a.Proc)
+		return false
+	}
+	h, err := r.cfg.Registry.Lookup(a.Type)
+	if err != nil {
+		r.errs[slot] = err
+		return false
+	}
+	if err := h(p, a); err != nil {
+		r.errs[slot] = err
+		return false
+	}
+	r.actions.Add(1)
+	r.rankActions[slot]++
+	return true
+}
+
+// procHosts maps deployment process names to their hosts.
+func procHosts(depl *platform.Deployment) map[string]string {
+	m := make(map[string]string, len(depl.Processes))
+	for _, pd := range depl.Processes {
+		m[pd.Function] = pd.Host
+	}
+	return m
+}
+
+// ClaimDonorBuild hands out the donor's own quiesced kernel, restored to a
+// fresh state, exactly once; every other caller gets nil and builds its own
+// platform. Members run concurrently and a kernel serves one run at a time,
+// so only the first claimant can reuse the donor's pools and route caches.
+func (pr *PrefixRun) ClaimDonorBuild() *platform.Build {
+	if !pr.claimed.CompareAndSwap(false, true) {
+		return nil
+	}
+	if err := pr.build.Kernel.Restore(pr.snap); err != nil {
+		return nil
+	}
+	return pr.build
+}
+
+// RunForked replays one member of the fork group from the shared prefix: it
+// skips each rank's first Cuts[r] actions, advances the rank to its recorded
+// park time on a fresh (or donor-restored) kernel, and replays the rest. The
+// member's own collective algorithm and analytic checkpoint policy apply;
+// everything the prefix simulated is inherited from the donor, including its
+// timed-trace records, which are merged with the member's own in completion
+// order and streamed to cfg.TimedTracer.
+//
+// An error wrapping ErrForkUnsafe means the equivalence proof failed for
+// this member and it must be replayed from scratch; the donor run and its
+// snapshot stay valid for other members.
+func (pr *PrefixRun) RunForked(b *platform.Build, cfg Config, sources []Source) (*Result, error) {
+	n := len(pr.depl.Processes)
+	if len(sources) != n {
+		return nil, fmt.Errorf("replay: %d sources for %d deployed processes", len(sources), n)
+	}
+	if !cfg.Forkable() {
+		return nil, fmt.Errorf("replay: configuration not forkable")
+	}
+	cfg.setDefaults()
+	if err := cfg.Ckpt.Validate(); err != nil {
+		return nil, err
+	}
+	k := b.Kernel
+	k.SetRateModel(cfg.Model.RateModel())
+	cfg.Faults.InjectDegradations(k)
+
+	rec := &forkRecorder{k: k, hostOf: procHosts(pr.depl), keep: pr.opt.RecordTrace,
+		donorLast: pr.rec.lastEnd, donorEnds: pr.rec.ends}
+	k.SetTracer(rec)
+
+	worldN := cfg.WorldSize
+	if worldN == 0 {
+		worldN = n
+	}
+	r := &run{
+		cfg:         cfg,
+		world:       &world{k: k, n: worldN, stringMailboxes: cfg.StringMailboxes},
+		errs:        make([]error, n),
+		rankActions: make([]int64, n),
+		failed:      make([]*simx.FailedError, n),
+	}
+	// Spawn in donor park order: ranks parked at the same instant resume in
+	// the order they parked, so the event queue wakes them exactly as the
+	// from-scratch interleaving would.
+	for _, slot := range pr.order {
+		pd := pr.depl.Processes[slot]
+		host := k.Host(pd.Host)
+		if host == nil {
+			return nil, fmt.Errorf("replay: deployment host %q not in platform", pd.Host)
+		}
+		r.spawnRankResumed(k, pd.Function, host, slot, sources[slot], pr.opt.Cuts[slot], pr.park[slot])
+	}
+	start := time.Now()
+	makespan, runErr := k.Run()
+	wall := time.Since(start)
+	for _, err := range r.errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if runErr != nil {
+		return nil, fmt.Errorf("replay: simulation stalled: %w", runErr)
+	}
+	if rec.unsafe {
+		return nil, fmt.Errorf("%w: post-divergence activity overlapped the prefix", ErrForkUnsafe)
+	}
+	if cfg.TimedTracer != nil && pr.opt.RecordTrace {
+		replayRecords(cfg.TimedTracer, pr.rec.recs, rec.recs)
+	}
+	res := &Result{SimulatedTime: makespan, Actions: pr.Actions + r.actions.Load(), WallTime: wall}
+	if cfg.Ckpt != nil {
+		ra, err := applyCkpt(makespan, cfg.Ckpt, cfg.Faults.Arrivals(n))
+		if err != nil {
+			return nil, err
+		}
+		res.Resilience = ra
+		res.SimulatedTime = ra.Effective
+	}
+	return res, nil
+}
+
+// spawnRankResumed creates the kernel process replaying rank slot's
+// post-divergence actions: skip the prefix on the source, sleep to the park
+// time, continue.
+func (r *run) spawnRankResumed(k *simx.Kernel, fn string, host *simx.Host, slot int, src Source, cut int, park float64) {
+	sendMb, recvMb := r.mailboxTables()
+	k.Spawn(fn, host, func(sp *simx.Proc) {
+		for i := 0; i < cut; i++ {
+			if _, ok, err := src.Next(); err != nil || !ok {
+				r.errs[slot] = fmt.Errorf("replay: p%d trace shrank under fork (action %d of %d)", slot, i, cut)
+				return
+			}
+		}
+		sp.SleepUntil(park)
+		p := &Proc{Sim: sp, Rank: slot, N: r.world.n, cfg: &r.cfg, world: r.world,
+			sendMb: sendMb, recvMb: recvMb}
+		for r.stepAction(p, src, slot) {
+		}
+	})
+}
+
+// replayRecords streams the donor's and the member's activity records, each
+// already in completion order, into a tracer as one merged completion-ordered
+// sequence — reproducing byte-for-byte what a from-scratch run would have
+// emitted (exact cross-stream ties were rejected by the safety check).
+func replayRecords(tr simx.Tracer, donor, member []forkRecord) {
+	emit := func(rec forkRecord) {
+		if rec.comm {
+			tr.Comm(rec.a, rec.b, rec.vol, rec.start, rec.end)
+		} else {
+			tr.Compute(rec.a, rec.b, rec.vol, rec.start, rec.end)
+		}
+	}
+	di, mi := 0, 0
+	for di < len(donor) || mi < len(member) {
+		if mi == len(member) || (di < len(donor) && donor[di].end < member[mi].end) {
+			emit(donor[di])
+			di++
+		} else {
+			emit(member[mi])
+			mi++
+		}
+	}
+}

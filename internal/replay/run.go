@@ -478,20 +478,11 @@ func Run(b *platform.Build, depl *platform.Deployment, cfg Config, sources []Sou
 // the deployment index (the run-local error slot), rank the global MPI rank
 // the trace names.
 func (r *run) spawnRank(k *simx.Kernel, fn string, host *simx.Host, slot, rank int, src Source) {
-	var sendMb, recvMb []simx.MailboxID
-	if !r.cfg.StringMailboxes {
-		// Allocate the rank-local tables caching the interned point-to-point
-		// mailbox IDs: the first rendezvous with a peer resolves the name
-		// once, every later one addresses the dense ID with no strconv or
-		// map hash. (-1 marks unresolved slots, so only pairs the trace
-		// actually uses are ever interned.)
-		sendMb = make([]simx.MailboxID, r.world.n)
-		recvMb = make([]simx.MailboxID, r.world.n)
-		for peer := range sendMb {
-			sendMb[peer] = -1
-			recvMb[peer] = -1
-		}
-	}
+	// The rank-local tables cache the interned point-to-point mailbox IDs:
+	// the first rendezvous with a peer resolves the name once, every later
+	// one addresses the dense ID with no strconv or map hash. (-1 marks
+	// unresolved slots, so only pairs the trace actually uses are interned.)
+	sendMb, recvMb := r.mailboxTables()
 	k.Spawn(fn, host, func(sp *simx.Proc) {
 		defer func() {
 			rec := recover()

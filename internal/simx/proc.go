@@ -181,6 +181,18 @@ func (p *Proc) Sleep(seconds float64) {
 	p.block(blockSleep)
 }
 
+// SleepUntil suspends the process until the absolute simulated time t; it is
+// an immediate-completion sleep when t is not in the future. Forked replays
+// use it to advance each resumed rank to its recorded park time before the
+// post-divergence actions continue.
+func (p *Proc) SleepUntil(t float64) {
+	d := t - p.k.now
+	if d < 0 {
+		d = 0
+	}
+	p.Sleep(d)
+}
+
 // Send posts a message of the given size to the mailbox and blocks until
 // the transfer has completed (rendezvous + full transmission), matching the
 // synchronous MPI_Send semantics used by the replay tool.

@@ -12,6 +12,10 @@ type Host struct {
 	Speed float64 // flop/s per core
 	Cores int
 
+	// baseSpeed is the nominal per-core power declared at AddHost time.
+	// Degradation windows scale Speed in place; Restore rewinds to this.
+	baseSpeed float64
+
 	// off marks a fail-stopped host (see Kernel.FailHostAt): its running
 	// activities were killed and any later operation touching it fails with
 	// a *FailedError.
@@ -58,6 +62,10 @@ type Link struct {
 	Bandwidth float64
 	Latency   float64
 	Sharing   Sharing
+
+	// baseBandwidth is the nominal bandwidth declared at AddLink time.
+	// Degradation windows scale Bandwidth in place; Restore rewinds to this.
+	baseBandwidth float64
 
 	// off marks a fail-stopped link (see Kernel.FailRouteAt): flows crossing
 	// it were killed and any later transfer routed over it fails with a
@@ -166,10 +174,11 @@ func (k *Kernel) AddHost(name string, speed float64, cores int) *Host {
 		cores = 1
 	}
 	h := &Host{
-		Name:  name,
-		Speed: speed,
-		Cores: cores,
-		id:    len(k.hosts),
+		Name:      name,
+		Speed:     speed,
+		baseSpeed: speed,
+		Cores:     cores,
+		id:        len(k.hosts),
 		loop: &Link{
 			Name:      name + "_loopback",
 			Bandwidth: k.LoopbackBandwidth,
@@ -193,7 +202,7 @@ func (k *Kernel) AddLink(name string, bandwidth, latency float64) *Link {
 	if _, dup := k.links[name]; dup {
 		panic("simx: duplicate link " + name)
 	}
-	l := &Link{Name: name, Bandwidth: bandwidth, Latency: latency}
+	l := &Link{Name: name, Bandwidth: bandwidth, baseBandwidth: bandwidth, Latency: latency}
 	k.links[name] = l
 	k.linkList = append(k.linkList, l)
 	return l
@@ -233,6 +242,23 @@ func (k *Kernel) AddRoute(src, dst string, links []*Link) {
 	ra.AddRoute(s, d, NewRoute(links))
 	// Drop any cached resolution of the replaced route.
 	delete(s.routeTo, d)
+}
+
+// RouteLinks resolves the route a transfer between the named hosts crosses
+// and appends the traversed link names to names, returning the extended
+// slice. Coinciding source and destination resolve to the host-private
+// loopback, exactly as the transfer itself would. The replay fork safety
+// check uses it to map a recorded transfer back to the physical links whose
+// sharing it influenced.
+func (k *Kernel) RouteLinks(src, dst string, names []string) []string {
+	s, d := k.hosts[src], k.hosts[dst]
+	if s == nil || d == nil {
+		panic(fmt.Sprintf("simx: RouteLinks between undeclared hosts %q -> %q", src, dst))
+	}
+	for _, l := range k.routeBetween(s, d).Links {
+		names = append(names, l.Name)
+	}
+	return names
 }
 
 // routeBetween resolves the route for a transfer, falling back to the

@@ -46,6 +46,12 @@ type Config struct {
 	// graph decomposes into disjoint connected components and the trace's
 	// communication respects the induced rank partition.
 	Partition bool
+	// Fork enables shared-prefix forking: scenarios differing only in their
+	// collective algorithm or checkpoint policy replay their common trace
+	// prefix once on a donor kernel and fork from its snapshot (see fork.go).
+	// Results are provably identical either way — members that cannot be
+	// proven equivalent fall back to a from-scratch replay.
+	Fork bool
 	// OnResult, when non-nil, receives each scenario's result as it
 	// completes, from whichever worker finished it last; it must be safe
 	// for concurrent use. Results in the final Result stay in scenario
@@ -76,6 +82,12 @@ type ScenarioResult struct {
 	// Resilience is the checkpoint/restart waste accounting of the
 	// scenario; non-nil exactly when the scenario sets a Ckpt protocol.
 	Resilience *replay.Resilience `json:"resilience,omitempty"`
+	// Forked reports that the scenario replayed from a shared prefix fork
+	// instead of from scratch (Config.Fork).
+	Forked bool `json:"forked,omitempty"`
+	// PrefixActions is the number of trace actions inherited from the fork
+	// group's shared prefix, counted inside Actions; zero when not forked.
+	PrefixActions int64 `json:"prefix_actions,omitempty"`
 	// Err reports a failed or cancelled scenario; the zero value means
 	// success.
 	Err string `json:"err,omitempty"`
@@ -88,11 +100,26 @@ type Result struct {
 	Scenarios []ScenarioResult `json:"scenarios"`
 }
 
-// task is one pool work item: a scenario component replay.
+// taskKind distinguishes the pool's work items.
+type taskKind uint8
+
+const (
+	// taskNormal replays one scenario component from scratch.
+	taskNormal taskKind = iota
+	// taskDonor replays a fork group's shared prefix, then enqueues the
+	// group's member tasks.
+	taskDonor
+	// taskMember replays one scenario forked from its group's prefix.
+	taskMember
+)
+
+// task is one pool work item.
 type task struct {
-	si   int  // scenario index
-	pi   int  // part index within the scenario
-	part part // global ranks of this component
+	kind taskKind
+	si   int        // scenario index (-1 for donors)
+	pi   int        // part index within the scenario
+	part part       // global ranks of this component
+	grp  *forkGroup // fork group of donor and member tasks
 }
 
 // partOut is the raw outcome of one task.
@@ -101,6 +128,8 @@ type partOut struct {
 	timed      []byte
 	profile    *replay.Profile
 	components int
+	forked     bool
+	prefix     int64
 	err        error
 }
 
@@ -169,7 +198,8 @@ func Run(ctx context.Context, cfg *Config) (*Result, error) {
 
 	n := cfg.Traces.Ranks()
 	depls := make([]*platform.Deployment, len(scenarios))
-	tasks := make([]task, 0, len(scenarios))
+	partsBy := make([][]part, len(scenarios))
+	multiPart := make([]bool, len(scenarios))
 	for si, sc := range scenarios {
 		scHosts := hosts
 		if sc.Topo != nil {
@@ -188,21 +218,44 @@ func Run(ctx context.Context, cfg *Config) (*Result, error) {
 		if cfg.Partition && sc.Topo == nil && sc.Fault == nil && sc.Ckpt == nil {
 			parts = partition(graph, hostComp, d.Processes)
 		}
-		for pi, p := range parts {
-			tasks = append(tasks, task{si: si, pi: pi, part: p})
+		partsBy[si] = parts
+		multiPart[si] = len(parts) > 1
+	}
+
+	// Fork planning: scenarios sharing a prefix become member tasks of a
+	// donor instead of normal tasks (see fork.go).
+	groups, memberOf, err := planForkGroups(cfg, scenarios, multiPart)
+	if err != nil {
+		return nil, err
+	}
+
+	// Donors are enqueued first so shared prefixes start as early as
+	// possible; member tasks are enqueued by their donor's worker as soon as
+	// the prefix is captured, so the pool never blocks waiting for one.
+	initial := make([]task, 0, len(groups)+len(scenarios))
+	total := 0
+	for _, g := range groups {
+		initial = append(initial, task{kind: taskDonor, si: -1, grp: g})
+		total += len(g.members)
+	}
+	for si := range scenarios {
+		if memberOf[si] != nil {
+			continue // scheduled by its donor
+		}
+		for pi, p := range partsBy[si] {
+			initial = append(initial, task{kind: taskNormal, si: si, pi: pi, part: p})
 		}
 	}
+	total += len(initial)
 
 	// outs[si][pi] is written by exactly one worker; remaining[si] counts
 	// parts still running so the last worker can emit the merged result.
 	outs := make([][]partOut, len(scenarios))
 	remaining := make([]atomic.Int32, len(scenarios))
 	results := make([]ScenarioResult, len(scenarios))
-	for _, t := range tasks {
-		if t.pi >= len(outs[t.si]) {
-			outs[t.si] = append(outs[t.si], make([]partOut, t.pi+1-len(outs[t.si]))...)
-		}
-		remaining[t.si].Add(1)
+	for si := range scenarios {
+		outs[si] = make([]partOut, len(partsBy[si]))
+		remaining[si].Add(int32(len(partsBy[si])))
 	}
 	for si := range results {
 		results[si] = ScenarioResult{Scenario: scenarios[si], Name: scenarios[si].Name(),
@@ -210,33 +263,52 @@ func Run(ctx context.Context, cfg *Config) (*Result, error) {
 	}
 
 	start := time.Now()
-	jobs := make(chan int)
+	// The channel buffers every task that will ever exist, so enqueueing —
+	// including a donor's worker pushing its member tasks — never blocks.
+	// The worker that drains the last task closes the channel; a cancelled
+	// context skips the replays but still drains, so the count always
+	// reaches zero and the canceled rows keep their marker.
+	jobs := make(chan task, total)
+	var outstanding atomic.Int64
+	outstanding.Store(int64(total))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for ti := range jobs {
-				t := tasks[ti]
-				outs[t.si][t.pi] = safeRunTask(cfg, model, scenarios[t.si], depls[t.si], t.part)
-				if remaining[t.si].Add(-1) == 0 {
-					results[t.si] = mergeScenario(cfg, scenarios[t.si], outs[t.si])
-					if cfg.OnResult != nil {
-						cfg.OnResult(&results[t.si])
+			for t := range jobs {
+				switch t.kind {
+				case taskDonor:
+					t.grp.runDonor(ctx, cfg, model, scenarios[t.grp.members[0]], depls[t.grp.members[0]])
+					for _, si := range t.grp.members {
+						jobs <- task{kind: taskMember, si: si, pi: 0, part: partsBy[si][0], grp: t.grp}
 					}
+				default:
+					if ctx.Err() == nil {
+						var out partOut
+						if t.kind == taskMember {
+							out = safeRunMember(cfg, model, scenarios[t.si], depls[t.si], t.part, t.grp)
+						} else {
+							out = safeRunTask(cfg, model, scenarios[t.si], depls[t.si], t.part)
+						}
+						outs[t.si][t.pi] = out
+						if remaining[t.si].Add(-1) == 0 {
+							results[t.si] = mergeScenario(cfg, scenarios[t.si], outs[t.si])
+							if cfg.OnResult != nil {
+								cfg.OnResult(&results[t.si])
+							}
+						}
+					}
+				}
+				if outstanding.Add(-1) == 0 {
+					close(jobs)
 				}
 			}
 		}()
 	}
-feed:
-	for ti := range tasks {
-		select {
-		case jobs <- ti:
-		case <-ctx.Done():
-			break feed
-		}
+	for _, t := range initial {
+		jobs <- t
 	}
-	close(jobs)
 	wg.Wait()
 
 	res := &Result{Workers: workers, Wall: time.Since(start), Scenarios: results}
@@ -284,24 +356,7 @@ func safeRunTask(cfg *Config, model *smpi.Model, sc Scenario, depl *platform.Dep
 // pools and interning tables, the sources, the tracers — is created here
 // and owned by this task alone.
 func runTask(cfg *Config, model *smpi.Model, sc Scenario, depl *platform.Deployment, p part) partOut {
-	scale := platform.Scale{
-		Latency:   sc.LatencyScale,
-		Bandwidth: sc.BandwidthScale,
-		Power:     sc.PowerScale,
-	}
-	var b *platform.Build
-	var err error
-	if sc.Topo != nil {
-		// A generated topology replaces the base platform; the what-if
-		// factors multiply the generator's base quantities.
-		b, err = sc.Topo.Scaled(scale).Build()
-	} else {
-		var scaled *platform.Platform
-		if scaled, err = cfg.Platform.Scaled(scale); err != nil {
-			return partOut{err: err}
-		}
-		b, err = platform.Instantiate(scaled)
-	}
+	b, err := scenarioBuild(cfg, sc)
 	if err != nil {
 		return partOut{err: err}
 	}
@@ -374,6 +429,10 @@ func mergeScenario(cfg *Config, sc Scenario, parts []partOut) ScenarioResult {
 		out.Actions += p.res.Actions
 		out.Wall += p.res.WallTime
 		out.Components += p.components
+		if p.forked {
+			out.Forked = true
+			out.PrefixActions += p.prefix
+		}
 		if cfg.Timed {
 			timed = append(timed, p.timed...)
 		}

@@ -23,17 +23,22 @@ func (r *Result) WriteJSON(w io.Writer) error {
 // cancelled there is no baseline, and the speedup column prints "-" rather
 // than silently re-basing on some other scenario.
 func (r *Result) RenderTable(w io.Writer) {
-	// Resilience columns only appear when some scenario carries a
-	// checkpoint/restart accounting, so fault-free sweeps render unchanged.
-	resilient := false
+	// Resilience and prefix-reuse columns only appear when some scenario
+	// carries them, so plain sweeps render unchanged.
+	resilient, forked := false, false
 	for i := range r.Scenarios {
 		if r.Scenarios[i].Resilience != nil {
 			resilient = true
-			break
+		}
+		if r.Scenarios[i].Forked {
+			forked = true
 		}
 	}
 	fmt.Fprintf(w, "%-40s | %12s | %8s | %5s | %8s",
 		"scenario", "predicted", "speedup", "parts", "actions")
+	if forked {
+		fmt.Fprintf(w, " | %10s", "prefix")
+	}
 	if resilient {
 		fmt.Fprintf(w, " | %12s | %10s | %10s | %5s",
 			"fault-free", "wasted", "recomputed", "fails")
@@ -55,6 +60,13 @@ func (r *Result) RenderTable(w io.Writer) {
 		}
 		fmt.Fprintf(w, "%-40s | %12s | %8s | %5d | %8d",
 			s.Name, units.FormatSeconds(s.SimulatedTime), speedup, s.Components, s.Actions)
+		if forked {
+			if s.Forked {
+				fmt.Fprintf(w, " | %10d", s.PrefixActions)
+			} else {
+				fmt.Fprintf(w, " | %10s", "-")
+			}
+		}
 		if resilient {
 			if res := s.Resilience; res != nil {
 				fmt.Fprintf(w, " | %12s | %10s | %10s | %5d",
