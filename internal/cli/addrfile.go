@@ -1,0 +1,34 @@
+package cli
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteAddrFile publishes a daemon's bound address for scripted clients:
+// the file appears atomically (write to a temp name, then rename), so a
+// harness polling for it never reads a half-written address. Pass the
+// listener's actual address, not the requested one — ":0" binds an
+// ephemeral port and the file is how the port is discovered.
+func WriteAddrFile(path, addr string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".addr-*")
+	if err != nil {
+		return fmt.Errorf("cli: addr file: %w", err)
+	}
+	name := tmp.Name()
+	_, werr := fmt.Fprintln(tmp, addr)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(name, path)
+	}
+	if werr != nil {
+		os.Remove(name)
+		return fmt.Errorf("cli: addr file: %w", werr)
+	}
+	return nil
+}

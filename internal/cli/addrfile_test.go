@@ -1,0 +1,45 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteAddrFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "daemon.addr")
+	if err := WriteAddrFile(path, "127.0.0.1:8347"); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "127.0.0.1:8347\n" {
+		t.Fatalf("addr file contents %q", b)
+	}
+
+	// Re-publishing (daemon restart) replaces the file atomically.
+	if err := WriteAddrFile(path, "127.0.0.1:9000"); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ = os.ReadFile(path); string(b) != "127.0.0.1:9000\n" {
+		t.Fatalf("rewritten addr file contents %q", b)
+	}
+
+	// No stray temp files remain next to the target.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("left %d entries in the directory, want 1", len(entries))
+	}
+}
+
+func TestWriteAddrFileBadDir(t *testing.T) {
+	err := WriteAddrFile(filepath.Join(t.TempDir(), "no", "such", "dir", "a.addr"), "x")
+	if err == nil {
+		t.Fatal("writing into a missing directory succeeded")
+	}
+}

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// admission is the daemon's load-shedding front door for sweep executions.
+// At most maxConcurrent sweeps run at once; up to maxQueue more wait their
+// turn; anything beyond that is shed immediately with 429 so a flooded
+// daemon degrades by refusing crisply instead of queueing unboundedly.
+// Cache hits and coalesced waiters never pass through here — admission
+// bounds kernel work, not request traffic.
+type admission struct {
+	sem      chan struct{} // running slots
+	maxTotal int64         // running + queued bound
+	pending  atomic.Int64  // running + queued
+	shed     atomic.Int64
+}
+
+func newAdmission(maxConcurrent, maxQueue int) *admission {
+	if maxConcurrent <= 0 {
+		maxConcurrent = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &admission{
+		sem:      make(chan struct{}, maxConcurrent),
+		maxTotal: int64(maxConcurrent + maxQueue),
+	}
+}
+
+// enter claims an execution slot, queueing when all slots are busy.
+// shed=true means the queue was full and the request must be refused;
+// ok=false with shed=false means ctx was cancelled while queued.
+func (a *admission) enter(ctx context.Context) (ok, shed bool) {
+	if a.pending.Add(1) > a.maxTotal {
+		a.pending.Add(-1)
+		a.shed.Add(1)
+		return false, true
+	}
+	select {
+	case a.sem <- struct{}{}:
+		return true, false
+	case <-ctx.Done():
+		a.pending.Add(-1)
+		return false, false
+	}
+}
+
+// leave frees the slot claimed by a successful enter.
+func (a *admission) leave() {
+	<-a.sem
+	a.pending.Add(-1)
+}
+
+// admissionStats is the queue's /stats snapshot.
+type admissionStats struct {
+	Running  int   `json:"running"`
+	Queued   int64 `json:"queued"`
+	Slots    int   `json:"slots"`
+	QueueCap int64 `json:"queue_cap"`
+	Shed     int64 `json:"shed"`
+}
+
+func (a *admission) stats() admissionStats {
+	running := len(a.sem)
+	queued := a.pending.Load() - int64(running)
+	if queued < 0 {
+		queued = 0
+	}
+	return admissionStats{
+		Running: running, Queued: queued,
+		Slots: cap(a.sem), QueueCap: a.maxTotal - int64(cap(a.sem)),
+		Shed: a.shed.Load(),
+	}
+}

@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"tireplay/internal/npb"
+)
+
+// benchDaemon builds a server with an LU trace registered, bypassing HTTP —
+// the benchmarks gate the daemon core (sweepFromBody), not Go's HTTP stack.
+func benchDaemon(b *testing.B, cfg Config) (*Server, string) {
+	b.Helper()
+	s := New(cfg)
+	b.Cleanup(s.Close)
+	resp, herr := s.registerInline(luTexts(b, npb.ClassS, 4))
+	if herr != nil {
+		b.Fatal(herr.msg)
+	}
+	return s, resp.Digest
+}
+
+// BenchmarkServeCachedRequest gates the byte-identical repeat path: hash the
+// body, find the stored response, serve it. The whole request costs a SHA-256
+// of ~100 bytes and two map operations — and, as the CI baseline enforces,
+// zero heap allocations. This is the "what-if question already answered"
+// economics of the service: repeats are free.
+func BenchmarkServeCachedRequest(b *testing.B) {
+	s, dig := benchDaemon(b, Config{})
+	body := []byte(fmt.Sprintf(`{"trace":%q,"grid":{"lat":"1,2","coll":"default;bcast=binomial"}}`, dig))
+	ctx := context.Background()
+	if out := s.sweepFromBody(ctx, body); out.status != http.StatusOK {
+		b.Fatalf("priming sweep: status %d: %s", out.status, out.body)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := s.sweepFromBody(ctx, body)
+		if out.status != http.StatusOK || out.cache != "hit" {
+			b.Fatalf("iteration %d missed the cache: status %d cache %q", i, out.status, out.cache)
+		}
+	}
+}
+
+// BenchmarkServeSweep gates fresh-sweep throughput through the full daemon
+// core: parse, canonicalize, single-flight, admission, trace acquire, engine
+// run, response marshal, cache store. Every iteration uses a distinct
+// latency scale so nothing is served from cache; the custom scenarios_per_sec
+// metric is floored in CI.
+func BenchmarkServeSweep(b *testing.B) {
+	s, dig := benchDaemon(b, Config{MaxConcurrent: 1})
+	ctx := context.Background()
+	const cells = 8 // lat(2) x coll(2) x bw(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body := []byte(fmt.Sprintf(
+			`{"trace":%q,"grid":{"lat":"%d,%d.5","bw":"1,2","coll":"default;bcast=binomial"}}`,
+			dig, i+1, i+1))
+		out := s.sweepFromBody(ctx, body)
+		if out.status != http.StatusOK || out.cache != "miss" {
+			b.Fatalf("iteration %d: status %d cache %q: %s", i, out.status, out.cache, out.body)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(cells*b.N)/b.Elapsed().Seconds(), "scenarios_per_sec")
+}

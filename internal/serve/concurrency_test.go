@@ -1,0 +1,302 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"tireplay/internal/npb"
+)
+
+// TestParallelIdenticalRequestsCoalesce fires identical fresh requests
+// concurrently: exactly one kernel run happens, every caller gets the same
+// bytes, and the coalescing counter records the sharing.
+func TestParallelIdenticalRequestsCoalesce(t *testing.T) {
+	d := newTestDaemon(t, Config{MaxConcurrent: 1})
+	dig := d.uploadLU(t, npb.ClassS, 4)
+	body := fmt.Sprintf(`{"trace":%q,"grid":{"lat":"1,2,3,4"}}`, dig)
+
+	const clients = 8
+	bodies := make([][]byte, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, _, resp := d.post(t, "/sweeps", body)
+			if st != http.StatusOK {
+				t.Errorf("client %d: status %d: %s", i, st, resp)
+			}
+			bodies[i] = resp
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	if runs := d.srv.sweepsRun.Load(); runs != 1 {
+		t.Fatalf("%d identical concurrent requests ran %d sweeps, want 1", clients, runs)
+	}
+	for i := 1; i < clients; i++ {
+		if string(bodies[i]) != string(bodies[0]) {
+			t.Fatalf("client %d got different bytes", i)
+		}
+	}
+	stats := d.srv.Snapshot()
+	if stats.Coalesced+stats.Cache.Hits+stats.Cache.BodyHits != clients-1 {
+		t.Fatalf("sharing accounting off: coalesced=%d hits=%d bodyHits=%d, want %d shared",
+			stats.Coalesced, stats.Cache.Hits, stats.Cache.BodyHits, clients-1)
+	}
+}
+
+// TestCancelMidSweepFreesTraceRef cancels the only client of a large sweep
+// and verifies the flight winds down: the trace refcount returns to zero and
+// the flight table empties, so eviction can reclaim the set.
+func TestCancelMidSweepFreesTraceRef(t *testing.T) {
+	d := newTestDaemon(t, Config{Workers: 1})
+	dig := d.uploadLU(t, npb.ClassW, 8)
+
+	// A grid big enough to outlive the cancellation window.
+	body := fmt.Sprintf(`{"trace":%q,"grid":{"lat":"1,2,3,4","bw":"1,2"}}`, dig)
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, d.http.URL+"/sweeps",
+		bytesReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+
+	// Wait until the sweep actually holds its trace reference, then yank
+	// the client.
+	waitFor(t, time.Second, func() bool {
+		l := d.srv.traces.List()
+		return len(l) == 1 && l[0].Refs > 0
+	})
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("cancelled request returned without error")
+	}
+
+	// The running cell must finish before the engine returns (a kernel run
+	// is not interruptible), so allow a generous drain, especially under
+	// the race detector.
+	waitFor(t, 60*time.Second, func() bool {
+		l := d.srv.traces.List()
+		inflight, _ := d.srv.flights.stats()
+		return len(l) == 1 && l[0].Refs == 0 && inflight == 0
+	})
+	st := d.srv.Snapshot()
+	if st.Traces.LiveEvicted != 0 || st.Traces.ZombieBytes != 0 {
+		t.Fatalf("cancellation leaked zombie traces: %+v", st.Traces)
+	}
+}
+
+// TestCoalescedWaiterSurvivesInitiatorCancel: the client that started a
+// flight disconnects, a second client is still waiting — the run must
+// continue and serve the survivor.
+func TestCoalescedWaiterSurvivesInitiatorCancel(t *testing.T) {
+	d := newTestDaemon(t, Config{Workers: 1})
+	dig := d.uploadLU(t, npb.ClassW, 8)
+	body := fmt.Sprintf(`{"trace":%q,"grid":{"lat":"1,2,3,4","bw":"1,2"}}`, dig)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, d.http.URL+"/sweeps", bytesReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstDone := make(chan struct{})
+	go func() {
+		defer close(firstDone)
+		if resp, err := http.DefaultClient.Do(req); err == nil {
+			resp.Body.Close()
+		}
+	}()
+	waitFor(t, time.Second, func() bool {
+		inflight, _ := d.srv.flights.stats()
+		return inflight == 1
+	})
+
+	type result struct {
+		status int
+		body   []byte
+	}
+	second := make(chan result, 1)
+	go func() {
+		st, _, b := d.post(t, "/sweeps", body)
+		second <- result{st, b}
+	}()
+	waitFor(t, time.Second, func() bool {
+		_, coalesced := d.srv.flights.stats()
+		return coalesced >= 1
+	})
+
+	cancel()
+	<-firstDone
+	got := <-second
+	if got.status != http.StatusOK {
+		t.Fatalf("surviving waiter: status %d: %s", got.status, got.body)
+	}
+	var sr SweepResponse
+	if err := json.Unmarshal(got.body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Scenarios) != 8 {
+		t.Fatalf("survivor got %d scenarios, want 8", len(sr.Scenarios))
+	}
+	for i, sc := range sr.Scenarios {
+		if sc.Err != "" {
+			t.Fatalf("survivor scenario %d: %s — the initiator's cancel killed a shared run", i, sc.Err)
+		}
+	}
+}
+
+// TestLoadSheddingUnderFlood saturates a 1-slot/0-queue daemon with
+// distinct requests: overflow is refused with 429 + Retry-After while the
+// admitted sweep completes.
+func TestLoadSheddingUnderFlood(t *testing.T) {
+	d := newTestDaemon(t, Config{MaxConcurrent: 1, MaxQueue: 0, Workers: 1, RetryAfter: 7})
+	dig := d.uploadLU(t, npb.ClassW, 8)
+
+	// Occupy the only slot.
+	slow := fmt.Sprintf(`{"trace":%q,"grid":{"lat":"1,2,3,4,5,6,7,8"}}`, dig)
+	slowDone := make(chan int, 1)
+	go func() {
+		st, _, _ := d.post(t, "/sweeps", slow)
+		slowDone <- st
+	}()
+	waitFor(t, 2*time.Second, func() bool { return d.srv.Snapshot().Queue.Running == 1 })
+
+	// Distinct quick requests (distinct keys, so no coalescing) must shed.
+	var shed int
+	for i := 0; i < 4; i++ {
+		body := fmt.Sprintf(`{"trace":%q,"grid":{"lat":"%d.5"}}`, dig, i+10)
+		r, err := http.Post(d.http.URL+"/sweeps", "application/json", bytesReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.StatusCode == http.StatusTooManyRequests {
+			shed++
+			if ra := r.Header.Get("Retry-After"); ra != "7" {
+				t.Fatalf("shed response Retry-After = %q, want 7", ra)
+			}
+		}
+		r.Body.Close()
+	}
+	if shed != 4 {
+		t.Fatalf("flooded a full queue with 4 requests, %d were shed", shed)
+	}
+	if st := <-slowDone; st != http.StatusOK {
+		t.Fatalf("admitted sweep was disturbed by the flood: status %d", st)
+	}
+	if got := d.srv.Snapshot().Queue.Shed; got != 4 {
+		t.Fatalf("shed counter = %d, want 4", got)
+	}
+}
+
+// TestLRUEvictionKeepsLiveReadersMapped drives the store directly: a reader
+// acquired before eviction keeps its set usable until Release, and only the
+// final Release unmaps it.
+func TestLRUEvictionKeepsLiveReadersMapped(t *testing.T) {
+	ts1 := luTraces(t, npb.ClassS, 4)
+	ts2 := luTraces(t, npb.ClassS, 2)
+	store := NewTraceStore(100)
+
+	if store.Add("sha256:aa", ts1, 80) {
+		t.Fatal("fresh digest reported existed")
+	}
+	h, ok := store.Acquire("sha256:aa")
+	if !ok {
+		t.Fatal("acquire failed")
+	}
+
+	// Inserting the second set blows the budget; the referenced first set
+	// must be evicted from the index but stay mapped for h.
+	store.Add("sha256:bb", ts2, 80)
+	if _, ok := store.Acquire("sha256:aa"); ok {
+		t.Fatal("evicted digest still acquirable")
+	}
+	st := store.Stats()
+	if st.Evictions != 1 || st.LiveEvicted != 1 || st.ZombieBytes != 80 {
+		t.Fatalf("eviction accounting: %+v", st)
+	}
+	if h.Set().Ranks() != 4 {
+		t.Fatal("live reader lost its mapped set")
+	}
+
+	h.Release()
+	h.Release() // idempotent
+	st = store.Stats()
+	if st.LiveEvicted != 0 || st.ZombieBytes != 0 {
+		t.Fatalf("release did not clear zombie accounting: %+v", st)
+	}
+
+	// The survivor still serves.
+	if r, ok := store.Ranks("sha256:bb"); !ok || r != 2 {
+		t.Fatalf("survivor: ranks=%d ok=%v", r, ok)
+	}
+	store.Close()
+}
+
+// TestStoreNeverEvictsNewestEntry: a budget smaller than one trace still
+// serves that trace.
+func TestStoreNeverEvictsNewestEntry(t *testing.T) {
+	store := NewTraceStore(1)
+	store.Add("sha256:big", luTraces(t, npb.ClassS, 2), 1000)
+	if _, ok := store.Acquire("sha256:big"); !ok {
+		t.Fatal("over-budget sole entry was evicted")
+	}
+}
+
+// TestConcurrentStoreChurn hammers Add/Acquire/Release/eviction under the
+// race detector.
+func TestConcurrentStoreChurn(t *testing.T) {
+	store := NewTraceStore(300)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				dig := fmt.Sprintf("sha256:%d-%d", g, i%5)
+				if _, ok := store.Acquire(dig); !ok {
+					store.Add(dig, luTraces(t, npb.ClassS, 2), 90)
+				}
+				if h, ok := store.Acquire(dig); ok {
+					h.Set().Ranks()
+					h.Release()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Leaked handles from the first Acquire branch are fine for the store
+	// (they are never released here), but accounting must stay coherent.
+	st := store.Stats()
+	if st.Bytes > 300+90 {
+		t.Fatalf("store over budget beyond the newest-entry allowance: %+v", st)
+	}
+	store.Close()
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"sync"
+
+	"tireplay/internal/platform"
+)
+
+// platformCache keeps warm platform descriptions keyed by canonical builtin
+// spec ("bordereau:8x1"), plus the host list the deployment layer derives
+// from each. Descriptions are read-only in the sweep engine (every scenario
+// deep-copies before scaling and instantiates its own kernel), so one cached
+// description serves any number of concurrent sweeps; what is saved per
+// request is the description build and the host enumeration, not the
+// per-scenario kernel instantiation — that must stay per-kernel for
+// correctness.
+type platformCache struct {
+	mu      sync.Mutex
+	entries map[string]*platformEntry
+	hits    int64
+	misses  int64
+}
+
+type platformEntry struct {
+	p     *platform.Platform
+	hosts []string
+}
+
+// maxPlatformEntries bounds the cache; distinct platform specs are few in
+// practice (the grammar spans ~400 bordereau shapes), so a hard cap with a
+// full reset on overflow is simpler than LRU and just as effective.
+const maxPlatformEntries = 512
+
+func newPlatformCache() *platformCache {
+	return &platformCache{entries: make(map[string]*platformEntry)}
+}
+
+// get resolves a builtin platform spec to its canonical key, description
+// and host list, building and caching on first use.
+func (c *platformCache) get(spec string) (key string, p *platform.Platform, hosts []string, err error) {
+	b, err := platform.ParseBuiltin(spec)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	key = b.String()
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return key, e.p, e.hosts, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	// Build outside the lock; a racing miss on the same key builds twice
+	// and the second insert wins harmlessly (descriptions are stateless).
+	if p, err = b.Build(); err != nil {
+		return "", nil, nil, err
+	}
+	if hosts, err = p.Hosts(); err != nil {
+		return "", nil, nil, err
+	}
+	c.mu.Lock()
+	if len(c.entries) >= maxPlatformEntries {
+		c.entries = make(map[string]*platformEntry)
+	}
+	c.entries[key] = &platformEntry{p: p, hosts: hosts}
+	c.mu.Unlock()
+	return key, p, hosts, nil
+}
+
+// platformCacheStats is the cache's /stats snapshot.
+type platformCacheStats struct {
+	Entries int   `json:"entries"`
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+}
+
+func (c *platformCache) stats() platformCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return platformCacheStats{Entries: len(c.entries), Hits: c.hits, Misses: c.misses}
+}

@@ -1,0 +1,758 @@
+// Package serve turns the replay stack into a long-running service: a
+// resident daemon holding a content-addressed store of parsed traces, a
+// warm cache of built platforms, and a single-flight cache of sweep results,
+// executing sweep requests on one shared worker pool.
+//
+// This is the paper's economics taken to its conclusion. Acquiring a
+// time-independent trace is expensive and done once; every what-if question
+// against it is deterministic, so the unit of work worth optimizing is the
+// scenario-hour served, not the process launched. The daemon parses a trace
+// once (mmapped binary traces are shared straight out of the page cache),
+// answers repeated questions from cache byte-identically with zero replay,
+// coalesces identical concurrent questions onto one kernel run, and sheds
+// load crisply (429 + Retry-After) when the admission queue is full.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tireplay/internal/platform"
+	"tireplay/internal/replay"
+	"tireplay/internal/smpi"
+	"tireplay/internal/sweep"
+	"tireplay/internal/trace"
+)
+
+// StatusClientClosedRequest reports a request whose client disconnected
+// before the outcome was ready (nginx's conventional 499).
+const StatusClientClosedRequest = 499
+
+// Config parameterises the daemon.
+type Config struct {
+	// TraceBudget bounds the trace store in bytes (<= 0: 1 GiB).
+	TraceBudget int64
+	// ResultBudget bounds the result cache in bytes (<= 0: 256 MiB).
+	ResultBudget int64
+	// MaxConcurrent bounds sweeps executing at once (<= 0: 2).
+	MaxConcurrent int
+	// MaxQueue bounds sweeps waiting for a slot; beyond it requests are
+	// shed with 429 (< 0: 0).
+	MaxQueue int
+	// Workers is the shared engine pool width (<= 0: GOMAXPROCS).
+	Workers int
+	// MaxScenarios bounds one request's grid size (<= 0: 4096).
+	MaxScenarios int
+	// MaxBodyBytes bounds a request body (<= 0: 64 MiB).
+	MaxBodyBytes int64
+	// AllowPaths permits registering traces from daemon-local directories
+	// via POST /traces {"path": ...}. Leave off when untrusted clients can
+	// reach the daemon.
+	AllowPaths bool
+	// RetryAfter is the Retry-After hint in seconds on shed requests
+	// (<= 0: 1).
+	RetryAfter int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+	if c.MaxScenarios <= 0 {
+		c.MaxScenarios = 4096
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 1
+	}
+	return c
+}
+
+// Server is the daemon state behind the HTTP surface.
+type Server struct {
+	cfg       Config
+	engine    *sweep.Engine
+	traces    *TraceStore
+	platforms *platformCache
+	results   *resultCache
+	flights   *flightGroup
+	admitted  *admission
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	start   time.Time
+
+	requests        atomic.Int64
+	sweepsRun       atomic.Int64
+	scenariosServed atomic.Int64
+
+	bodies sync.Pool // *bytes.Buffer
+}
+
+// New builds a Server; Close it when done.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:       cfg,
+		engine:    sweep.NewEngine(cfg.Workers),
+		traces:    NewTraceStore(cfg.TraceBudget),
+		platforms: newPlatformCache(),
+		results:   newResultCache(cfg.ResultBudget),
+		flights:   newFlightGroup(),
+		admitted:  newAdmission(cfg.MaxConcurrent, cfg.MaxQueue),
+		baseCtx:   ctx,
+		cancel:    cancel,
+		start:     time.Now(),
+		bodies:    sync.Pool{New: func() any { return new(bytes.Buffer) }},
+	}
+}
+
+// Close aborts in-flight sweeps, stops the engine pool and releases the
+// trace store. In-flight requests return errors; call after (or while)
+// draining the HTTP listener.
+func (s *Server) Close() {
+	s.cancel()
+	s.engine.Close()
+	s.traces.Close()
+}
+
+// Abort cancels in-flight sweeps without stopping the engine — the
+// shutdown grace hammer: handlers return promptly, then Close finishes.
+func (s *Server) Abort() { s.cancel() }
+
+// Handler returns the daemon's HTTP surface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /traces", s.handleTraceUpload)
+	mux.HandleFunc("GET /traces", s.handleTraceList)
+	mux.HandleFunc("POST /sweeps", s.handleSweep)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// httpError is an outcome with a status; its message lands in the JSON
+// error body.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func httpErrorf(status int, format string, args ...any) *httpError {
+	return &httpError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+func writeJSONError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// readBody drains the request body into a pooled buffer. The returned bytes
+// are valid until release is called.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) (body []byte, release func(), err error) {
+	buf := s.bodies.Get().(*bytes.Buffer)
+	buf.Reset()
+	lr := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if _, err := buf.ReadFrom(lr); err != nil {
+		s.bodies.Put(buf)
+		return nil, nil, err
+	}
+	return buf.Bytes(), func() { s.bodies.Put(buf) }, nil
+}
+
+// ---- POST /traces -------------------------------------------------------
+
+// uploadRequest registers a trace set: either the per-rank trace texts
+// inline, or (when the daemon allows it) a daemon-local directory in the
+// layout tau2ti emits.
+type uploadRequest struct {
+	// Traces holds the per-rank time-independent traces, text encoding,
+	// rank order.
+	Traces []string `json:"traces,omitempty"`
+	// Path and Ranks register SG_process<r>.trace(.gz)/.tib files from a
+	// daemon-local directory; binary traces stay memory-mapped.
+	Path  string `json:"path,omitempty"`
+	Ranks int    `json:"ranks,omitempty"`
+}
+
+// uploadResponse names the registered set.
+type uploadResponse struct {
+	Digest  string `json:"digest"`
+	Ranks   int    `json:"ranks"`
+	Bytes   int64  `json:"bytes"`
+	Existed bool   `json:"existed"`
+}
+
+func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
+	body, release, err := s.readBody(w, r)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	defer release()
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var req uploadRequest
+	if err := dec.Decode(&req); err != nil {
+		writeJSONError(w, http.StatusBadRequest, "bad upload request: "+err.Error())
+		return
+	}
+	var resp *uploadResponse
+	var herr *httpError
+	switch {
+	case len(req.Traces) > 0 && req.Path != "":
+		herr = httpErrorf(http.StatusBadRequest, "give traces or path, not both")
+	case len(req.Traces) > 0:
+		resp, herr = s.registerInline(req.Traces)
+	case req.Path != "":
+		resp, herr = s.registerPath(req.Path, req.Ranks)
+	default:
+		herr = httpErrorf(http.StatusBadRequest, "empty upload: need traces or path")
+	}
+	if herr != nil {
+		writeJSONError(w, herr.status, herr.msg)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// registerInline stores per-rank trace texts uploaded in the request body.
+func (s *Server) registerInline(texts []string) (*uploadResponse, *httpError) {
+	d := trace.NewDigester()
+	var bytes int64
+	for _, t := range texts {
+		d.Rank([]byte(t))
+		bytes += int64(len(t))
+	}
+	digest := d.Sum()
+	resp := &uploadResponse{Digest: digest, Ranks: len(texts), Bytes: bytes}
+	if s.traces.Touch(digest) {
+		resp.Existed = true
+		return resp, nil
+	}
+	perRank := make([][]trace.Action, len(texts))
+	for r, t := range texts {
+		acts, err := trace.ParseAll(strings.NewReader(t))
+		if err != nil {
+			return nil, httpErrorf(http.StatusBadRequest, "rank %d: %v", r, err)
+		}
+		perRank[r] = acts
+	}
+	resp.Existed = s.traces.Add(digest, sweep.TracesFromActions(perRank), bytes)
+	return resp, nil
+}
+
+// registerPath stores a trace set resolved from a daemon-local directory.
+func (s *Server) registerPath(dir string, ranks int) (*uploadResponse, *httpError) {
+	if !s.cfg.AllowPaths {
+		return nil, httpErrorf(http.StatusForbidden, "path registration is disabled")
+	}
+	if ranks <= 0 {
+		return nil, httpErrorf(http.StatusBadRequest, "path registration needs a positive ranks count")
+	}
+	paths := make([]string, ranks)
+	for r := 0; r < ranks; r++ {
+		p, err := resolveTraceFile(dir, r)
+		if err != nil {
+			return nil, httpErrorf(http.StatusBadRequest, "%v", err)
+		}
+		paths[r] = p
+	}
+	digest, bytes, err := trace.DigestFiles(paths)
+	if err != nil {
+		return nil, httpErrorf(http.StatusBadRequest, "%v", err)
+	}
+	resp := &uploadResponse{Digest: digest, Ranks: ranks, Bytes: bytes}
+	if s.traces.Touch(digest) {
+		resp.Existed = true
+		return resp, nil
+	}
+	ts, err := sweep.LoadDir(dir, ranks)
+	if err != nil {
+		return nil, httpErrorf(http.StatusBadRequest, "%v", err)
+	}
+	if s.traces.Add(digest, ts, bytes) {
+		// A racing registration beat us; ours was not adopted.
+		ts.Close()
+		resp.Existed = true
+	}
+	return resp, nil
+}
+
+// resolveTraceFile locates rank r's trace file under dir, preferring the
+// same encoding order as the sweep loader.
+func resolveTraceFile(dir string, r int) (string, error) {
+	names := []string{trace.ProcessFileName(r), trace.GzipFileName(r), trace.BinaryFileName(r)}
+	for _, name := range names {
+		p := filepath.Join(dir, name)
+		if _, err := os.Stat(p); err == nil {
+			return p, nil
+		}
+	}
+	return "", fmt.Errorf("no trace for rank %d under %s (tried %s)",
+		r, dir, strings.Join(names, ", "))
+}
+
+func (s *Server) handleTraceList(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.traces.List())
+}
+
+// ---- POST /sweeps -------------------------------------------------------
+
+// GridSpec is the scenario grid of a sweep request, every axis in the
+// corresponding tisweep flag syntax.
+type GridSpec struct {
+	Lat   string `json:"lat,omitempty"`
+	Bw    string `json:"bw,omitempty"`
+	Power string `json:"power,omitempty"`
+	Fold  string `json:"fold,omitempty"`
+	Hosts string `json:"hosts,omitempty"`
+	Coll  string `json:"coll,omitempty"`
+	Topo  string `json:"topo,omitempty"`
+	Fault string `json:"fault,omitempty"`
+	Ckpt  string `json:"ckpt,omitempty"`
+}
+
+// SweepRequest asks the daemon to replay a stored trace over a scenario
+// grid. The response body is a deterministic function of the request's
+// canonical form: execution-only knobs (fork) never appear in it, so
+// repeated questions are served from cache byte-identically.
+type SweepRequest struct {
+	// Trace is the content digest of a stored trace set ("sha256:...").
+	Trace string `json:"trace"`
+	// Platform is a builtin base-platform spec ("bordereau:8" or
+	// "bordereau:8x4"); empty means bordereau sized to the trace's ranks.
+	// Ignored when every grid cell sets a topology.
+	Platform string   `json:"platform,omitempty"`
+	Grid     GridSpec `json:"grid"`
+	// NoMPIModel disables the piece-wise linear MPI model.
+	NoMPIModel bool `json:"no_mpi_model,omitempty"`
+	// Partition splits scenarios across kernels per disjoint platform
+	// component.
+	Partition bool `json:"partition,omitempty"`
+	// Fork toggles shared-prefix forking (default on). Forking is proven
+	// result-identical, so this knob does not shape the response and is
+	// not part of the cache key.
+	Fork *bool `json:"fork,omitempty"`
+	// Timed includes each scenario's timed trace in the response
+	// (base64); traces are byte-identical on every execution.
+	Timed bool `json:"timed,omitempty"`
+	// Profile includes per-process profiles in the response.
+	Profile bool `json:"profile,omitempty"`
+}
+
+// ScenarioRow is one scenario's deterministic outcome.
+type ScenarioRow struct {
+	sweep.Scenario
+	Name          string                `json:"name"`
+	SimulatedTime float64               `json:"simulated_time"`
+	Actions       int64                 `json:"actions"`
+	Components    int                   `json:"components"`
+	Resilience    *replay.Resilience    `json:"resilience,omitempty"`
+	Profile       []*replay.ProcProfile `json:"profile,omitempty"`
+	Timed         []byte                `json:"timed,omitempty"`
+	Err           string                `json:"err,omitempty"`
+}
+
+// SweepResponse is the deterministic response body of POST /sweeps.
+// Execution facts that vary run to run — wall time, worker count, fork
+// reuse — are deliberately absent (headers and /stats carry them), so the
+// body is a pure function of (trace digest, canonical request) and stays
+// byte-identical between a replayed and a cached answer.
+type SweepResponse struct {
+	Trace     string        `json:"trace"`
+	Platform  string        `json:"platform,omitempty"`
+	Scenarios []ScenarioRow `json:"scenarios"`
+}
+
+// sweepPlan is a parsed, canonicalized sweep request.
+type sweepPlan struct {
+	key                             string // canonical cache key
+	digest                          string
+	platKey                         string
+	platform                        *platform.Platform
+	grid                            sweep.Grid
+	identity                        bool
+	partition, timed, profile, fork bool
+}
+
+// parseSweep decodes, validates and canonicalizes a request body.
+func (s *Server) parseSweep(body []byte) (*sweepPlan, *httpError) {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var req SweepRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, httpErrorf(http.StatusBadRequest, "bad sweep request: %v", err)
+	}
+	if req.Trace == "" {
+		return nil, httpErrorf(http.StatusBadRequest, "missing trace digest")
+	}
+	ranks, ok := s.traces.Ranks(req.Trace)
+	if !ok {
+		return nil, httpErrorf(http.StatusNotFound, "unknown trace %s", req.Trace)
+	}
+
+	p := &sweepPlan{digest: req.Trace, identity: req.NoMPIModel,
+		partition: req.Partition, timed: req.Timed, profile: req.Profile, fork: true}
+	if req.Fork != nil {
+		p.fork = *req.Fork
+	}
+	var err error
+	g := &p.grid
+	if g.LatencyScale, err = sweep.ParseFloatList(req.Grid.Lat); err == nil {
+		if g.BandwidthScale, err = sweep.ParseFloatList(req.Grid.Bw); err == nil {
+			if g.PowerScale, err = sweep.ParseFloatList(req.Grid.Power); err == nil {
+				if g.Fold, err = sweep.ParseIntList(req.Grid.Fold); err == nil {
+					if g.Hosts, err = sweep.ParseIntList(req.Grid.Hosts); err == nil {
+						if g.Coll, err = sweep.ParseCollList(req.Grid.Coll); err == nil {
+							if g.Topo, err = sweep.ParseTopoList(req.Grid.Topo); err == nil {
+								if g.Faults, err = sweep.ParseFaultList(req.Grid.Fault); err == nil {
+									g.Ckpt, err = sweep.ParseCkptList(req.Grid.Ckpt)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if err != nil {
+		return nil, httpErrorf(http.StatusBadRequest, "bad grid: %v", err)
+	}
+	if n := p.grid.Size(); n > s.cfg.MaxScenarios {
+		return nil, httpErrorf(http.StatusBadRequest,
+			"grid expands to %d scenarios, limit %d", n, s.cfg.MaxScenarios)
+	}
+
+	// The base platform only exists when some cell needs it; a pure
+	// topology sweep replays entirely on generated fabrics.
+	if len(p.grid.Topo) == 0 {
+		spec := req.Platform
+		if spec == "" {
+			spec = fmt.Sprintf("bordereau:%d", ranks)
+		}
+		key, plat, _, err := s.platforms.get(spec)
+		if err != nil {
+			return nil, httpErrorf(http.StatusBadRequest, "%v", err)
+		}
+		p.platKey, p.platform = key, plat
+	} else if req.Platform != "" {
+		return nil, httpErrorf(http.StatusBadRequest,
+			"platform is ignored when every cell sets a topology; drop it")
+	}
+
+	p.key = canonicalSweepKey(p)
+	return p, nil
+}
+
+// canonicalSweepKey renders the request's canonical identity: the trace
+// digest, the canonical platform key, the model and output options, and
+// every grid axis re-rendered canonically with defaults applied — so two
+// requests that expand to the same scenarios share one cache entry and one
+// in-flight execution, however they were spelled.
+func canonicalSweepKey(p *sweepPlan) string {
+	var b strings.Builder
+	b.WriteString(p.digest)
+	b.WriteByte('\n')
+	b.WriteString(p.platKey)
+	fmt.Fprintf(&b, "\nmodel=%t part=%t timed=%t prof=%t",
+		p.identity, p.partition, p.timed, p.profile)
+	b.WriteString("\nlat=")
+	writeFloats(&b, p.grid.LatencyScale)
+	b.WriteString("\nbw=")
+	writeFloats(&b, p.grid.BandwidthScale)
+	b.WriteString("\npow=")
+	writeFloats(&b, p.grid.PowerScale)
+	b.WriteString("\nfold=")
+	writeInts(&b, p.grid.Fold, 1)
+	b.WriteString("\nhosts=")
+	writeInts(&b, p.grid.Hosts, 0)
+	b.WriteString("\ncoll=")
+	if len(p.grid.Coll) == 0 {
+		b.WriteString("default")
+	}
+	for i, c := range p.grid.Coll {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(c.String())
+	}
+	b.WriteString("\ntopo=")
+	for i, t := range p.grid.Topo {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteString("\nfault=")
+	if len(p.grid.Faults) == 0 {
+		b.WriteString("none")
+	}
+	for i, f := range p.grid.Faults {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(f.String())
+	}
+	b.WriteString("\nckpt=")
+	if len(p.grid.Ckpt) == 0 {
+		b.WriteString("none")
+	}
+	for i, c := range p.grid.Ckpt {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(c.String())
+	}
+	return b.String()
+}
+
+func writeFloats(b *strings.Builder, vs []float64) {
+	if len(vs) == 0 {
+		b.WriteByte('1')
+		return
+	}
+	for i, v := range vs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	}
+}
+
+func writeInts(b *strings.Builder, vs []int, def int) {
+	if len(vs) == 0 {
+		b.WriteString(strconv.Itoa(def))
+		return
+	}
+	for i, v := range vs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(v))
+	}
+}
+
+// sweepOutcome is the computed reply of one sweep request.
+type sweepOutcome struct {
+	status     int
+	cache      string // "hit", "coalesced", "miss" or "" (not cacheable)
+	body       []byte
+	retryAfter bool
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	body, release, err := s.readBody(w, r)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	defer release()
+	out := s.sweepFromBody(r.Context(), body)
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	if out.cache != "" {
+		h.Set("X-Cache", out.cache)
+	}
+	if out.retryAfter {
+		h.Set("Retry-After", strconv.Itoa(s.cfg.RetryAfter))
+	}
+	w.WriteHeader(out.status)
+	w.Write(out.body)
+}
+
+// errorBody renders the JSON error payload of a non-200 outcome.
+func errorBody(msg string) []byte {
+	b, _ := json.Marshal(map[string]string{"error": msg})
+	return append(b, '\n')
+}
+
+// sweepFromBody is the request path under the HTTP envelope: raw body in,
+// status/body out. The first layer — hash the body, look it up, serve the
+// stored bytes — is allocation-free, so a repeated byte-identical request
+// costs no replay, no JSON decode and no garbage.
+func (s *Server) sweepFromBody(ctx context.Context, body []byte) sweepOutcome {
+	bodyHash := sha256.Sum256(body)
+	if b := s.results.lookupBody(bodyHash); b != nil {
+		return sweepOutcome{status: http.StatusOK, cache: "hit", body: b}
+	}
+
+	plan, herr := s.parseSweep(body)
+	if herr != nil {
+		return sweepOutcome{status: herr.status, body: errorBody(herr.msg)}
+	}
+	if b := s.results.lookup(plan.key, bodyHash); b != nil {
+		return sweepOutcome{status: http.StatusOK, cache: "hit", body: b}
+	}
+
+	f, fctx, runner := s.flights.enter(s.baseCtx, plan.key)
+	// Wire this participant's disconnect into the flight: the sweep is
+	// cancelled only when the last interested client is gone.
+	stop := context.AfterFunc(ctx, f.leave)
+	defer stop()
+	if !runner {
+		select {
+		case <-f.done:
+			return sweepOutcome{status: f.status, cache: "coalesced", body: f.body,
+				retryAfter: f.status == http.StatusTooManyRequests}
+		case <-ctx.Done():
+			return sweepOutcome{status: StatusClientClosedRequest,
+				body: errorBody("client disconnected")}
+		}
+	}
+	defer s.flights.exit(plan.key, f)
+	out := s.runSweep(fctx, plan, bodyHash)
+	f.settle(out.status, out.body)
+	out.cache = "miss"
+	return out
+}
+
+// runSweep executes one admitted sweep and caches a fully successful
+// response.
+func (s *Server) runSweep(ctx context.Context, plan *sweepPlan, bodyHash [32]byte) sweepOutcome {
+	// Re-check the cache now that this flight owns the key: a previous
+	// flight may have stored the result between our miss and our enter,
+	// and a cached answer must never burn an admission slot.
+	if b := s.results.recheck(plan.key, bodyHash); b != nil {
+		return sweepOutcome{status: http.StatusOK, body: b}
+	}
+	ok, shed := s.admitted.enter(ctx)
+	if shed {
+		return sweepOutcome{status: http.StatusTooManyRequests,
+			body: errorBody("admission queue full; retry later"), retryAfter: true}
+	}
+	if !ok {
+		return sweepOutcome{status: StatusClientClosedRequest,
+			body: errorBody("canceled while queued")}
+	}
+	defer s.admitted.leave()
+
+	th, ok := s.traces.Acquire(plan.digest)
+	if !ok {
+		// Evicted between parse and admission; the client re-uploads.
+		return sweepOutcome{status: http.StatusNotFound,
+			body: errorBody("trace " + plan.digest + " no longer stored")}
+	}
+	defer th.Release()
+
+	cfg := &sweep.Config{
+		Platform:  plan.platform,
+		Grid:      plan.grid,
+		Traces:    th.Set(),
+		Timed:     plan.timed,
+		Profile:   plan.profile,
+		Partition: plan.partition,
+		Fork:      plan.fork,
+	}
+	if plan.identity {
+		cfg.Model = smpi.Identity()
+	}
+	res, err := s.engine.Run(ctx, cfg)
+	s.sweepsRun.Add(1)
+	if err != nil {
+		return sweepOutcome{status: http.StatusServiceUnavailable,
+			body: errorBody("sweep canceled: " + err.Error())}
+	}
+	s.scenariosServed.Add(int64(len(res.Scenarios)))
+
+	resp := SweepResponse{Trace: plan.digest, Platform: plan.platKey,
+		Scenarios: make([]ScenarioRow, len(res.Scenarios))}
+	clean := true
+	for i := range res.Scenarios {
+		sc := &res.Scenarios[i]
+		resp.Scenarios[i] = ScenarioRow{
+			Scenario: sc.Scenario, Name: sc.Name,
+			SimulatedTime: sc.SimulatedTime, Actions: sc.Actions,
+			Components: sc.Components, Resilience: sc.Resilience,
+			Profile: sc.Profile, Timed: sc.TimedTrace, Err: sc.Err,
+		}
+		if sc.Err != "" {
+			clean = false
+		}
+	}
+	b, merr := json.Marshal(&resp)
+	if merr != nil {
+		return sweepOutcome{status: http.StatusInternalServerError, body: errorBody(merr.Error())}
+	}
+	b = append(b, '\n')
+	// Only fully successful sweeps are cached: per-scenario errors are
+	// legitimate results (a faulted cell aborting is the answer), but a
+	// panic message may embed nondeterministic detail, so err rows make
+	// the whole response uncacheable rather than risk pinning one.
+	if clean {
+		s.results.store(plan.key, bodyHash, b)
+	}
+	return sweepOutcome{status: http.StatusOK, body: b}
+}
+
+// ---- GET /healthz, GET /stats ------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// Stats is the /stats snapshot.
+type Stats struct {
+	UptimeSeconds   float64            `json:"uptime_seconds"`
+	Requests        int64              `json:"requests"`
+	SweepsRun       int64              `json:"sweeps_run"`
+	ScenariosServed int64              `json:"scenarios_served"`
+	Inflight        int                `json:"inflight"`
+	Coalesced       int64              `json:"coalesced"`
+	EngineWorkers   int                `json:"engine_workers"`
+	Cache           resultCacheStats   `json:"cache"`
+	Queue           admissionStats     `json:"queue"`
+	Traces          TraceStoreStats    `json:"traces"`
+	Platforms       platformCacheStats `json:"platforms"`
+}
+
+// Snapshot collects the daemon counters.
+func (s *Server) Snapshot() Stats {
+	inflight, coalesced := s.flights.stats()
+	return Stats{
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+		Requests:        s.requests.Load(),
+		SweepsRun:       s.sweepsRun.Load(),
+		ScenariosServed: s.scenariosServed.Load(),
+		Inflight:        inflight,
+		Coalesced:       coalesced,
+		EngineWorkers:   s.engine.Workers(),
+		Cache:           s.results.stats(),
+		Queue:           s.admitted.stats(),
+		Traces:          s.traces.Stats(),
+		Platforms:       s.platforms.stats(),
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Snapshot())
+}

@@ -4,9 +4,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -133,23 +131,29 @@ type partOut struct {
 	err        error
 }
 
-// Run executes the sweep: it expands the grid, schedules every scenario
-// component on the worker pool and merges the results deterministically.
-// Cancelling the context stops scheduling new work; already-running
-// scenarios finish (a kernel run is not interruptible), unstarted ones are
-// reported with Err "sweep: canceled", and Run returns the partial result
-// together with the context's error.
+// Run executes the sweep on a pool created for this one call: it expands
+// the grid, schedules every scenario component on the worker pool and merges
+// the results deterministically. Cancelling the context stops scheduling new
+// work; already-running scenarios finish (a kernel run is not
+// interruptible), unstarted ones are reported with Err "sweep: canceled",
+// and Run returns the partial result together with the context's error.
+// Services that execute many sweeps should hold one Engine and call its Run
+// instead, reusing the worker goroutines across requests.
 func Run(ctx context.Context, cfg *Config) (*Result, error) {
+	e := NewEngine(cfg.Workers)
+	defer e.Close()
+	return e.Run(ctx, cfg)
+}
+
+// Run executes one sweep on the engine's resident pool. The semantics are
+// those of the package-level Run; concurrent calls share the pool's workers.
+func (e *Engine) Run(ctx context.Context, cfg *Config) (*Result, error) {
 	if cfg.Traces == nil || cfg.Traces.Ranks() == 0 {
 		return nil, fmt.Errorf("sweep: empty trace set")
 	}
 	model := cfg.Model
 	if model == nil {
 		model = smpi.Default()
-	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
 	}
 
 	scenarios := cfg.Grid.Expand()
@@ -263,55 +267,53 @@ func Run(ctx context.Context, cfg *Config) (*Result, error) {
 	}
 
 	start := time.Now()
-	// The channel buffers every task that will ever exist, so enqueueing —
-	// including a donor's worker pushing its member tasks — never blocks.
-	// The worker that drains the last task closes the channel; a cancelled
-	// context skips the replays but still drains, so the count always
-	// reaches zero and the canceled rows keep their marker.
-	jobs := make(chan task, total)
+	// Every task that will ever exist — including the member tasks a donor
+	// fans out after capturing its prefix — is pre-counted in total, so the
+	// sweep is over exactly when the outstanding counter reaches zero. A
+	// cancelled context skips the replays but still drains every task, so
+	// the count always reaches zero and the canceled rows keep their marker.
+	done := make(chan struct{})
 	var outstanding atomic.Int64
 	outstanding.Store(int64(total))
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for t := range jobs {
-				switch t.kind {
-				case taskDonor:
-					t.grp.runDonor(ctx, cfg, model, scenarios[t.grp.members[0]], depls[t.grp.members[0]])
-					for _, si := range t.grp.members {
-						jobs <- task{kind: taskMember, si: si, pi: 0, part: partsBy[si][0], grp: t.grp}
-					}
-				default:
-					if ctx.Err() == nil {
-						var out partOut
-						if t.kind == taskMember {
-							out = safeRunMember(cfg, model, scenarios[t.si], depls[t.si], t.part, t.grp)
-						} else {
-							out = safeRunTask(cfg, model, scenarios[t.si], depls[t.si], t.part)
-						}
-						outs[t.si][t.pi] = out
-						if remaining[t.si].Add(-1) == 0 {
-							results[t.si] = mergeScenario(cfg, scenarios[t.si], outs[t.si])
-							if cfg.OnResult != nil {
-								cfg.OnResult(&results[t.si])
-							}
-						}
-					}
+	finish := func() {
+		if outstanding.Add(-1) == 0 {
+			close(done)
+		}
+	}
+	var exec func(t task)
+	exec = func(t task) {
+		switch t.kind {
+		case taskDonor:
+			t.grp.runDonor(ctx, cfg, model, scenarios[t.grp.members[0]], depls[t.grp.members[0]])
+			for _, si := range t.grp.members {
+				mt := task{kind: taskMember, si: si, pi: 0, part: partsBy[si][0], grp: t.grp}
+				e.submit(func() { exec(mt); finish() })
+			}
+		default:
+			if ctx.Err() == nil {
+				var out partOut
+				if t.kind == taskMember {
+					out = safeRunMember(cfg, model, scenarios[t.si], depls[t.si], t.part, t.grp)
+				} else {
+					out = safeRunTask(cfg, model, scenarios[t.si], depls[t.si], t.part)
 				}
-				if outstanding.Add(-1) == 0 {
-					close(jobs)
+				outs[t.si][t.pi] = out
+				if remaining[t.si].Add(-1) == 0 {
+					results[t.si] = mergeScenario(cfg, scenarios[t.si], outs[t.si])
+					if cfg.OnResult != nil {
+						cfg.OnResult(&results[t.si])
+					}
 				}
 			}
-		}()
+		}
 	}
 	for _, t := range initial {
-		jobs <- t
+		t := t
+		e.submit(func() { exec(t); finish() })
 	}
-	wg.Wait()
+	<-done
 
-	res := &Result{Workers: workers, Wall: time.Since(start), Scenarios: results}
+	res := &Result{Workers: e.workers, Wall: time.Since(start), Scenarios: results}
 	return res, ctx.Err()
 }
 

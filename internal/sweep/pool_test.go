@@ -1,0 +1,91 @@
+package sweep
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"tireplay/internal/coll"
+	"tireplay/internal/npb"
+	"tireplay/internal/platform"
+)
+
+// TestEngineReuseAcrossRuns holds one Engine across several Run calls —
+// the resident-daemon usage — and checks each run matches the one-shot
+// package Run, sequentially and concurrently.
+func TestEngineReuseAcrossRuns(t *testing.T) {
+	traces := luTraces(t, npb.ClassS, 4)
+	plat := platform.BordereauWithCores(4, 1)
+	grids := []Grid{
+		{LatencyScale: []float64{1, 2}, BandwidthScale: []float64{1, 10}},
+		{Coll: mustColls(t, "default;bcast=binomial"), Fold: []int{1, 2}},
+		{LatencyScale: []float64{0.5, 1, 4}},
+	}
+	cfgFor := func(g Grid) *Config {
+		return &Config{Platform: plat, Grid: g, Traces: traces, Fork: true}
+	}
+	want := make([]*Result, len(grids))
+	for i, g := range grids {
+		r, err := Run(context.Background(), cfgFor(g))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r
+	}
+
+	e := NewEngine(2)
+	defer e.Close()
+
+	// Sequential reuse.
+	for i, g := range grids {
+		got, err := e.Run(context.Background(), cfgFor(g))
+		if err != nil {
+			t.Fatalf("reused run %d: %v", i, err)
+		}
+		assertSameScenarios(t, want[i], got)
+	}
+
+	// Concurrent reuse: several sweeps interleaved on one pool.
+	var wg sync.WaitGroup
+	for i, g := range grids {
+		wg.Add(1)
+		go func(i int, g Grid) {
+			defer wg.Done()
+			got, err := e.Run(context.Background(), cfgFor(g))
+			if err != nil {
+				t.Errorf("concurrent run %d: %v", i, err)
+				return
+			}
+			assertSameScenarios(t, want[i], got)
+		}(i, g)
+	}
+	wg.Wait()
+}
+
+// mustColls parses a coll axis spec.
+func mustColls(t *testing.T, spec string) []coll.Config {
+	t.Helper()
+	cs, err := ParseCollList(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cs
+}
+
+// assertSameScenarios compares the deterministic scenario fields of two
+// results (wall time and fork accounting legitimately differ).
+func assertSameScenarios(t *testing.T, want, got *Result) {
+	t.Helper()
+	if len(got.Scenarios) != len(want.Scenarios) {
+		t.Fatalf("got %d scenarios, want %d", len(got.Scenarios), len(want.Scenarios))
+	}
+	for i := range want.Scenarios {
+		w, g := &want.Scenarios[i], &got.Scenarios[i]
+		if g.Name != w.Name || g.SimulatedTime != w.SimulatedTime ||
+			g.Actions != w.Actions || g.Err != w.Err {
+			t.Fatalf("scenario %d: got {%s t=%g a=%d err=%q}, want {%s t=%g a=%d err=%q}",
+				i, g.Name, g.SimulatedTime, g.Actions, g.Err,
+				w.Name, w.SimulatedTime, w.Actions, w.Err)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package trace
+
+// This file implements content addressing for trace sets. A
+// time-independent trace is immutable once acquired, and replay results are
+// deterministic functions of its bytes, so a SHA-256 digest over the
+// per-rank files both names a trace set (upload deduplication in a trace
+// store) and keys every result derived from it (a replay cache can serve a
+// digest's results forever without revalidation).
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"io"
+	"os"
+)
+
+// DigestPrefix names the digest algorithm in rendered digests
+// ("sha256:<hex>"), so a stored digest stays self-describing if the
+// algorithm ever changes.
+const DigestPrefix = "sha256:"
+
+// Digester accumulates the content digest of a per-rank trace file set. The
+// framing is length-prefixed per rank (rank index, byte count, bytes), so
+// rank boundaries are part of the identity: concatenations or
+// redistributions of the same bytes hash differently.
+type Digester struct {
+	h    hash.Hash
+	next int
+}
+
+// NewDigester returns an empty digester; add ranks in index order.
+func NewDigester() *Digester {
+	return &Digester{h: sha256.New()}
+}
+
+// Rank hashes the raw bytes of the next rank's trace file (any encoding:
+// text, gzip or binary bytes are hashed as-is).
+func (d *Digester) Rank(data []byte) {
+	d.frame(len(data))
+	d.h.Write(data)
+	d.next++
+}
+
+// RankReader streams the next rank's trace bytes into the digest; size must
+// be the exact byte count r will yield.
+func (d *Digester) RankReader(r io.Reader, size int64) error {
+	d.frame64(size)
+	n, err := io.Copy(d.h, r)
+	if err != nil {
+		return err
+	}
+	if n != size {
+		return fmt.Errorf("trace: digest rank %d: read %d bytes, want %d", d.next, n, size)
+	}
+	d.next++
+	return nil
+}
+
+func (d *Digester) frame(size int) { d.frame64(int64(size)) }
+
+func (d *Digester) frame64(size int64) {
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[:8], uint64(d.next))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(size))
+	d.h.Write(hdr[:])
+}
+
+// Sum renders the accumulated digest as "sha256:<hex>". The digester can
+// keep accumulating afterwards.
+func (d *Digester) Sum() string {
+	return fmt.Sprintf("%s%x", DigestPrefix, d.h.Sum(nil))
+}
+
+// DigestRanks digests in-memory per-rank trace contents in rank order.
+func DigestRanks(ranks [][]byte) string {
+	d := NewDigester()
+	for _, b := range ranks {
+		d.Rank(b)
+	}
+	return d.Sum()
+}
+
+// DigestFiles digests the per-rank trace files in the given (rank) order,
+// streaming each file through the hash without loading it whole. It also
+// returns the summed byte size of the set — the unit a byte-budgeted store
+// accounts in.
+func DigestFiles(paths []string) (digest string, bytes int64, err error) {
+	d := NewDigester()
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return "", 0, err
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return "", 0, err
+		}
+		err = d.RankReader(f, st.Size())
+		f.Close()
+		if err != nil {
+			return "", 0, fmt.Errorf("trace: %s: %w", p, err)
+		}
+		bytes += st.Size()
+	}
+	return d.Sum(), bytes, nil
+}

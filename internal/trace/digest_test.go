@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"bytes"
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDigestRanksDeterministicAndFramed(t *testing.T) {
+	a := DigestRanks([][]byte{[]byte("p0 compute 1\n"), []byte("p1 compute 2\n")})
+	b := DigestRanks([][]byte{[]byte("p0 compute 1\n"), []byte("p1 compute 2\n")})
+	if a != b {
+		t.Fatalf("same ranks digested differently: %s vs %s", a, b)
+	}
+	if !strings.HasPrefix(a, DigestPrefix) || len(a) != len(DigestPrefix)+64 {
+		t.Fatalf("digest shape: %q", a)
+	}
+
+	// The per-rank framing must distinguish where rank boundaries fall:
+	// the same concatenated bytes split differently are different sets.
+	x := DigestRanks([][]byte{[]byte("ab"), []byte("c")})
+	y := DigestRanks([][]byte{[]byte("a"), []byte("bc")})
+	if x == y {
+		t.Fatal("rank framing is invisible to the digest")
+	}
+
+	// Rank order matters: swapped ranks are a different trace set.
+	p := DigestRanks([][]byte{[]byte("a"), []byte("b")})
+	q := DigestRanks([][]byte{[]byte("b"), []byte("a")})
+	if p == q {
+		t.Fatal("rank order is invisible to the digest")
+	}
+}
+
+func TestDigesterIncrementalMatchesDigestRanks(t *testing.T) {
+	ranks := [][]byte{[]byte("first rank"), []byte(""), []byte("third")}
+	d := NewDigester()
+	for _, r := range ranks {
+		d.Rank(r)
+	}
+	if got, want := d.Sum(), DigestRanks(ranks); got != want {
+		t.Fatalf("incremental %s != one-shot %s", got, want)
+	}
+}
+
+func TestDigesterRankReader(t *testing.T) {
+	data := []byte("streamed rank contents")
+	d := NewDigester()
+	if err := d.RankReader(bytes.NewReader(data), int64(len(data))); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := d.Sum(), DigestRanks([][]byte{data}); got != want {
+		t.Fatalf("reader digest %s != in-memory %s", got, want)
+	}
+
+	// A size that does not match the stream is an error, not a silent
+	// short read — the digest must cover exactly the declared bytes.
+	if err := NewDigester().RankReader(bytes.NewReader(data), int64(len(data))+5); err == nil {
+		t.Fatal("short stream accepted")
+	}
+}
+
+func TestDigestFiles(t *testing.T) {
+	dir := t.TempDir()
+	text := filepath.Join(dir, ProcessFileName(0))
+	if err := os.WriteFile(text, []byte("p0 compute 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	zw.Write([]byte("p1 compute 2\n"))
+	zw.Close()
+	gzp := filepath.Join(dir, GzipFileName(1))
+	if err := os.WriteFile(gzp, gz.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	dig, n, err := DigestFiles([]string{text, gzp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(13 + gz.Len()); n != want {
+		t.Fatalf("byte count %d, want %d", n, want)
+	}
+	// The digest addresses file CONTENT bytes (compressed for .gz): the
+	// same bytes under different names digest identically.
+	other := filepath.Join(dir, "renamed.trace")
+	if err := os.WriteFile(other, []byte("p0 compute 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dig2, _, err := DigestFiles([]string{other, gzp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dig != dig2 {
+		t.Fatalf("renaming a file changed the content digest: %s vs %s", dig, dig2)
+	}
+
+	if _, _, err := DigestFiles([]string{filepath.Join(dir, "absent.trace")}); err == nil {
+		t.Fatal("digesting a missing file succeeded")
+	}
+}
