@@ -129,17 +129,14 @@ func main() {
 		tracers = append(tracers, prof)
 	}
 	var tw *replay.TimedTraceWriter
+	var timedFile *os.File
 	if *timed != "" {
-		timedFile, err := os.Create(*timed)
+		timedFile, err = os.Create(*timed)
 		if err != nil {
 			fail(err)
 		}
 		tw = replay.NewTimedTraceWriter(timedFile)
 		tracers = append(tracers, tw)
-		defer func() {
-			tw.Flush()
-			timedFile.Close()
-		}()
 	}
 	if len(tracers) > 0 {
 		cfg.TimedTracer = tracers
@@ -148,6 +145,17 @@ func main() {
 	res, err := replay.RunFiles(b, d, cfg)
 	if err != nil {
 		fail(err)
+	}
+	// A timed trace that lost even one record is worse than none: the
+	// writer's sticky error turns a short write anywhere in the run into a
+	// failed replay rather than a silently truncated trace.
+	if tw != nil {
+		if err := tw.Flush(); err != nil {
+			fail(fmt.Errorf("writing timed trace %s: %w", *timed, err))
+		}
+		if err := timedFile.Close(); err != nil {
+			fail(fmt.Errorf("writing timed trace %s: %w", *timed, err))
+		}
 	}
 	fmt.Printf("simulated execution time: %s\n", units.FormatSeconds(res.SimulatedTime))
 	fmt.Printf("replayed %d actions in %v\n", res.Actions, res.WallTime)
@@ -160,7 +168,9 @@ func main() {
 	}
 	if prof != nil {
 		fmt.Println()
-		prof.Render(os.Stdout, res.SimulatedTime)
+		for _, warn := range prof.Render(os.Stdout, res.SimulatedTime) {
+			fmt.Fprintf(os.Stderr, "tireplay: warning: %s\n", warn)
+		}
 	}
 }
 

@@ -3,9 +3,18 @@
 // communication volumes, text size, and the cross-process verification
 // results (unmatched messages, dangling requests, diverging collectives).
 //
+// With -metrics the arguments are *timed* traces instead (the output of
+// tireplay -timed / tisweep -timed), and tistat computes the time-resolved
+// POP metrics report — load balance, communication efficiency, and the
+// serialization/transfer split, per fixed time window and per detected
+// phase. Several files merge into one analysis (the partitioned-sweep
+// case, one timed trace per platform part).
+//
 // Usage:
 //
 //	tistat ti/SG_process*.trace
+//	tistat -metrics timed.trace
+//	tistat -metrics -windows 20 -json timed.trace
 package main
 
 import (
@@ -14,16 +23,26 @@ import (
 	"os"
 
 	"tireplay/internal/cli"
+	"tireplay/internal/metrics"
+	"tireplay/internal/replay"
 	"tireplay/internal/trace"
 	"tireplay/internal/units"
 )
 
 func main() {
 	verify := flag.Bool("verify", true, "run cross-process consistency checks")
+	metricsMode := flag.Bool("metrics", false, "treat arguments as timed traces and print time-resolved POP metrics")
+	windows := flag.Int("windows", 10, "number of fixed time windows for -metrics")
+	jsonOut := flag.Bool("json", false, "emit the -metrics report as JSON instead of tables")
 	flag.Parse()
 	files := flag.Args()
 	if len(files) == 0 {
 		cli.Fail("tistat", cli.Usagef("no trace files given"))
+	}
+
+	if *metricsMode {
+		runMetrics(files, *windows, *jsonOut)
+		return
 	}
 
 	perRank := make([][]trace.Action, len(files))
@@ -56,4 +75,31 @@ func main() {
 		}
 		os.Exit(cli.ExitFailure)
 	}
+}
+
+// runMetrics reads each timed trace into its own columnar sink, merges
+// them into one analysis, and prints the report.
+func runMetrics(files []string, windows int, jsonOut bool) {
+	sinks := make([]*replay.MetricsSink, 0, len(files))
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			cli.Fail("tistat", err)
+		}
+		s := replay.NewMetricsSink()
+		if _, err := replay.ReadTimedTrace(f, s); err != nil {
+			f.Close()
+			cli.Fail("tistat", fmt.Errorf("reading %s: %w", path, err))
+		}
+		f.Close()
+		sinks = append(sinks, s)
+	}
+	rep := metrics.Analyze(sinks, metrics.Options{Windows: windows})
+	if jsonOut {
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			cli.Fail("tistat", err)
+		}
+		return
+	}
+	rep.Render(os.Stdout)
 }

@@ -15,6 +15,8 @@
 //	        -topo "fat-tree:4,torus:4x4,dragonfly:2x4x2"     # topology study
 //	tisweep -dir ti/ -ranks 8 -ckpt "none;30/5;60/5" \
 //	        -fault "none;mtbf:3600,seed:7"                   # resilience study
+//	tisweep -dir ti/ -ranks 8 -bw 0.25,1 -metrics \
+//	        -metrics-json metrics.json                       # rank scenarios by POP efficiencies
 //
 // Scenario results are deterministic: the same grid produces byte-identical
 // per-scenario timed traces whatever -workers is set to. Scenarios differing
@@ -59,6 +61,9 @@ func main() {
 		jsonPath     = flag.String("json", "", "write the JSON report to this file ('-' for stdout)")
 		timedDir     = flag.String("timed-dir", "", "write each scenario's timed trace to <dir>/scenario<i>.timed")
 		profile      = flag.Bool("profile", false, "collect per-process profiles into the JSON report")
+		metricsOn    = flag.Bool("metrics", false, "compute time-resolved POP metrics per scenario (adds efficiency columns to the table and the report)")
+		metricsJSON  = flag.String("metrics-json", "", "write the deterministic metrics-only JSON view to this file ('-' for stdout); implies -metrics")
+		windows      = flag.Int("windows", 0, "fixed time windows per scenario for -metrics (default 10)")
 	)
 	flag.Parse()
 
@@ -122,14 +127,16 @@ func main() {
 	defer traces.Close()
 
 	cfg := &sweep.Config{
-		Platform:  base,
-		Grid:      grid,
-		Traces:    traces,
-		Workers:   *workers,
-		Timed:     *timedDir != "",
-		Profile:   *profile,
-		Partition: *partition,
-		Fork:      fork,
+		Platform:       base,
+		Grid:           grid,
+		Traces:         traces,
+		Workers:        *workers,
+		Timed:          *timedDir != "",
+		Profile:        *profile,
+		Metrics:        *metricsOn || *metricsJSON != "",
+		MetricsWindows: *windows,
+		Partition:      *partition,
+		Fork:           fork,
 	}
 	if *identity {
 		cfg.Model = smpi.Identity()
@@ -181,6 +188,20 @@ func main() {
 			out = f
 		}
 		if err := res.WriteJSON(out); err != nil {
+			fail(err)
+		}
+	}
+	if *metricsJSON != "" {
+		out := os.Stdout
+		if *metricsJSON != "-" {
+			f, err := os.Create(*metricsJSON)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := res.WriteMetricsJSON(out); err != nil {
 			fail(err)
 		}
 	}

@@ -75,7 +75,9 @@ func main() {
 
 		if bm.name == "LU" {
 			fmt.Println("\nLU per-process profile (simulated):")
-			prof.Render(os.Stdout, res.SimulatedTime)
+			for _, warn := range prof.Render(os.Stdout, res.SimulatedTime) {
+				fmt.Println("warning:", warn)
+			}
 			fmt.Println()
 		}
 	}

@@ -7,6 +7,7 @@ import (
 
 	"tireplay/internal/acquisition"
 	"tireplay/internal/calibrate"
+	"tireplay/internal/metrics"
 	"tireplay/internal/mpi"
 	"tireplay/internal/npb"
 	"tireplay/internal/platform"
@@ -25,6 +26,12 @@ type PerPhaseRow struct {
 	Actual      float64
 	AverageCal  float64 // replay with the single average rate
 	PerPhaseCal float64 // replay with per-volume-bin rates
+	// AverageEff and PerPhaseEff are the POP efficiencies of each replay,
+	// computed from the columnar metrics sink attached to it: they show
+	// whether a calibration shifts the load-balance/communication split or
+	// only rescales compute.
+	AverageEff  metrics.Efficiency
+	PerPhaseEff metrics.Efficiency
 }
 
 func (r PerPhaseRow) errPct(v float64) float64 {
@@ -121,16 +128,17 @@ func PerPhaseCalibration(cfg *Config) ([]PerPhaseRow, error) {
 				}
 			}
 
-			avgTime, err := replayWithRates(procs, perRank, avgRate, nil)
+			avgTime, avgEff, err := replayWithRates(procs, perRank, avgRate, nil)
 			if err != nil {
 				return nil, err
 			}
-			phaseTime, err := replayWithRates(procs, perRank, avgRate, buckets)
+			phaseTime, phaseEff, err := replayWithRates(procs, perRank, avgRate, buckets)
 			if err != nil {
 				return nil, err
 			}
 			row := PerPhaseRow{Class: class.Name, Procs: procs,
-				Actual: actual, AverageCal: avgTime, PerPhaseCal: phaseTime}
+				Actual: actual, AverageCal: avgTime, PerPhaseCal: phaseTime,
+				AverageEff: avgEff, PerPhaseEff: phaseEff}
 			rows = append(rows, row)
 			cfg.progressf("per-phase class %s procs %d: actual %.2fs avg-cal %.2fs (%.1f%%) phase-cal %.2fs (%.1f%%)",
 				class.Name, procs, actual, avgTime, row.AverageErrPct(), phaseTime, row.PerPhaseErrPct())
@@ -139,21 +147,24 @@ func PerPhaseCalibration(cfg *Config) ([]PerPhaseRow, error) {
 	return rows, nil
 }
 
-// replayWithRates replays a trace on a platform calibrated at avgRate;
-// when buckets is non-nil, compute actions are re-timed with their bin's
-// calibrated rate instead of the platform average.
+// replayWithRates replays a trace on a platform calibrated at avgRate and
+// reports the predicted makespan together with the replay's POP summary
+// efficiencies (from a columnar metrics sink attached as the timed
+// tracer); when buckets is non-nil, compute actions are re-timed with
+// their bin's calibrated rate instead of the platform average.
 func replayWithRates(procs int, perRank [][]trace.Action, avgRate float64,
-	buckets *calibrate.BucketRates) (float64, error) {
+	buckets *calibrate.BucketRates) (float64, metrics.Efficiency, error) {
 
 	b, err := platform.BuildBordereauCustom(procs, 1, avgRate)
 	if err != nil {
-		return 0, err
+		return 0, metrics.Efficiency{}, err
 	}
 	d, err := platform.RoundRobin(b.HostNames, procs, 1)
 	if err != nil {
-		return 0, err
+		return 0, metrics.Efficiency{}, err
 	}
-	cfg := replay.Config{Model: smpi.Default()}
+	sink := replay.NewMetricsSink()
+	cfg := replay.Config{Model: smpi.Default(), TimedTracer: sink}
 	if buckets != nil {
 		reg := replay.Default()
 		reg.Register("compute", func(p *replay.Proc, a trace.Action) error {
@@ -166,19 +177,25 @@ func replayWithRates(procs int, perRank [][]trace.Action, avgRate float64,
 	}
 	res, err := replay.RunActions(b, d, cfg, perRank)
 	if err != nil {
-		return 0, err
+		return 0, metrics.Efficiency{}, err
 	}
-	return res.SimulatedTime, nil
+	rep := metrics.AnalyzeSink(sink, metrics.Options{Makespan: res.SimulatedTime})
+	return res.SimulatedTime, rep.Summary, nil
 }
 
-// RenderPerPhase prints the ablation table.
+// RenderPerPhase prints the ablation table. Beyond the makespans it shows
+// each replay's load balance and communication efficiency, so a
+// calibration that merely rescales compute (same LB/commE, different
+// makespan) is distinguishable from one that redistributes it.
 func RenderPerPhase(w io.Writer, rows []PerPhaseRow) {
 	fmt.Fprintln(w, "Ablation (paper §6.4) — single-average vs per-phase flop-rate calibration")
-	fmt.Fprintf(w, "%-5s %6s | %10s | %10s %8s | %10s %8s\n",
-		"Class", "Procs", "Actual", "Avg cal", "Error", "Phase cal", "Error")
+	fmt.Fprintf(w, "%-5s %6s | %10s | %10s %8s %5s %5s | %10s %8s %5s %5s\n",
+		"Class", "Procs", "Actual", "Avg cal", "Error", "LB", "commE",
+		"Phase cal", "Error", "LB", "commE")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-5s %6d | %9.2fs | %9.2fs %7.1f%% | %9.2fs %7.1f%%\n",
-			r.Class, r.Procs, r.Actual, r.AverageCal, r.AverageErrPct(),
-			r.PerPhaseCal, r.PerPhaseErrPct())
+		fmt.Fprintf(w, "%-5s %6d | %9.2fs | %9.2fs %7.1f%% %5.2f %5.2f | %9.2fs %7.1f%% %5.2f %5.2f\n",
+			r.Class, r.Procs, r.Actual,
+			r.AverageCal, r.AverageErrPct(), r.AverageEff.LoadBalance, r.AverageEff.CommEff,
+			r.PerPhaseCal, r.PerPhaseErrPct(), r.PerPhaseEff.LoadBalance, r.PerPhaseEff.CommEff)
 	}
 }

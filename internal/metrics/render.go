@@ -1,0 +1,57 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Render prints the report as human-readable tables: the summary line, the
+// per-window efficiencies, the detected phases, and the per-rank totals.
+func (r *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "time-resolved POP metrics: makespan %.6fs, %d ranks, %d events\n",
+		r.Makespan, len(r.Ranks), r.Events)
+	fmt.Fprintf(w, "summary: parallel %.3f = load-balance %.3f x comm %.3f (serialization %.3f x transfer %.3f)\n",
+		r.Summary.ParallelEff, r.Summary.LoadBalance, r.Summary.CommEff,
+		r.Summary.SerEff, r.Summary.TransferEff)
+
+	if len(r.Windows) > 0 {
+		fmt.Fprintf(w, "\n%-6s %12s %12s | %7s %7s %7s %7s %7s | %6s\n",
+			"window", "start", "end", "parEff", "loadBal", "commE", "serE", "trfE", "comm%")
+		for _, win := range r.Windows {
+			fmt.Fprintf(w, "%-6d %11.6fs %11.6fs | %7.3f %7.3f %7.3f %7.3f %7.3f | %5.1f%%\n",
+				win.Index, win.Start, win.End,
+				win.Eff.ParallelEff, win.Eff.LoadBalance, win.Eff.CommEff,
+				win.Eff.SerEff, win.Eff.TransferEff, 100*win.CommFraction)
+		}
+	}
+
+	if len(r.Phases) > 0 {
+		fmt.Fprintf(w, "\n%-8s %12s %12s %8s | %7s %7s %7s %7s %7s\n",
+			"phase", "start", "end", "windows", "parEff", "loadBal", "commE", "serE", "trfE")
+		for _, ph := range r.Phases {
+			fmt.Fprintf(w, "%-8s %11.6fs %11.6fs %8d | %7.3f %7.3f %7.3f %7.3f %7.3f\n",
+				ph.Kind, ph.Start, ph.End, ph.Windows,
+				ph.Eff.ParallelEff, ph.Eff.LoadBalance, ph.Eff.CommEff,
+				ph.Eff.SerEff, ph.Eff.TransferEff)
+		}
+	}
+
+	if len(r.Ranks) > 0 {
+		fmt.Fprintf(w, "\n%-8s | %12s %12s %12s\n", "rank", "useful", "transfer", "wait")
+		for _, b := range r.Ranks {
+			fmt.Fprintf(w, "%-8s | %11.6fs %11.6fs %11.6fs\n",
+				b.Rank, b.Useful, b.Transfer, b.Wait)
+		}
+	}
+}
+
+// WriteJSON emits the report as indented JSON. The encoding is a pure
+// function of the report (map-free structs, fixed field order), so the same
+// replay always serialises byte-identically — the CI determinism gate diffs
+// this output across sweep worker counts.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

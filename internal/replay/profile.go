@@ -13,6 +13,12 @@ import (
 // the paper ("derive a profile of the application from this timed trace"),
 // which the authors left to external tools like TAU and Scalasca.
 //
+// A transfer occupies both of its endpoints: Comm charges the duration to
+// the sender (SendTime) and to the receiver (RecvTime), so receiver-side
+// communication is no longer folded into idle time. The columnar
+// MetricsSink shares the same attribution rule; TestSinkMatchesProfile pins
+// the two equal.
+//
 // Install it as the replay's TimedTracer (possibly chained with a
 // TimedTraceWriter via Tee).
 type Profile struct {
@@ -29,6 +35,14 @@ type ProcProfile struct {
 	SendTime    float64 // time of transfers this process sent
 	SentBytes   float64
 	Sends       int64
+	RecvTime    float64 // time of transfers this process received
+	RecvBytes   float64
+	Recvs       int64
+}
+
+// Busy is the total time the process was occupied by traced activity.
+func (pp *ProcProfile) Busy() float64 {
+	return pp.ComputeTime + pp.SendTime + pp.RecvTime
 }
 
 // NewProfile returns an empty profile collector.
@@ -55,13 +69,20 @@ func (p *Profile) Compute(proc, host string, flops, start, end float64) {
 	p.mu.Unlock()
 }
 
-// Comm implements simx.Tracer.
+// Comm implements simx.Tracer. The transfer is attributed to both
+// endpoints: the sender's SendTime and the receiver's RecvTime each absorb
+// the full duration (a loopback transfer charges the same process twice,
+// once per role).
 func (p *Profile) Comm(src, dst string, bytes, start, end float64) {
 	p.mu.Lock()
 	pp := p.proc(src)
 	pp.SendTime += end - start
 	pp.SentBytes += bytes
 	pp.Sends++
+	pd := p.proc(dst)
+	pd.RecvTime += end - start
+	pd.RecvBytes += bytes
+	pd.Recvs++
 	p.mu.Unlock()
 }
 
@@ -77,18 +98,37 @@ func (p *Profile) Processes() []*ProcProfile {
 	return out
 }
 
-// Render prints the profile table. makespan (the replay's simulated time)
-// provides the idle-time column; a non-positive or NaN makespan — an empty
-// trace simulates in zero time — marks the column "-" instead of dividing
-// by it, and accumulated rounding cannot push the percentage outside
-// [0, 100].
-func (p *Profile) Render(w io.Writer, makespan float64) {
-	fmt.Fprintf(w, "%-8s | %12s %10s | %12s %12s | %10s\n",
-		"process", "compute", "flops", "comm (sent)", "bytes", "idle")
+// renderEpsilon bounds the idle-percentage clamp: busy time within this
+// relative distance of the makespan is rounding noise and clamps silently;
+// anything beyond it is a genuine accounting violation and is surfaced.
+const renderEpsilon = 1e-9
+
+// Render prints the profile table and returns the accounting warnings.
+// makespan (the replay's simulated time) provides the idle-time column; a
+// non-positive or NaN makespan — an empty trace simulates in zero time —
+// marks the column "-" instead of dividing by it. Accumulated rounding may
+// push the percentage a hair outside [0, 100] and is clamped silently, but
+// a process whose busy time genuinely exceeds the makespan (beyond a 1e-9
+// relative epsilon — the symptom of double-counted overlapping activity,
+// e.g. transfers progressing under a compute burst) keeps the clamped cell,
+// gains a trailing "!" marker, and contributes a returned warning rather
+// than being silently masked.
+func (p *Profile) Render(w io.Writer, makespan float64) []string {
+	var warnings []string
+	fmt.Fprintf(w, "%-8s | %12s %10s | %12s %12s | %12s %12s | %10s\n",
+		"process", "compute", "flops", "comm (sent)", "bytes", "comm (recv)", "bytes", "idle")
 	for _, pp := range p.Processes() {
 		idle := "-"
+		mark := ""
 		if makespan > 0 { // false for NaN too
-			pct := 100 * (makespan - pp.ComputeTime - pp.SendTime) / makespan
+			busy := pp.Busy()
+			pct := 100 * (makespan - busy) / makespan
+			if busy > makespan*(1+renderEpsilon) {
+				mark = " !"
+				warnings = append(warnings, fmt.Sprintf(
+					"%s: busy time %.9gs exceeds makespan %.9gs (%.3g%% over): overlapping activity was double-counted",
+					pp.Name, busy, makespan, 100*(busy-makespan)/makespan))
+			}
 			if pct < 0 {
 				pct = 0
 			} else if pct > 100 {
@@ -96,9 +136,11 @@ func (p *Profile) Render(w io.Writer, makespan float64) {
 			}
 			idle = fmt.Sprintf("%9.1f%%", pct)
 		}
-		fmt.Fprintf(w, "%-8s | %11.3fs %10.3g | %11.3fs %12.3g | %10s\n",
-			pp.Name, pp.ComputeTime, pp.Flops, pp.SendTime, pp.SentBytes, idle)
+		fmt.Fprintf(w, "%-8s | %11.3fs %10.3g | %11.3fs %12.3g | %11.3fs %12.3g | %10s%s\n",
+			pp.Name, pp.ComputeTime, pp.Flops, pp.SendTime, pp.SentBytes,
+			pp.RecvTime, pp.RecvBytes, idle, mark)
 	}
+	return warnings
 }
 
 // Tee fans a timed trace out to several tracers (e.g. a Profile and a

@@ -1,0 +1,103 @@
+package replay
+
+// MetricsSink is the columnar, append-only timed-event sink the
+// time-resolved metrics engine (internal/metrics) analyses. Where the
+// string-keyed Profile aggregates on the fly under a mutex, the sink just
+// records: one struct-of-arrays row per completed activity — kind, rank,
+// peer, start, end, volume — with process names interned to dense rank IDs
+// at first sight. Appends are allocation-free once the columns have grown
+// to the trace's event count and every name has been interned (the same
+// steady-state discipline as ParseLineBytes; BenchmarkMetricsSink gates it
+// at 0 allocs/op), and Reset keeps both the capacity and the rank table so
+// a sweep can reuse one sink per worker across scenarios.
+//
+// Attribution is dual at the source: a comm event names both endpoints, so
+// downstream analysis charges the transfer to the sender and the receiver
+// alike — the corrected accounting Profile.Comm now shares
+// (TestSinkMatchesProfile pins the two equal).
+//
+// The kernel schedules one process at a time, so the sink needs no lock;
+// install it as (part of) the replay's TimedTracer.
+type MetricsSink struct {
+	kinds  []EventKind
+	ranks  []int32 // executing rank (compute) or sender (comm)
+	peers  []int32 // receiver rank for comm, -1 for compute
+	starts []float64
+	ends   []float64
+	vols   []float64 // flops for compute, bytes for comm
+
+	ids   map[string]int32 // process name -> dense rank ID
+	names []string         // dense rank ID -> process name
+}
+
+// EventKind distinguishes the sink's event rows.
+type EventKind uint8
+
+const (
+	// EventCompute is a completed compute burst.
+	EventCompute EventKind = iota
+	// EventComm is a completed point-to-point transfer.
+	EventComm
+)
+
+// NewMetricsSink returns an empty sink.
+func NewMetricsSink() *MetricsSink {
+	return &MetricsSink{ids: make(map[string]int32)}
+}
+
+// RankID interns a process name, returning its dense rank ID. Pre-intern
+// the deployment's process names to give ranks without any event a row in
+// the analysis.
+func (s *MetricsSink) RankID(name string) int32 {
+	if id, ok := s.ids[name]; ok {
+		return id
+	}
+	id := int32(len(s.names))
+	s.ids[name] = id
+	s.names = append(s.names, name)
+	return id
+}
+
+// Compute implements simx.Tracer.
+func (s *MetricsSink) Compute(proc, host string, flops, start, end float64) {
+	s.append(EventCompute, s.RankID(proc), -1, start, end, flops)
+}
+
+// Comm implements simx.Tracer.
+func (s *MetricsSink) Comm(src, dst string, bytes, start, end float64) {
+	s.append(EventComm, s.RankID(src), s.RankID(dst), start, end, bytes)
+}
+
+func (s *MetricsSink) append(kind EventKind, rank, peer int32, start, end, vol float64) {
+	s.kinds = append(s.kinds, kind)
+	s.ranks = append(s.ranks, rank)
+	s.peers = append(s.peers, peer)
+	s.starts = append(s.starts, start)
+	s.ends = append(s.ends, end)
+	s.vols = append(s.vols, vol)
+}
+
+// Len is the number of recorded events.
+func (s *MetricsSink) Len() int { return len(s.kinds) }
+
+// NumRanks is the number of interned process names.
+func (s *MetricsSink) NumRanks() int { return len(s.names) }
+
+// RankName resolves a dense rank ID back to its process name.
+func (s *MetricsSink) RankName(id int32) string { return s.names[id] }
+
+// Event returns row i of the columns.
+func (s *MetricsSink) Event(i int) (kind EventKind, rank, peer int32, start, end, vol float64) {
+	return s.kinds[i], s.ranks[i], s.peers[i], s.starts[i], s.ends[i], s.vols[i]
+}
+
+// Reset empties the event columns, keeping their capacity and the interned
+// rank table, so the next replay into this sink allocates nothing.
+func (s *MetricsSink) Reset() {
+	s.kinds = s.kinds[:0]
+	s.ranks = s.ranks[:0]
+	s.peers = s.peers[:0]
+	s.starts = s.starts[:0]
+	s.ends = s.ends[:0]
+	s.vols = s.vols[:0]
+}

@@ -1,0 +1,56 @@
+package replay
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// BenchmarkMetricsSink measures the steady-state append path of the
+// columnar timed-event sink: one op records a batch of compute and comm
+// events across a fixed rank set, then Resets the sink. Capacity and the
+// interned rank table survive Reset, so after the first op the path is
+// pure column writes — the reported allocs/op must stay 0, and the
+// built-in guard fails the benchmark outright if appends start allocating
+// (BENCH_baseline.json pins the 0 in CI).
+func BenchmarkMetricsSink(b *testing.B) {
+	const ranks = 32
+	const eventsPerRank = 8
+	names := make([]string, ranks)
+	for i := range names {
+		names[i] = fmt.Sprintf("p%d", i)
+	}
+	s := NewMetricsSink()
+	warm := func() {
+		for r := 0; r < ranks; r++ {
+			t := float64(r)
+			for e := 0; e < eventsPerRank; e++ {
+				s.Compute(names[r], "host", 1e6, t, t+0.5)
+				s.Comm(names[r], names[(r+1)%ranks], 4096, t+0.5, t+1)
+				t++
+			}
+		}
+	}
+	// Warm capacity and the rank table so the timed loop measures the
+	// steady state, not first-growth.
+	warm()
+	s.Reset()
+
+	b.ReportAllocs()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		warm()
+		s.Reset()
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&after)
+	if b.N >= 100 {
+		perOp := float64(after.Mallocs-before.Mallocs) / float64(b.N)
+		if perOp >= 1 {
+			b.Fatalf("steady-state sink append allocates %.3f allocs/op, want 0", perOp)
+		}
+	}
+}

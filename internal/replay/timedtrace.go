@@ -4,17 +4,28 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"strconv"
+	"strings"
 	"sync"
+
+	"tireplay/internal/simx"
 )
 
 // TimedTraceWriter renders the timed trace of a simulated execution: one
 // line per completed activity with its simulated start and end times. This
 // is the "timed trace" output of Figure 4, which downstream profile analysis
 // tools could consume.
+//
+// Write errors are sticky: the first failure (typically a short write to a
+// full disk) is retained, every later record is dropped rather than
+// appended to a hole, and Flush reports that first error — so a truncated
+// timed trace fails the replay instead of passing for a complete one (the
+// CI byte-identity diffs depend on a written trace being whole).
 type TimedTraceWriter struct {
 	mu    sync.Mutex
 	bw    *bufio.Writer
 	lines int64
+	err   error // first write error; sticky
 }
 
 // NewTimedTraceWriter wraps w.
@@ -25,29 +36,138 @@ func NewTimedTraceWriter(w io.Writer) *TimedTraceWriter {
 // Compute implements simx.Tracer.
 func (t *TimedTraceWriter) Compute(proc, host string, flops, start, end float64) {
 	t.mu.Lock()
-	fmt.Fprintf(t.bw, "%.9f %s compute %g start=%.9f host=%s\n", end, proc, flops, start, host)
-	t.lines++
+	if t.err == nil {
+		if _, err := fmt.Fprintf(t.bw, "%.9f %s compute %g start=%.9f host=%s\n", end, proc, flops, start, host); err != nil {
+			t.err = err
+		} else {
+			t.lines++
+		}
+	}
 	t.mu.Unlock()
 }
 
 // Comm implements simx.Tracer.
 func (t *TimedTraceWriter) Comm(src, dst string, bytes, start, end float64) {
 	t.mu.Lock()
-	fmt.Fprintf(t.bw, "%.9f %s send %s %g start=%.9f\n", end, src, dst, bytes, start)
-	t.lines++
+	if t.err == nil {
+		if _, err := fmt.Fprintf(t.bw, "%.9f %s send %s %g start=%.9f\n", end, src, dst, bytes, start); err != nil {
+			t.err = err
+		} else {
+			t.lines++
+		}
+	}
 	t.mu.Unlock()
 }
 
-// Lines reports the number of records written.
+// Lines reports the number of records successfully written.
 func (t *TimedTraceWriter) Lines() int64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.lines
 }
 
-// Flush drains the buffer; call once the replay has finished.
+// Err reports the sticky first write error, nil while all records landed.
+func (t *TimedTraceWriter) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Flush drains the buffer; call once the replay has finished. It returns
+// the first error of the writer's lifetime — a record that failed mid-run
+// surfaces here even when the final flush itself succeeds.
 func (t *TimedTraceWriter) Flush() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.bw.Flush()
+	if err := t.bw.Flush(); t.err == nil && err != nil {
+		t.err = err
+	}
+	return t.err
+}
+
+// ReadTimedTrace parses a timed trace (the TimedTraceWriter line format)
+// and replays each record into tr in file order, returning the record
+// count. This is the read side of the Figure 4 timed-trace output: it turns
+// a written trace back into the event stream a live replay would have
+// produced, so the metrics engine analyses files and in-memory sinks
+// through one code path.
+func ReadTimedTrace(r io.Reader, tr simx.Tracer) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	n := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		n++
+		if err := parseTimedLine(line, tr); err != nil {
+			return n, fmt.Errorf("timed trace line %d: %w", n, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// parseTimedLine decodes one timed-trace record and forwards it to tr.
+func parseTimedLine(line string, tr simx.Tracer) error {
+	f := strings.Fields(line)
+	if len(f) < 3 {
+		return fmt.Errorf("short record %q", line)
+	}
+	end, err := strconv.ParseFloat(f[0], 64)
+	if err != nil {
+		return fmt.Errorf("bad end time %q", f[0])
+	}
+	switch f[2] {
+	case "compute":
+		// end proc compute flops start=S host=H
+		if len(f) != 6 {
+			return fmt.Errorf("compute record needs 6 fields, has %d", len(f))
+		}
+		flops, err := strconv.ParseFloat(f[3], 64)
+		if err != nil {
+			return fmt.Errorf("bad flops %q", f[3])
+		}
+		start, err := timedField(f[4], "start=")
+		if err != nil {
+			return err
+		}
+		host, ok := strings.CutPrefix(f[5], "host=")
+		if !ok {
+			return fmt.Errorf("missing host field in %q", line)
+		}
+		tr.Compute(f[1], host, flops, start, end)
+	case "send":
+		// end src send dst bytes start=S
+		if len(f) != 6 {
+			return fmt.Errorf("send record needs 6 fields, has %d", len(f))
+		}
+		bytes, err := strconv.ParseFloat(f[4], 64)
+		if err != nil {
+			return fmt.Errorf("bad bytes %q", f[4])
+		}
+		start, err := timedField(f[5], "start=")
+		if err != nil {
+			return err
+		}
+		tr.Comm(f[1], f[3], bytes, start, end)
+	default:
+		return fmt.Errorf("unknown record kind %q", f[2])
+	}
+	return nil
+}
+
+func timedField(s, prefix string) (float64, error) {
+	v, ok := strings.CutPrefix(s, prefix)
+	if !ok {
+		return 0, fmt.Errorf("missing %s field, got %q", strings.TrimSuffix(prefix, "="), s)
+	}
+	x, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s value %q", strings.TrimSuffix(prefix, "="), v)
+	}
+	return x, nil
 }

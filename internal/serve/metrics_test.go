@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"tireplay/internal/npb"
+)
+
+// TestSweepMetricsServed pins the metrics surface of POST /sweeps: a
+// request with "metrics": true gets a POP report per scenario row, the
+// report is part of the canonical identity (a metrics request does not
+// collide with the plain request's cache entry), and a repeated metrics
+// request serves the identical bytes from cache.
+func TestSweepMetricsServed(t *testing.T) {
+	d := newTestDaemon(t, Config{})
+	digest := d.uploadLU(t, npb.ClassS, 4)
+
+	plain := fmt.Sprintf(`{"trace": %q}`, digest)
+	metered := fmt.Sprintf(`{"trace": %q, "metrics": true}`, digest)
+
+	status, _, body := d.post(t, "/sweeps", plain)
+	if status != http.StatusOK {
+		t.Fatalf("plain sweep: %d: %s", status, body)
+	}
+	var pr SweepResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Scenarios[0].Metrics != nil {
+		t.Fatal("plain sweep grew a metrics report")
+	}
+
+	status, xcache, body := d.post(t, "/sweeps", metered)
+	if status != http.StatusOK {
+		t.Fatalf("metrics sweep: %d: %s", status, body)
+	}
+	if xcache != "miss" {
+		t.Fatalf("metrics request hit the plain request's cache entry: X-Cache=%q", xcache)
+	}
+	var mr SweepResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatal(err)
+	}
+	m := mr.Scenarios[0].Metrics
+	if m == nil {
+		t.Fatal("metrics sweep returned no report")
+	}
+	if len(m.Ranks) != 4 || len(m.Windows) != 10 {
+		t.Fatalf("report shape: %d ranks, %d windows", len(m.Ranks), len(m.Windows))
+	}
+	if m.Summary.ParallelEff <= 0 || m.Summary.ParallelEff > 1 {
+		t.Fatalf("parallel eff %g out of range", m.Summary.ParallelEff)
+	}
+	if mr.Scenarios[0].SimulatedTime != pr.Scenarios[0].SimulatedTime {
+		t.Fatal("metrics changed the predicted makespan")
+	}
+
+	status, xcache, body2 := d.post(t, "/sweeps", metered)
+	if status != http.StatusOK || xcache != "hit" {
+		t.Fatalf("repeat: status %d X-Cache %q", status, xcache)
+	}
+	if string(body) != string(body2) {
+		t.Fatal("cached metrics response differs from the computed one")
+	}
+
+	// metrics_windows is part of the key too: a different resolution is a
+	// different question.
+	status, xcache, _ = d.post(t, "/sweeps",
+		fmt.Sprintf(`{"trace": %q, "metrics": true, "metrics_windows": 5}`, digest))
+	if status != http.StatusOK || xcache != "miss" {
+		t.Fatalf("windowed request: status %d X-Cache %q", status, xcache)
+	}
+}

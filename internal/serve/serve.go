@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tireplay/internal/metrics"
 	"tireplay/internal/platform"
 	"tireplay/internal/replay"
 	"tireplay/internal/smpi"
@@ -364,6 +365,13 @@ type SweepRequest struct {
 	Timed bool `json:"timed,omitempty"`
 	// Profile includes per-process profiles in the response.
 	Profile bool `json:"profile,omitempty"`
+	// Metrics includes each scenario's time-resolved POP metrics report
+	// in the response. The report is deterministic, so metrics responses
+	// cache and coalesce like any other.
+	Metrics bool `json:"metrics,omitempty"`
+	// MetricsWindows sets the number of fixed time windows for Metrics
+	// (0: default 10). Part of the canonical cache key.
+	MetricsWindows int `json:"metrics_windows,omitempty"`
 }
 
 // ScenarioRow is one scenario's deterministic outcome.
@@ -375,6 +383,7 @@ type ScenarioRow struct {
 	Components    int                   `json:"components"`
 	Resilience    *replay.Resilience    `json:"resilience,omitempty"`
 	Profile       []*replay.ProcProfile `json:"profile,omitempty"`
+	Metrics       *metrics.Report       `json:"metrics,omitempty"`
 	Timed         []byte                `json:"timed,omitempty"`
 	Err           string                `json:"err,omitempty"`
 }
@@ -399,6 +408,8 @@ type sweepPlan struct {
 	grid                            sweep.Grid
 	identity                        bool
 	partition, timed, profile, fork bool
+	metrics                         bool
+	metricsWindows                  int
 }
 
 // parseSweep decodes, validates and canonicalizes a request body.
@@ -418,7 +429,11 @@ func (s *Server) parseSweep(body []byte) (*sweepPlan, *httpError) {
 	}
 
 	p := &sweepPlan{digest: req.Trace, identity: req.NoMPIModel,
-		partition: req.Partition, timed: req.Timed, profile: req.Profile, fork: true}
+		partition: req.Partition, timed: req.Timed, profile: req.Profile, fork: true,
+		metrics: req.Metrics || req.MetricsWindows > 0}
+	if p.metrics {
+		p.metricsWindows = req.MetricsWindows
+	}
 	if req.Fork != nil {
 		p.fork = *req.Fork
 	}
@@ -480,8 +495,8 @@ func canonicalSweepKey(p *sweepPlan) string {
 	b.WriteString(p.digest)
 	b.WriteByte('\n')
 	b.WriteString(p.platKey)
-	fmt.Fprintf(&b, "\nmodel=%t part=%t timed=%t prof=%t",
-		p.identity, p.partition, p.timed, p.profile)
+	fmt.Fprintf(&b, "\nmodel=%t part=%t timed=%t prof=%t metrics=%t win=%d",
+		p.identity, p.partition, p.timed, p.profile, p.metrics, p.metricsWindows)
 	b.WriteString("\nlat=")
 	writeFloats(&b, p.grid.LatencyScale)
 	b.WriteString("\nbw=")
@@ -661,13 +676,15 @@ func (s *Server) runSweep(ctx context.Context, plan *sweepPlan, bodyHash [32]byt
 	defer th.Release()
 
 	cfg := &sweep.Config{
-		Platform:  plan.platform,
-		Grid:      plan.grid,
-		Traces:    th.Set(),
-		Timed:     plan.timed,
-		Profile:   plan.profile,
-		Partition: plan.partition,
-		Fork:      plan.fork,
+		Platform:       plan.platform,
+		Grid:           plan.grid,
+		Traces:         th.Set(),
+		Timed:          plan.timed,
+		Profile:        plan.profile,
+		Metrics:        plan.metrics,
+		MetricsWindows: plan.metricsWindows,
+		Partition:      plan.partition,
+		Fork:           plan.fork,
 	}
 	if plan.identity {
 		cfg.Model = smpi.Identity()
@@ -689,7 +706,7 @@ func (s *Server) runSweep(ctx context.Context, plan *sweepPlan, bodyHash [32]byt
 			Scenario: sc.Scenario, Name: sc.Name,
 			SimulatedTime: sc.SimulatedTime, Actions: sc.Actions,
 			Components: sc.Components, Resilience: sc.Resilience,
-			Profile: sc.Profile, Timed: sc.TimedTrace, Err: sc.Err,
+			Profile: sc.Profile, Metrics: sc.Metrics, Timed: sc.TimedTrace, Err: sc.Err,
 		}
 		if sc.Err != "" {
 			clean = false

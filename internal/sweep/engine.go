@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tireplay/internal/metrics"
 	"tireplay/internal/platform"
 	"tireplay/internal/replay"
 	"tireplay/internal/smpi"
@@ -40,6 +41,15 @@ type Config struct {
 	Timed bool
 	// Profile collects a per-process profile for each scenario.
 	Profile bool
+	// Metrics computes each scenario's time-resolved POP metrics report
+	// (load balance, communication efficiency, serialization/transfer
+	// split; see internal/metrics) from a columnar event sink attached to
+	// the replay. The report is a pure function of the scenario, so it is
+	// byte-identical whatever the worker count.
+	Metrics bool
+	// MetricsWindows is the number of fixed time windows for Metrics;
+	// <= 0 means the metrics package default (10).
+	MetricsWindows int
 	// Partition splits a scenario across several kernels when the platform
 	// graph decomposes into disjoint connected components and the trace's
 	// communication respects the induced rank partition.
@@ -77,6 +87,9 @@ type ScenarioResult struct {
 	// Profile holds the per-process profile rows when Config.Profile is
 	// set, sorted by process name.
 	Profile []*replay.ProcProfile `json:"profile,omitempty"`
+	// Metrics is the scenario's time-resolved POP metrics report when
+	// Config.Metrics is set.
+	Metrics *metrics.Report `json:"metrics,omitempty"`
 	// Resilience is the checkpoint/restart waste accounting of the
 	// scenario; non-nil exactly when the scenario sets a Ckpt protocol.
 	Resilience *replay.Resilience `json:"resilience,omitempty"`
@@ -125,10 +138,54 @@ type partOut struct {
 	res        *replay.Result
 	timed      []byte
 	profile    *replay.Profile
+	sink       *replay.MetricsSink
 	components int
 	forked     bool
 	prefix     int64
 	err        error
+}
+
+// taskTracers bundles the per-task tracer set runTask and runMember share:
+// a timed-trace writer, a legacy profile, and the columnar metrics sink,
+// teed per Config. The sink pre-interns the deployment's process names so
+// ranks that record no event still get a (fully idle) row in the analysis.
+type taskTracers struct {
+	tee replay.Tee
+	buf bytes.Buffer
+	tw  *replay.TimedTraceWriter
+}
+
+func newTaskTracers(cfg *Config, out *partOut, procs []platform.ProcessDef) *taskTracers {
+	t := &taskTracers{}
+	if cfg.Timed {
+		t.tw = replay.NewTimedTraceWriter(&t.buf)
+		t.tee = append(t.tee, t.tw)
+	}
+	if cfg.Profile {
+		out.profile = replay.NewProfile()
+		t.tee = append(t.tee, out.profile)
+	}
+	if cfg.Metrics {
+		out.sink = replay.NewMetricsSink()
+		for _, p := range procs {
+			out.sink.RankID(p.Function)
+		}
+		t.tee = append(t.tee, out.sink)
+	}
+	return t
+}
+
+// finish flushes the timed trace into the outcome; a write error that
+// slipped by mid-replay (sticky in the writer) fails the part rather than
+// passing off a truncated trace.
+func (t *taskTracers) finish(out *partOut) {
+	if t.tw == nil {
+		return
+	}
+	if err := t.tw.Flush(); err != nil && out.err == nil {
+		out.err = fmt.Errorf("sweep: timed trace: %w", err)
+	}
+	out.timed = t.buf.Bytes()
 }
 
 // Run executes the sweep on a pool created for this one call: it expands
@@ -383,26 +440,13 @@ func runTask(cfg *Config, model *smpi.Model, sc Scenario, depl *platform.Deploym
 	}
 
 	var out partOut
-	var tracers replay.Tee
-	var buf bytes.Buffer
-	var tw *replay.TimedTraceWriter
-	if cfg.Timed {
-		tw = replay.NewTimedTraceWriter(&buf)
-		tracers = append(tracers, tw)
-	}
-	if cfg.Profile {
-		out.profile = replay.NewProfile()
-		tracers = append(tracers, out.profile)
-	}
-	if len(tracers) > 0 {
-		rcfg.TimedTracer = tracers
+	tr := newTaskTracers(cfg, &out, sub.Processes)
+	if len(tr.tee) > 0 {
+		rcfg.TimedTracer = tr.tee
 	}
 
 	out.res, out.err = replay.Run(b, sub, rcfg, sources)
-	if tw != nil {
-		tw.Flush()
-		out.timed = buf.Bytes()
-	}
+	tr.finish(&out)
 	out.components = 1
 	return out
 }
@@ -415,6 +459,7 @@ func runTask(cfg *Config, model *smpi.Model, sc Scenario, depl *platform.Deploym
 func mergeScenario(cfg *Config, sc Scenario, parts []partOut) ScenarioResult {
 	out := ScenarioResult{Scenario: sc, Name: sc.Name()}
 	var timed []byte
+	var sinks []*replay.MetricsSink
 	for _, p := range parts {
 		if p.err != nil {
 			out.Err = p.err.Error()
@@ -441,10 +486,25 @@ func mergeScenario(cfg *Config, sc Scenario, parts []partOut) ScenarioResult {
 		if cfg.Profile && p.profile != nil {
 			out.Profile = append(out.Profile, p.profile.Processes()...)
 		}
+		if cfg.Metrics && p.sink != nil {
+			sinks = append(sinks, p.sink)
+		}
 	}
 	out.TimedTrace = timed
 	if cfg.Profile {
 		sort.Slice(out.Profile, func(i, j int) bool { return out.Profile[i].Name < out.Profile[j].Name })
+	}
+	if cfg.Metrics {
+		// Sinks are folded in deterministic part order and the analysis is
+		// a pure function of its input, so the report — including its JSON
+		// encoding — is identical whatever the worker count. Checkpointed
+		// scenarios report a waste-inflated makespan (Effective time), so
+		// their analysis horizon derives from the events instead.
+		opt := metrics.Options{Windows: cfg.MetricsWindows}
+		if out.Resilience == nil {
+			opt.Makespan = out.SimulatedTime
+		}
+		out.Metrics = metrics.Analyze(sinks, opt)
 	}
 	return out
 }

@@ -1,7 +1,6 @@
 package sweep
 
 import (
-	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -194,7 +193,7 @@ func (g *forkGroup) runDonor(ctx context.Context, cfg *Config, model *smpi.Model
 	start := time.Now()
 	g.pr, g.err = replay.RunPrefix(b, depl, rcfg, sources, replay.PrefixOptions{
 		Cuts:        g.cuts,
-		RecordTrace: cfg.Timed || cfg.Profile,
+		RecordTrace: cfg.Timed || cfg.Profile || cfg.Metrics,
 		TieCheck:    cfg.Timed,
 	})
 	g.wall = time.Since(start)
@@ -244,29 +243,16 @@ func runMember(cfg *Config, model *smpi.Model, sc Scenario, depl *platform.Deplo
 	}
 
 	var out partOut
-	var tracers replay.Tee
-	var buf bytes.Buffer
-	var tw *replay.TimedTraceWriter
-	if cfg.Timed {
-		tw = replay.NewTimedTraceWriter(&buf)
-		tracers = append(tracers, tw)
-	}
-	if cfg.Profile {
-		out.profile = replay.NewProfile()
-		tracers = append(tracers, out.profile)
-	}
-	if len(tracers) > 0 {
-		rcfg.TimedTracer = tracers
+	tr := newTaskTracers(cfg, &out, depl.Processes)
+	if len(tr.tee) > 0 {
+		rcfg.TimedTracer = tr.tee
 	}
 
 	out.res, out.err = g.pr.RunForked(b, rcfg, sources)
 	if out.err != nil && errors.Is(out.err, replay.ErrForkUnsafe) {
 		return runTask(cfg, model, sc, depl, p)
 	}
-	if tw != nil {
-		tw.Flush()
-		out.timed = buf.Bytes()
-	}
+	tr.finish(&out)
 	out.components = 1
 	if out.err == nil {
 		out.forked = true

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"tireplay/internal/metrics"
 	"tireplay/internal/units"
 )
 
@@ -17,15 +18,42 @@ func (r *Result) WriteJSON(w io.Writer) error {
 	return enc.Encode(r)
 }
 
+// metricsRow is one record of WriteMetricsJSON: the scenario's identity,
+// makespan and metrics report, with everything nondeterministic (host wall
+// time) excluded.
+type metricsRow struct {
+	Name          string          `json:"name"`
+	SimulatedTime float64         `json:"simulated_time"`
+	Err           string          `json:"err,omitempty"`
+	Metrics       *metrics.Report `json:"metrics,omitempty"`
+}
+
+// WriteMetricsJSON renders only the deterministic metrics view of the
+// sweep: scenario name, simulated time and the POP metrics report. Unlike
+// WriteJSON it carries no wall-clock fields, so the same sweep serialises
+// byte-identically at any worker count — the CI metrics-determinism gate
+// diffs this output between workers=1 and workers=nproc.
+func (r *Result) WriteMetricsJSON(w io.Writer) error {
+	rows := make([]metricsRow, len(r.Scenarios))
+	for i := range r.Scenarios {
+		s := &r.Scenarios[i]
+		rows[i] = metricsRow{Name: s.Name, SimulatedTime: s.SimulatedTime,
+			Err: s.Err, Metrics: s.Metrics}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}
+
 // RenderTable prints the per-scenario makespan table, with each scenario's
 // speedup relative to the first (the conventional "current platform"
 // baseline of a what-if study). When the first scenario failed or was
 // cancelled there is no baseline, and the speedup column prints "-" rather
 // than silently re-basing on some other scenario.
 func (r *Result) RenderTable(w io.Writer) {
-	// Resilience and prefix-reuse columns only appear when some scenario
-	// carries them, so plain sweeps render unchanged.
-	resilient, forked := false, false
+	// Resilience, prefix-reuse and metrics columns only appear when some
+	// scenario carries them, so plain sweeps render unchanged.
+	resilient, forked, metered := false, false, false
 	for i := range r.Scenarios {
 		if r.Scenarios[i].Resilience != nil {
 			resilient = true
@@ -33,9 +61,16 @@ func (r *Result) RenderTable(w io.Writer) {
 		if r.Scenarios[i].Forked {
 			forked = true
 		}
+		if r.Scenarios[i].Metrics != nil {
+			metered = true
+		}
 	}
 	fmt.Fprintf(w, "%-40s | %12s | %8s | %5s | %8s",
 		"scenario", "predicted", "speedup", "parts", "actions")
+	if metered {
+		fmt.Fprintf(w, " | %6s %6s %6s %6s %6s",
+			"parEff", "ldBal", "commE", "serE", "trfE")
+	}
 	if forked {
 		fmt.Fprintf(w, " | %10s", "prefix")
 	}
@@ -60,6 +95,15 @@ func (r *Result) RenderTable(w io.Writer) {
 		}
 		fmt.Fprintf(w, "%-40s | %12s | %8s | %5d | %8d",
 			s.Name, units.FormatSeconds(s.SimulatedTime), speedup, s.Components, s.Actions)
+		if metered {
+			if m := s.Metrics; m != nil {
+				e := m.Summary
+				fmt.Fprintf(w, " | %6.3f %6.3f %6.3f %6.3f %6.3f",
+					e.ParallelEff, e.LoadBalance, e.CommEff, e.SerEff, e.TransferEff)
+			} else {
+				fmt.Fprintf(w, " | %6s %6s %6s %6s %6s", "-", "-", "-", "-", "-")
+			}
+		}
 		if forked {
 			if s.Forked {
 				fmt.Fprintf(w, " | %10d", s.PrefixActions)
