@@ -39,7 +39,7 @@ func main() {
 	)
 	flag.Parse()
 
-	prog, err := buildProgram(*app, *class, *procs)
+	prog, err := npb.Build(*app, *class, *procs)
 	if err != nil {
 		fail(cli.Usage(err))
 	}
@@ -72,25 +72,6 @@ func main() {
 		report(makespan, files)
 	default:
 		fail(cli.Usagef("unknown engine %q", *engine))
-	}
-}
-
-func buildProgram(app, class string, procs int) (mpi.Program, error) {
-	switch app {
-	case "lu":
-		c, err := npb.ClassByName(class)
-		if err != nil {
-			return nil, err
-		}
-		return npb.LU(npb.LUConfig{Class: c, Procs: procs})
-	case "cg":
-		return npb.CG(npb.CGConfig{ClassName: class, Procs: procs})
-	case "ep":
-		return npb.EP(npb.EPConfig{ClassName: class, Procs: procs})
-	case "mg":
-		return npb.MG(npb.MGConfig{ClassName: class, Procs: procs})
-	default:
-		return nil, fmt.Errorf("unknown app %q (want lu, cg, ep or mg)", app)
 	}
 }
 

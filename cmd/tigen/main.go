@@ -1,0 +1,170 @@
+// Command tigen fits statistical models from time-independent traces and
+// regenerates synthetic traces at arbitrary world sizes — replaying
+// worlds nobody recorded.
+//
+// Fit a model from a recorded trace directory (or straight from the
+// built-in NPB skeletons as ground truth) and save it:
+//
+//	tigen fit -dir traces/ -ranks 16 -model lu16.json
+//	tigen fit -app lu -class S -procs 16 -model lu16.json
+//
+// Generate synthetic per-rank trace files at a new world size:
+//
+//	tigen gen -model lu16.json -spec "world=16384,scale=strong" -out synth/
+//	tigen gen -model lu16.json -spec 4096 -binary -out synth/
+//
+// Generation is deterministic: the same model and spec always produce
+// byte-identical traces. -verify runs the semantic trace verifier over
+// the generated world before anything is written.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tireplay/internal/cli"
+	"tireplay/internal/npb"
+	"tireplay/internal/synth"
+	"tireplay/internal/trace"
+	"tireplay/internal/units"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fail(cli.Usagef("usage: tigen <fit|gen> [flags] (run tigen <cmd> -h for flags)"))
+	}
+	var err error
+	switch os.Args[1] {
+	case "fit":
+		err = runFit(os.Args[2:])
+	case "gen":
+		err = runGen(os.Args[2:])
+	case "-h", "--help", "help":
+		fmt.Println("usage: tigen <fit|gen> [flags]")
+		return
+	default:
+		err = cli.Usagef("unknown subcommand %q (want fit or gen)", os.Args[1])
+	}
+	if err != nil {
+		fail(err)
+	}
+}
+
+func runFit(args []string) error {
+	fs := flag.NewFlagSet("tigen fit", flag.ExitOnError)
+	var (
+		dir   = fs.String("dir", "", "directory of recorded per-rank trace files")
+		ranks = fs.Int("ranks", 0, "number of ranks recorded in -dir")
+		app   = fs.String("app", "", "fit from a built-in NPB skeleton instead: lu, cg or ep")
+		class = fs.String("class", "S", "NPB problem class when -app is set")
+		procs = fs.Int("procs", 16, "recorded world size when -app is set")
+		out   = fs.String("model", "", "output model file (default stdout)")
+	)
+	fs.Parse(args)
+
+	var (
+		m   *synth.Model
+		err error
+	)
+	switch {
+	case *app != "":
+		var perRank [][]trace.Action
+		perRank, err = npb.RecordAll(*app, *class, *procs)
+		if err != nil {
+			return err
+		}
+		m, err = synth.Fit(perRank)
+		if m != nil {
+			m.App = *app + "." + *class
+		}
+	case *dir != "" && *ranks > 0:
+		m, err = synth.FitDir(*dir, *ranks)
+	default:
+		return cli.Usagef("tigen fit needs -dir DIR -ranks N, or -app NAME")
+	}
+	if err != nil {
+		return err
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := m.WriteJSON(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "fitted %s: world %d on %dx%d grid, %d dirs, %d phases\n",
+		orUnnamed(m.App), m.World, m.GridW, m.GridH, len(m.Dirs), len(m.Phases))
+	return nil
+}
+
+func runGen(args []string) error {
+	fs := flag.NewFlagSet("tigen gen", flag.ExitOnError)
+	var (
+		model  = fs.String("model", "", "fitted model file (required)")
+		spec   = fs.String("spec", "", `generation spec, e.g. "world=16384,scale=strong" (required)`)
+		out    = fs.String("out", ".", "output directory for synthetic trace files")
+		binary = fs.Bool("binary", false, "write the binary .tib codec instead of text")
+		verify = fs.Bool("verify", false, "run the semantic trace verifier before writing")
+	)
+	fs.Parse(args)
+	if *model == "" || *spec == "" {
+		return cli.Usagef("tigen gen needs -model FILE and -spec SPEC")
+	}
+	m, err := synth.ReadModelFile(*model)
+	if err != nil {
+		return err
+	}
+	sp, err := synth.ParseSpec(*spec)
+	if err != nil {
+		return err
+	}
+	g, err := synth.NewGen(m, sp)
+	if err != nil {
+		return err
+	}
+	if *verify {
+		perRank := make([][]trace.Action, g.World())
+		for r := range perRank {
+			if perRank[r], err = g.Actions(r); err != nil {
+				return err
+			}
+		}
+		if errs := trace.Verify(perRank); len(errs) > 0 {
+			return fmt.Errorf("generated world fails verification (%d errors); first: rank %d action %d: %s",
+				len(errs), errs[0].Proc, errs[0].Index, errs[0].Problem)
+		}
+		fmt.Fprintf(os.Stderr, "verified: %d ranks semantically consistent\n", g.World())
+	}
+	paths, err := g.WriteDir(*out, *binary)
+	if err != nil {
+		return err
+	}
+	var bytes int64
+	for _, p := range paths {
+		if st, err := os.Stat(p); err == nil {
+			bytes += st.Size()
+		}
+	}
+	w, h := g.Grid()
+	fmt.Printf("generated %s at world %d (%dx%d grid): %d files, %s in %s\n",
+		orUnnamed(m.App), g.World(), w, h, len(paths), units.FormatBytes(float64(bytes)), *out)
+	return nil
+}
+
+func orUnnamed(app string) string {
+	if app == "" {
+		return "model"
+	}
+	return app
+}
+
+func fail(err error) {
+	cli.Fail("tigen", err)
+}

@@ -16,7 +16,9 @@
 //	POST /traces   register a trace set (inline texts, or a daemon-local
 //	               directory when -allow-paths is set)
 //	GET  /traces   list stored trace sets
-//	POST /sweeps   replay a scenario grid against a stored trace
+//	POST /sweeps   replay a scenario grid against a stored trace, or — with
+//	               a "synth" model and a grid "world" axis — against
+//	               synthetic worlds regenerated at sizes nobody recorded
 //	GET  /healthz  liveness
 //	GET  /stats    cache/queue/engine counters
 //

@@ -17,6 +17,14 @@
 //	        -fault "none;mtbf:3600,seed:7"                   # resilience study
 //	tisweep -dir ti/ -ranks 8 -bw 0.25,1 -metrics \
 //	        -metrics-json metrics.json                       # rank scenarios by POP efficiencies
+//	tisweep -synth lu.model.json -world 1024,4096,16384 \
+//	        -scale strong -topo dragonfly:8x16x8             # replay worlds nobody recorded
+//
+// With -synth, scenarios regenerate their rank streams from a fitted
+// statistical model (tigen fit) at each -world size instead of reading
+// recorded traces, so "LU at 16k ranks on a dragonfly" is one grid cell; a
+// -world entry of 0 replays the recorded -dir set, mixing recorded and
+// synthetic cells in one table.
 //
 // Scenario results are deterministic: the same grid produces byte-identical
 // per-scenario timed traces whatever -workers is set to. Scenarios differing
@@ -38,6 +46,7 @@ import (
 	"tireplay/internal/platform"
 	"tireplay/internal/smpi"
 	"tireplay/internal/sweep"
+	"tireplay/internal/synth"
 )
 
 func main() {
@@ -54,6 +63,11 @@ func main() {
 		topoSpecs    = flag.String("topo", "", "comma-separated generated topologies replacing the base platform (\"fat-tree:4,torus:4x4x2,dragonfly:2x4x2\")")
 		faultSpecs   = flag.String("fault", "", "semicolon-separated availability profiles (\"none;host:1@5;hosts:25%@10,mtbf:3600\")")
 		ckptSpecs    = flag.String("ckpt", "", "semicolon-separated checkpoint/restart protocols (\"none;30/5;60/5/10/30\")")
+		worldList    = flag.String("world", "", "comma-separated synthetic world sizes regenerated from -synth (0 = the recorded world)")
+		synthPath    = flag.String("synth", "", "fitted model JSON (tigen fit) synthetic worlds regenerate from")
+		scaleLaw     = flag.String("scale", "", "scaling law for synthetic worlds: weak, strong, or exponents like compute=-1:bytes=-0.5 (default weak)")
+		synthSeed    = flag.Uint64("seed", 0, "jitter seed for synthetic worlds")
+		synthJitter  = flag.Float64("jitter", 0, "compute-volume jitter fraction in [0,1) for synthetic worlds")
 		workers      = flag.Int("workers", 0, "worker pool size (default GOMAXPROCS)")
 		forkMode     = flag.String("fork", "on", "shared-prefix forking: scenarios differing only in -coll/-ckpt replay their common prefix once (on/off)")
 		partition    = flag.Bool("partition", false, "split scenarios across kernels per disjoint platform component")
@@ -67,8 +81,27 @@ func main() {
 	)
 	flag.Parse()
 
-	if *dir == "" || *ranks <= 0 {
-		fail(cli.Usagef("need -dir and a positive -ranks"))
+	worlds, err := sweep.ParseWorldList(*worldList)
+	if err != nil {
+		fail(cli.Usage(err))
+	}
+	synthetic := *synthPath != ""
+	if synthetic && len(worlds) == 0 {
+		fail(cli.Usagef("-synth needs a -world axis"))
+	}
+	// Recorded traces are needed unless every cell is synthetic: no -synth
+	// means the whole grid replays the -dir set, and a 0 entry on the
+	// -world axis is the recorded world.
+	needTraces := !synthetic
+	for _, w := range worlds {
+		if w == 0 {
+			needTraces = true
+		} else if !synthetic {
+			fail(cli.Usagef("-world %d needs -synth (a fitted model to regenerate from)", w))
+		}
+	}
+	if needTraces && (*dir == "" || *ranks <= 0) {
+		fail(cli.Usagef("need -dir and a positive -ranks (or -synth with -world)"))
 	}
 	var fork bool
 	switch *forkMode {
@@ -79,16 +112,21 @@ func main() {
 	default:
 		fail(cli.Usagef("-fork must be on or off, got %q", *forkMode))
 	}
-	var (
-		base *platform.Platform
-		err  error
-	)
+	var base *platform.Platform
 	if *platformPath != "" {
 		if base, err = platform.ParseFile(*platformPath); err != nil {
 			fail(err)
 		}
 	} else {
-		base = platform.BordereauWithCores(*ranks, 1)
+		// The built-in platform must hold the largest world of the sweep,
+		// synthetic cells included.
+		maxN := *ranks
+		for _, w := range worlds {
+			if w > maxN {
+				maxN = w
+			}
+		}
+		base = platform.BordereauWithCores(maxN, 1)
 	}
 
 	grid := sweep.Grid{}
@@ -119,17 +157,35 @@ func main() {
 	if grid.Ckpt, err = sweep.ParseCkptList(*ckptSpecs); err != nil {
 		fail(cli.Usage(err))
 	}
+	grid.World = worlds
 
-	traces, err := sweep.LoadDir(*dir, *ranks)
-	if err != nil {
-		fail(err)
+	var traces *sweep.TraceSet
+	if needTraces {
+		if traces, err = sweep.LoadDir(*dir, *ranks); err != nil {
+			fail(err)
+		}
+		defer traces.Close()
 	}
-	defer traces.Close()
+	var model *synth.Model
+	var spec synth.Spec
+	if synthetic {
+		if model, err = synth.ReadModelFile(*synthPath); err != nil {
+			fail(err)
+		}
+		spec = synth.Spec{Seed: *synthSeed, Jitter: *synthJitter}
+		if *scaleLaw != "" {
+			if spec.Law, err = synth.ParseLaw(*scaleLaw); err != nil {
+				fail(cli.Usage(err))
+			}
+		}
+	}
 
 	cfg := &sweep.Config{
 		Platform:       base,
 		Grid:           grid,
 		Traces:         traces,
+		Synth:          model,
+		SynthSpec:      spec,
 		Workers:        *workers,
 		Timed:          *timedDir != "",
 		Profile:        *profile,

@@ -341,17 +341,16 @@ func RunPrefix(b *platform.Build, depl *platform.Deployment, cfg Config, sources
 		return nil, fmt.Errorf("replay: prefix did not quiesce: %w", err)
 	}
 	pr.snap = snap
-	pr.Actions = r.actions.Load()
+	pr.Actions = r.actions()
 	return pr, nil
 }
 
 // spawnRankPrefix is spawnRank bounded to the first cut actions, recording
 // the rank's park time and park order for the resumed members.
 func (r *run) spawnRankPrefix(k *simx.Kernel, fn string, host *simx.Host, slot int, src Source, cut int, pr *PrefixRun) {
-	sendMb, recvMb := r.mailboxTables()
 	k.Spawn(fn, host, func(sp *simx.Proc) {
-		p := &Proc{Sim: sp, Rank: slot, N: r.world.n, cfg: &r.cfg, world: r.world,
-			sendMb: sendMb, recvMb: recvMb}
+		p := &Proc{Sim: sp, Rank: slot, N: r.world.n, cfg: &r.cfg, world: r.world}
+		r.initMboxCaches(p)
 		for i := 0; i < cut; i++ {
 			if !r.stepAction(p, src, slot) {
 				return
@@ -366,19 +365,17 @@ func (r *run) spawnRankPrefix(k *simx.Kernel, fn string, host *simx.Host, slot i
 	})
 }
 
-// mailboxTables allocates the per-rank interned mailbox ID caches (nil on
-// the string-keyed reference path), shared by all spawn variants.
-func (r *run) mailboxTables() (sendMb, recvMb []simx.MailboxID) {
+// initMboxCaches enables the per-rank interned mailbox ID caches (left
+// disabled on the string-keyed reference path), shared by all spawn
+// variants. The caches allocate lazily on first use and are sized by the
+// peers the rank talks to, so spawning a rank costs O(1) regardless of
+// the world size.
+func (r *run) initMboxCaches(p *Proc) {
 	if r.cfg.StringMailboxes {
-		return nil, nil
+		return
 	}
-	sendMb = make([]simx.MailboxID, r.world.n)
-	recvMb = make([]simx.MailboxID, r.world.n)
-	for peer := range sendMb {
-		sendMb[peer] = -1
-		recvMb[peer] = -1
-	}
-	return sendMb, recvMb
+	p.sendMb.init(r.world.n)
+	p.recvMb.init(r.world.n)
 }
 
 // stepAction fetches and executes one action of rank slot, mirroring the
@@ -405,7 +402,6 @@ func (r *run) stepAction(p *Proc, src Source, slot int) bool {
 		r.errs[slot] = err
 		return false
 	}
-	r.actions.Add(1)
 	r.rankActions[slot]++
 	return true
 }
@@ -503,7 +499,7 @@ func (pr *PrefixRun) RunForked(b *platform.Build, cfg Config, sources []Source) 
 	if cfg.TimedTracer != nil && pr.opt.RecordTrace {
 		replayRecords(cfg.TimedTracer, pr.rec.recs, rec.recs)
 	}
-	res := &Result{SimulatedTime: makespan, Actions: pr.Actions + r.actions.Load(), WallTime: wall}
+	res := &Result{SimulatedTime: makespan, Actions: pr.Actions + r.actions(), WallTime: wall}
 	if cfg.Ckpt != nil {
 		ra, err := applyCkpt(makespan, cfg.Ckpt, cfg.Faults.Arrivals(n))
 		if err != nil {
@@ -519,7 +515,6 @@ func (pr *PrefixRun) RunForked(b *platform.Build, cfg Config, sources []Source) 
 // post-divergence actions: skip the prefix on the source, sleep to the park
 // time, continue.
 func (r *run) spawnRankResumed(k *simx.Kernel, fn string, host *simx.Host, slot int, src Source, cut int, park float64) {
-	sendMb, recvMb := r.mailboxTables()
 	k.Spawn(fn, host, func(sp *simx.Proc) {
 		for i := 0; i < cut; i++ {
 			if _, ok, err := src.Next(); err != nil || !ok {
@@ -528,8 +523,8 @@ func (r *run) spawnRankResumed(k *simx.Kernel, fn string, host *simx.Host, slot 
 			}
 		}
 		sp.SleepUntil(park)
-		p := &Proc{Sim: sp, Rank: slot, N: r.world.n, cfg: &r.cfg, world: r.world,
-			sendMb: sendMb, recvMb: recvMb}
+		p := &Proc{Sim: sp, Rank: slot, N: r.world.n, cfg: &r.cfg, world: r.world}
+		r.initMboxCaches(p)
 		for r.stepAction(p, src, slot) {
 		}
 	})

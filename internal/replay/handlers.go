@@ -27,28 +27,28 @@ func collMbox(seq int64, src, dst int) string {
 // sendMbox resolves the mailbox this rank sends to dst on, interning the
 // name on first use and serving the cached ID afterwards.
 func (p *Proc) sendMbox(dst int) simx.MailboxID {
-	if p.sendMb == nil {
+	if p.sendMb.disabled() {
 		return p.Sim.Kernel().MailboxID(p2pMbox(p.Rank, dst))
 	}
-	id := p.sendMb[dst]
-	if id < 0 {
-		id = p.Sim.Kernel().MailboxID(p2pMbox(p.Rank, dst))
-		p.sendMb[dst] = id
+	if id, ok := p.sendMb.get(dst); ok {
+		return id
 	}
+	id := p.Sim.Kernel().MailboxID(p2pMbox(p.Rank, dst))
+	p.sendMb.put(dst, id)
 	return id
 }
 
 // recvMbox resolves the mailbox this rank receives from src on, interning
 // the name on first use and serving the cached ID afterwards.
 func (p *Proc) recvMbox(src int) simx.MailboxID {
-	if p.recvMb == nil {
+	if p.recvMb.disabled() {
 		return p.Sim.Kernel().MailboxID(p2pMbox(src, p.Rank))
 	}
-	id := p.recvMb[src]
-	if id < 0 {
-		id = p.Sim.Kernel().MailboxID(p2pMbox(src, p.Rank))
-		p.recvMb[src] = id
+	if id, ok := p.recvMb.get(src); ok {
+		return id
 	}
+	id := p.Sim.Kernel().MailboxID(p2pMbox(src, p.Rank))
+	p.recvMb.put(src, id)
 	return id
 }
 

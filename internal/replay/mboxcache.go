@@ -1,0 +1,101 @@
+package replay
+
+import "tireplay/internal/simx"
+
+// denseMboxWorld is the world size up to which a rank's mailbox cache is a
+// plain peer-indexed slice. Above it the cache switches to open addressing
+// sized by the peers the rank actually talks to: a 16k-rank stencil trace
+// touches a handful of neighbours, so per-rank setup must cost O(peers),
+// not O(world) — two dense 16k tables per rank are 128 KiB each, an O(n^2)
+// total that used to dominate large-world replay memory.
+const denseMboxWorld = 256
+
+// mboxCache caches one rank's interned point-to-point mailbox IDs by peer
+// rank. The zero value is a disabled cache (the string-keyed reference
+// path); enable with init. Tables are allocated lazily on the first miss,
+// so ranks that never exchange point-to-point messages pay nothing.
+type mboxCache struct {
+	n     int              // world size; 0 = disabled
+	dense []simx.MailboxID // peer-indexed, -1 empty (n <= denseMboxWorld)
+	keys  []int32          // open addressing: peer+1, 0 = empty slot
+	vals  []simx.MailboxID
+	used  int
+}
+
+func (c *mboxCache) init(n int)     { c.n = n }
+func (c *mboxCache) disabled() bool { return c.n == 0 }
+
+// get returns the cached ID for peer, if interned already.
+func (c *mboxCache) get(peer int) (simx.MailboxID, bool) {
+	if c.dense != nil {
+		if id := c.dense[peer]; id >= 0 {
+			return id, true
+		}
+		return 0, false
+	}
+	if c.keys == nil {
+		return 0, false
+	}
+	key := int32(peer) + 1
+	mask := len(c.keys) - 1
+	i := int(uint64(key)*0x9E3779B97F4A7C15>>32) & mask
+	for {
+		switch c.keys[i] {
+		case key:
+			return c.vals[i], true
+		case 0:
+			return 0, false
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// put caches the ID for peer. peer must not be present yet.
+func (c *mboxCache) put(peer int, id simx.MailboxID) {
+	if c.n <= denseMboxWorld {
+		if c.dense == nil {
+			c.dense = make([]simx.MailboxID, c.n)
+			for i := range c.dense {
+				c.dense[i] = -1
+			}
+		}
+		c.dense[peer] = id
+		return
+	}
+	if c.used*2 >= len(c.keys) {
+		c.grow()
+	}
+	key := int32(peer) + 1
+	mask := len(c.keys) - 1
+	i := int(uint64(key)*0x9E3779B97F4A7C15>>32) & mask
+	for c.keys[i] != 0 {
+		i = (i + 1) & mask
+	}
+	c.keys[i] = key
+	c.vals[i] = id
+	c.used++
+}
+
+// grow doubles (or seeds) the open-addressing table, keeping occupancy at
+// or below half so probe chains stay short.
+func (c *mboxCache) grow() {
+	newCap := 16
+	if len(c.keys) > 0 {
+		newCap = 2 * len(c.keys)
+	}
+	oldKeys, oldVals := c.keys, c.vals
+	c.keys = make([]int32, newCap)
+	c.vals = make([]simx.MailboxID, newCap)
+	mask := newCap - 1
+	for j, k := range oldKeys {
+		if k == 0 {
+			continue
+		}
+		i := int(uint64(k)*0x9E3779B97F4A7C15>>32) & mask
+		for c.keys[i] != 0 {
+			i = (i + 1) & mask
+		}
+		c.keys[i] = k
+		c.vals[i] = oldVals[j]
+	}
+}

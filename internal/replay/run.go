@@ -6,7 +6,6 @@ import (
 	"os"
 	"sort"
 	"strings"
-	"sync/atomic"
 	"time"
 
 	"tireplay/internal/coll"
@@ -109,11 +108,12 @@ type Proc struct {
 	cfg   *Config
 	world *world
 
-	// sendMb[d] / recvMb[s] are the rank's interned point-to-point mailbox
-	// IDs (this rank to d, s to this rank), resolved once at spawn; nil on
-	// the string-keyed reference path.
-	sendMb []simx.MailboxID
-	recvMb []simx.MailboxID
+	// sendMb / recvMb cache the rank's interned point-to-point mailbox IDs
+	// (this rank to peer, peer to this rank), resolved on first use; the
+	// zero caches mark the string-keyed reference path. Sized by the peers
+	// the rank actually talks to, not by the world (see mboxCache).
+	sendMb mboxCache
+	recvMb mboxCache
 
 	// pending is the FIFO of outstanding Irecv requests; the queue reuses
 	// its backing array, so wait-heavy traces do not grow it per round.
@@ -183,13 +183,13 @@ func (w *world) round(seq int64) *collRound {
 			w.free[n-1] = nil
 			w.free = w.free[:n-1]
 		} else {
-			// Power-of-two capacity with load factor <= 1/2 for the n
-			// pairs a round can use.
-			cap := 4
-			for cap < 2*w.n {
-				cap *= 2
-			}
-			r = &collRound{keys: make([]int64, cap), vals: make([]simx.MailboxID, cap)}
+			// Start small and let grow() right-size by the pairs the round
+			// actually sees: dense rounds (a linear star's single round uses
+			// ~n pairs) reach O(n) capacity through log n geometric regrows
+			// on the first round ever, after which the free list recycles the
+			// grown table; sparse rounds (tree and ring schedules move O(1)
+			// pairs per rank and round) never pay for 2n slots up front.
+			r = &collRound{keys: make([]int64, 64), vals: make([]simx.MailboxID, 64)}
 		}
 		r.refs = w.n
 		w.rounds = append(w.rounds, r)
@@ -330,17 +330,26 @@ func ScannerSource(sc *trace.Scanner) Source {
 // backing arrays, the parsed platform description) are all immutable during
 // a run.
 type run struct {
-	cfg     Config
-	world   *world
-	errs    []error
-	actions atomic.Int64
+	cfg   Config
+	world *world
+	errs  []error
 
 	// rankActions[slot] counts the actions rank slot completed; failed[slot]
 	// records the fail-stop that killed it. Plain slices: the kernel
 	// schedules one rank at a time and k.Run establishes the happens-before
-	// with the caller.
+	// with the caller — which is also why the run needs no atomic total, the
+	// per-slot counters sum up after k.Run returns.
 	rankActions []int64
 	failed      []*simx.FailedError
+}
+
+// actions totals the per-slot action counters; call only after k.Run.
+func (r *run) actions() int64 {
+	var sum int64
+	for _, n := range r.rankActions {
+		sum += n
+	}
+	return sum
 }
 
 // Run replays one Source per rank on the platform: the engine of the whole
@@ -462,7 +471,7 @@ func Run(b *platform.Build, depl *platform.Deployment, cfg Config, sources []Sou
 	if runErr != nil {
 		return nil, fmt.Errorf("replay: simulation stalled: %w", runErr)
 	}
-	res := &Result{SimulatedTime: makespan, Actions: r.actions.Load(), WallTime: wall}
+	res := &Result{SimulatedTime: makespan, Actions: r.actions(), WallTime: wall}
 	if cfg.Ckpt != nil {
 		ra, err := applyCkpt(makespan, cfg.Ckpt, cfg.Faults.Arrivals(n))
 		if err != nil {
@@ -478,11 +487,10 @@ func Run(b *platform.Build, depl *platform.Deployment, cfg Config, sources []Sou
 // the deployment index (the run-local error slot), rank the global MPI rank
 // the trace names.
 func (r *run) spawnRank(k *simx.Kernel, fn string, host *simx.Host, slot, rank int, src Source) {
-	// The rank-local tables cache the interned point-to-point mailbox IDs:
-	// the first rendezvous with a peer resolves the name once, every later
-	// one addresses the dense ID with no strconv or map hash. (-1 marks
-	// unresolved slots, so only pairs the trace actually uses are interned.)
-	sendMb, recvMb := r.mailboxTables()
+	// The rank-local caches intern the point-to-point mailbox IDs: the
+	// first rendezvous with a peer resolves the name once, every later one
+	// addresses the dense ID with no strconv or map hash; only pairs the
+	// trace actually uses are interned.
 	k.Spawn(fn, host, func(sp *simx.Proc) {
 		defer func() {
 			rec := recover()
@@ -498,8 +506,8 @@ func (r *run) spawnRank(k *simx.Kernel, fn string, host *simx.Host, slot, rank i
 			}
 			panic(rec)
 		}()
-		p := &Proc{Sim: sp, Rank: rank, N: r.world.n, cfg: &r.cfg, world: r.world,
-			sendMb: sendMb, recvMb: recvMb}
+		p := &Proc{Sim: sp, Rank: rank, N: r.world.n, cfg: &r.cfg, world: r.world}
+		r.initMboxCaches(p)
 		for {
 			a, ok, err := src.Next()
 			if err != nil {
@@ -522,7 +530,6 @@ func (r *run) spawnRank(k *simx.Kernel, fn string, host *simx.Host, slot, rank i
 				r.errs[slot] = err
 				return
 			}
-			r.actions.Add(1)
 			r.rankActions[slot]++
 		}
 	})

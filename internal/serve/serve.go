@@ -33,6 +33,7 @@ import (
 	"tireplay/internal/replay"
 	"tireplay/internal/smpi"
 	"tireplay/internal/sweep"
+	"tireplay/internal/synth"
 	"tireplay/internal/trace"
 )
 
@@ -337,6 +338,28 @@ type GridSpec struct {
 	Topo  string `json:"topo,omitempty"`
 	Fault string `json:"fault,omitempty"`
 	Ckpt  string `json:"ckpt,omitempty"`
+	// World is the synthetic world-size axis ("1024,4096,16384"; 0 is the
+	// recorded world). Positive entries regenerate rank streams from the
+	// request's synth model instead of the stored trace.
+	World string `json:"world,omitempty"`
+}
+
+// SynthSpec carries the fitted statistical model (tigen fit output) that
+// synthetic worlds regenerate from, plus the generation knobs. The model
+// travels inline so the response stays a pure function of the request body;
+// its canonical re-encoding is content-hashed into the cache key, so two
+// spellings of the same model share one cache entry.
+type SynthSpec struct {
+	// Model is the fitted model JSON exactly as tigen fit emits it.
+	Model json.RawMessage `json:"model"`
+	// Scale is the scaling law: "weak" (default), "strong", or explicit
+	// exponents like "compute=-1:bytes=-0.5".
+	Scale string `json:"scale,omitempty"`
+	// Seed seeds the deterministic jitter stream.
+	Seed uint64 `json:"seed,omitempty"`
+	// Jitter perturbs compute volumes by a factor uniform in [1-j, 1+j),
+	// deterministically per (seed, rank, op).
+	Jitter float64 `json:"jitter,omitempty"`
 }
 
 // SweepRequest asks the daemon to replay a stored trace over a scenario
@@ -345,12 +368,18 @@ type GridSpec struct {
 // repeated questions are served from cache byte-identically.
 type SweepRequest struct {
 	// Trace is the content digest of a stored trace set ("sha256:...").
-	Trace string `json:"trace"`
+	// Optional when every grid cell is synthetic (a world axis with no 0
+	// entry): those sweeps replay worlds nobody recorded.
+	Trace string `json:"trace,omitempty"`
 	// Platform is a builtin base-platform spec ("bordereau:8" or
-	// "bordereau:8x4"); empty means bordereau sized to the trace's ranks.
+	// "bordereau:8x4"); empty means bordereau sized to the largest world
+	// in the sweep (the trace's ranks when there is no world axis).
 	// Ignored when every grid cell sets a topology.
 	Platform string   `json:"platform,omitempty"`
 	Grid     GridSpec `json:"grid"`
+	// Synth supplies the fitted model that positive grid.world entries
+	// regenerate from; required exactly when the grid has one.
+	Synth *SynthSpec `json:"synth,omitempty"`
 	// NoMPIModel disables the piece-wise linear MPI model.
 	NoMPIModel bool `json:"no_mpi_model,omitempty"`
 	// Partition splits scenarios across kernels per disjoint platform
@@ -394,7 +423,7 @@ type ScenarioRow struct {
 // body is a pure function of (trace digest, canonical request) and stays
 // byte-identical between a replayed and a cached answer.
 type SweepResponse struct {
-	Trace     string        `json:"trace"`
+	Trace     string        `json:"trace,omitempty"`
 	Platform  string        `json:"platform,omitempty"`
 	Scenarios []ScenarioRow `json:"scenarios"`
 }
@@ -402,10 +431,13 @@ type SweepResponse struct {
 // sweepPlan is a parsed, canonicalized sweep request.
 type sweepPlan struct {
 	key                             string // canonical cache key
-	digest                          string
+	digest                          string // empty: all-synthetic, no stored trace
 	platKey                         string
 	platform                        *platform.Platform
 	grid                            sweep.Grid
+	synth                           *synth.Model
+	synthSpec                       synth.Spec
+	synthKey                        string // canonical model+knobs identity
 	identity                        bool
 	partition, timed, profile, fork bool
 	metrics                         bool
@@ -420,12 +452,38 @@ func (s *Server) parseSweep(body []byte) (*sweepPlan, *httpError) {
 	if err := dec.Decode(&req); err != nil {
 		return nil, httpErrorf(http.StatusBadRequest, "bad sweep request: %v", err)
 	}
-	if req.Trace == "" {
-		return nil, httpErrorf(http.StatusBadRequest, "missing trace digest")
+	worlds, err := sweep.ParseWorldList(req.Grid.World)
+	if err != nil {
+		return nil, httpErrorf(http.StatusBadRequest, "bad grid: %v", err)
 	}
-	ranks, ok := s.traces.Ranks(req.Trace)
-	if !ok {
-		return nil, httpErrorf(http.StatusNotFound, "unknown trace %s", req.Trace)
+	// The stored trace is needed unless every cell is synthetic: no world
+	// axis means the whole grid replays the stored set, and a 0 entry on
+	// the axis is the recorded world.
+	needTrace := len(worlds) == 0
+	maxWorld := 0
+	for _, w := range worlds {
+		if w == 0 {
+			needTrace = true
+		} else if req.Synth == nil {
+			return nil, httpErrorf(http.StatusBadRequest,
+				"grid world %d needs a synth model to regenerate from", w)
+		}
+		if w > maxWorld {
+			maxWorld = w
+		}
+	}
+	if req.Synth != nil && maxWorld == 0 {
+		return nil, httpErrorf(http.StatusBadRequest,
+			"synth model without a positive grid world axis; drop it or add one")
+	}
+	ranks := 0
+	if req.Trace != "" {
+		var ok bool
+		if ranks, ok = s.traces.Ranks(req.Trace); !ok {
+			return nil, httpErrorf(http.StatusNotFound, "unknown trace %s", req.Trace)
+		}
+	} else if needTrace {
+		return nil, httpErrorf(http.StatusBadRequest, "missing trace digest")
 	}
 
 	p := &sweepPlan{digest: req.Trace, identity: req.NoMPIModel,
@@ -437,8 +495,8 @@ func (s *Server) parseSweep(body []byte) (*sweepPlan, *httpError) {
 	if req.Fork != nil {
 		p.fork = *req.Fork
 	}
-	var err error
 	g := &p.grid
+	g.World = worlds
 	if g.LatencyScale, err = sweep.ParseFloatList(req.Grid.Lat); err == nil {
 		if g.BandwidthScale, err = sweep.ParseFloatList(req.Grid.Bw); err == nil {
 			if g.PowerScale, err = sweep.ParseFloatList(req.Grid.Power); err == nil {
@@ -464,12 +522,24 @@ func (s *Server) parseSweep(body []byte) (*sweepPlan, *httpError) {
 			"grid expands to %d scenarios, limit %d", n, s.cfg.MaxScenarios)
 	}
 
+	if req.Synth != nil {
+		var herr *httpError
+		if p.synth, p.synthSpec, p.synthKey, herr = parseSynth(req.Synth, worlds); herr != nil {
+			return nil, herr
+		}
+	}
+
 	// The base platform only exists when some cell needs it; a pure
-	// topology sweep replays entirely on generated fabrics.
+	// topology sweep replays entirely on generated fabrics. The default
+	// must hold the largest world of the sweep, synthetic cells included.
 	if len(p.grid.Topo) == 0 {
 		spec := req.Platform
 		if spec == "" {
-			spec = fmt.Sprintf("bordereau:%d", ranks)
+			n := ranks
+			if maxWorld > n {
+				n = maxWorld
+			}
+			spec = fmt.Sprintf("bordereau:%d", n)
 		}
 		key, plat, _, err := s.platforms.get(spec)
 		if err != nil {
@@ -483,6 +553,48 @@ func (s *Server) parseSweep(body []byte) (*sweepPlan, *httpError) {
 
 	p.key = canonicalSweepKey(p)
 	return p, nil
+}
+
+// parseSynth decodes and validates the request's fitted model and derives
+// its canonical identity: the sha256 of the model's canonical re-encoding
+// plus the generation knobs in canonical spelling, so equivalent spellings
+// of one model share a cache entry and one in-flight execution.
+func parseSynth(req *SynthSpec, worlds []int) (*synth.Model, synth.Spec, string, *httpError) {
+	var zero synth.Spec
+	if len(req.Model) == 0 {
+		return nil, zero, "", httpErrorf(http.StatusBadRequest, "synth needs a model (tigen fit JSON)")
+	}
+	m, err := synth.ReadModel(bytes.NewReader(req.Model))
+	if err != nil {
+		return nil, zero, "", httpErrorf(http.StatusBadRequest, "bad synth model: %v", err)
+	}
+	spec := synth.Spec{Seed: req.Seed, Jitter: req.Jitter}
+	if req.Scale != "" {
+		if spec.Law, err = synth.ParseLaw(req.Scale); err != nil {
+			return nil, zero, "", httpErrorf(http.StatusBadRequest, "bad synth scale: %v", err)
+		}
+	}
+	// Every synthetic world must be generable before the sweep is admitted:
+	// a world the model's grid cannot tile is the client's mistake (400),
+	// not a mid-sweep failure.
+	for _, w := range worlds {
+		if w == 0 {
+			continue
+		}
+		ws := spec
+		ws.World = w
+		if _, err := synth.NewGen(m, ws); err != nil {
+			return nil, zero, "", httpErrorf(http.StatusBadRequest, "synth world %d: %v", w, err)
+		}
+	}
+	var canon bytes.Buffer
+	if err := m.WriteJSON(&canon); err != nil {
+		return nil, zero, "", httpErrorf(http.StatusInternalServerError, "synth model: %v", err)
+	}
+	sum := sha256.Sum256(canon.Bytes())
+	id := fmt.Sprintf("%x scale=%s seed=%d jitter=%s",
+		sum, spec.Law.String(), spec.Seed, strconv.FormatFloat(spec.Jitter, 'g', -1, 64))
+	return m, spec, id, nil
 }
 
 // canonicalSweepKey renders the request's canonical identity: the trace
@@ -543,6 +655,14 @@ func canonicalSweepKey(p *sweepPlan) string {
 			b.WriteByte(';')
 		}
 		b.WriteString(c.String())
+	}
+	b.WriteString("\nworld=")
+	writeInts(&b, p.grid.World, 0)
+	b.WriteString("\nsynth=")
+	if p.synthKey == "" {
+		b.WriteString("none")
+	} else {
+		b.WriteString(p.synthKey)
 	}
 	return b.String()
 }
@@ -667,18 +787,24 @@ func (s *Server) runSweep(ctx context.Context, plan *sweepPlan, bodyHash [32]byt
 	}
 	defer s.admitted.leave()
 
-	th, ok := s.traces.Acquire(plan.digest)
-	if !ok {
-		// Evicted between parse and admission; the client re-uploads.
-		return sweepOutcome{status: http.StatusNotFound,
-			body: errorBody("trace " + plan.digest + " no longer stored")}
+	var traces *sweep.TraceSet
+	if plan.digest != "" {
+		th, ok := s.traces.Acquire(plan.digest)
+		if !ok {
+			// Evicted between parse and admission; the client re-uploads.
+			return sweepOutcome{status: http.StatusNotFound,
+				body: errorBody("trace " + plan.digest + " no longer stored")}
+		}
+		defer th.Release()
+		traces = th.Set()
 	}
-	defer th.Release()
 
 	cfg := &sweep.Config{
 		Platform:       plan.platform,
 		Grid:           plan.grid,
-		Traces:         th.Set(),
+		Traces:         traces,
+		Synth:          plan.synth,
+		SynthSpec:      plan.synthSpec,
 		Timed:          plan.timed,
 		Profile:        plan.profile,
 		Metrics:        plan.metrics,

@@ -36,8 +36,11 @@ type Proc struct {
 	failed   *FailedError
 	opFailed *FailedError
 
-	resume chan struct{} // kernel -> process handoff
-	yield  chan struct{} // process -> kernel handoff
+	// hand is the kernel <-> process handoff channel. Control strictly
+	// ping-pongs (the kernel sends to resume the process, the process sends
+	// back to yield), so one unbuffered channel serves both directions —
+	// the direction is implied by whose turn it is.
+	hand chan struct{}
 
 	body func(*Proc)
 }
@@ -49,20 +52,19 @@ func (k *Kernel) Spawn(name string, host *Host, body func(*Proc)) *Proc {
 		panic("simx: Spawn with nil host")
 	}
 	p := &Proc{
-		k:      k,
-		name:   name,
-		host:   host,
-		state:  stateCreated,
-		resume: make(chan struct{}),
-		yield:  make(chan struct{}),
-		body:   body,
+		k:     k,
+		name:  name,
+		host:  host,
+		state: stateCreated,
+		hand:  make(chan struct{}),
+		body:  body,
 	}
 	k.procs = append(k.procs, p)
 	k.living++
 	k.runq.Push(p)
 	p.state = stateRunnable
 	go func() {
-		<-p.resume
+		<-p.hand
 		func() {
 			defer func() {
 				if r := recover(); r != nil {
@@ -84,7 +86,7 @@ func (k *Kernel) Spawn(name string, host *Host, body func(*Proc)) *Proc {
 		}()
 		p.state = stateFinished
 		p.k.living--
-		p.yield <- struct{}{}
+		p.hand <- struct{}{}
 	}()
 	return p
 }
@@ -95,8 +97,8 @@ func (k *Kernel) step(p *Proc) {
 		panic("simx: stepping process that is not runnable: " + p.name)
 	}
 	p.state = stateRunning
-	p.resume <- struct{}{}
-	<-p.yield
+	p.hand <- struct{}{}
+	<-p.hand
 	if p.state == stateRunning {
 		panic("simx: process yielded without blocking or finishing: " + p.name)
 	}
@@ -121,8 +123,8 @@ func (p *Proc) block(kind blockKind) {
 	p.state = stateBlocked
 	p.blockKind = kind
 	p.k.blocked++
-	p.yield <- struct{}{}
-	<-p.resume
+	p.hand <- struct{}{}
+	<-p.hand
 	if p.failed != nil {
 		panic(killSignal{p.failed})
 	}

@@ -12,6 +12,7 @@ import (
 	"tireplay/internal/platform"
 	"tireplay/internal/replay"
 	"tireplay/internal/smpi"
+	"tireplay/internal/synth"
 )
 
 // Config parameterises a sweep.
@@ -23,8 +24,19 @@ type Config struct {
 	Platform *platform.Platform
 	// Grid spans the scenario space.
 	Grid Grid
-	// Traces is the shared trace set (required). It is only read.
+	// Traces is the shared trace set. It is only read. Required unless
+	// every grid cell is synthetic (Grid.World all positive with Synth
+	// set), in which case it may be nil.
 	Traces *TraceSet
+	// Synth is the fitted statistical model (see internal/synth) that
+	// synthetic cells — grid cells with a positive World — regenerate
+	// their rank streams from, on the fly, without trace files. Required
+	// when Grid.World has positive entries; ignored otherwise.
+	Synth *synth.Model
+	// SynthSpec templates the synthetic generation: its scaling law, seed,
+	// jitter and explicit grid apply to every synthetic cell, while its
+	// World field is overridden by each cell's world value.
+	SynthSpec synth.Spec
 	// Model is the MPI communication model; nil means smpi.Default().
 	Model *smpi.Model
 	// Registry binds action keywords to handlers for every scenario replay;
@@ -205,19 +217,50 @@ func Run(ctx context.Context, cfg *Config) (*Result, error) {
 // Run executes one sweep on the engine's resident pool. The semantics are
 // those of the package-level Run; concurrent calls share the pool's workers.
 func (e *Engine) Run(ctx context.Context, cfg *Config) (*Result, error) {
-	if cfg.Traces == nil || cfg.Traces.Ranks() == 0 {
-		return nil, fmt.Errorf("sweep: empty trace set")
-	}
 	model := cfg.Model
 	if model == nil {
 		model = smpi.Default()
 	}
 
 	scenarios := cfg.Grid.Expand()
-	needBase := false
+	needBase, hasRecorded, hasSynth := false, false, false
 	for i := range scenarios {
 		if scenarios[i].Topo == nil {
 			needBase = true
+		}
+		if scenarios[i].World > 0 {
+			hasSynth = true
+		} else {
+			hasRecorded = true
+		}
+	}
+	if hasRecorded && (cfg.Traces == nil || cfg.Traces.Ranks() == 0) {
+		return nil, fmt.Errorf("sweep: empty trace set")
+	}
+	if hasSynth && cfg.Synth == nil {
+		return nil, fmt.Errorf("sweep: grid has synthetic worlds but no fitted model (Config.Synth)")
+	}
+	// One generator per distinct synthetic world, shared read-only by every
+	// scenario at that size (per-rank cursors are created per replay, so
+	// workers never share mutable generation state).
+	if hasSynth {
+		gens := make(map[int]*synth.Gen)
+		for i := range scenarios {
+			sc := &scenarios[i]
+			if sc.World <= 0 {
+				continue
+			}
+			g, ok := gens[sc.World]
+			if !ok {
+				spec := cfg.SynthSpec
+				spec.World = sc.World
+				var err error
+				if g, err = synth.NewGen(cfg.Synth, spec); err != nil {
+					return nil, fmt.Errorf("sweep: world %d: %w", sc.World, err)
+				}
+				gens[sc.World] = g
+			}
+			sc.synthGen = g
 		}
 	}
 
@@ -242,7 +285,7 @@ func (e *Engine) Run(ctx context.Context, cfg *Config) (*Result, error) {
 	// their scenarios replay whole regardless of Partition.
 	var graph *commGraph
 	hostComp := make(map[string]int)
-	if cfg.Partition && needBase {
+	if cfg.Partition && needBase && hasRecorded {
 		if graph, err = analyze(cfg.Traces); err != nil {
 			return nil, err
 		}
@@ -257,11 +300,16 @@ func (e *Engine) Run(ctx context.Context, cfg *Config) (*Result, error) {
 		}
 	}
 
-	n := cfg.Traces.Ranks()
 	depls := make([]*platform.Deployment, len(scenarios))
 	partsBy := make([][]part, len(scenarios))
 	multiPart := make([]bool, len(scenarios))
 	for si, sc := range scenarios {
+		// Synthetic cells size their own world; recorded cells replay
+		// every rank of the trace set.
+		n := sc.World
+		if n <= 0 {
+			n = cfg.Traces.Ranks()
+		}
 		scHosts := hosts
 		if sc.Topo != nil {
 			scHosts = sc.Topo.HostNames()
@@ -275,8 +323,9 @@ func (e *Engine) Run(ctx context.Context, cfg *Config) (*Result, error) {
 		// A faulted or checkpointed scenario always replays whole: fault
 		// host indices address the full deployment and the waste algebra
 		// applies to the global makespan, neither of which survives a
-		// split across kernels.
-		if cfg.Partition && sc.Topo == nil && sc.Fault == nil && sc.Ckpt == nil {
+		// split across kernels. Synthetic cells replay whole too — the
+		// communication-graph analysis only covers the recorded traces.
+		if cfg.Partition && sc.Topo == nil && sc.Fault == nil && sc.Ckpt == nil && sc.World == 0 {
 			parts = partition(graph, hostComp, d.Processes)
 		}
 		partsBy[si] = parts
@@ -434,7 +483,7 @@ func runTask(cfg *Config, model *smpi.Model, sc Scenario, depl *platform.Deploym
 	}
 	sources := make([]replay.Source, len(p.ranks))
 	for i, r := range p.ranks {
-		if sources[i], err = cfg.Traces.source(r); err != nil {
+		if sources[i], err = scenarioSource(cfg, &sc, r); err != nil {
 			return partOut{err: err}
 		}
 	}
@@ -449,6 +498,18 @@ func runTask(cfg *Config, model *smpi.Model, sc Scenario, depl *platform.Deploym
 	tr.finish(&out)
 	out.components = 1
 	return out
+}
+
+// scenarioSource returns a fresh action source for rank r of the scenario:
+// a cursor over the shared recorded trace set, or — for synthetic cells — a
+// streaming generator cursor that synthesises the rank's actions on the
+// fly, so a 16k-rank world costs one small cursor per rank, not trace
+// files.
+func scenarioSource(cfg *Config, sc *Scenario, r int) (replay.Source, error) {
+	if sc.synthGen != nil {
+		return sc.synthGen.Rank(r)
+	}
+	return cfg.Traces.source(r)
 }
 
 // mergeScenario folds a scenario's component outcomes into its result:

@@ -59,9 +59,10 @@ type forkGroup struct {
 // per cut rule — whatever the grid size.
 func planForkGroups(cfg *Config, scenarios []Scenario, multiPart []bool) ([]*forkGroup, []*forkGroup, error) {
 	memberOf := make([]*forkGroup, len(scenarios))
-	if !cfg.Fork || cfg.Registry != nil {
+	if !cfg.Fork || cfg.Registry != nil || cfg.Traces == nil {
 		// Custom registries are opaque to the planner: a handler may keep
-		// state across the cut, so forking is disabled wholesale.
+		// state across the cut, so forking is disabled wholesale. An
+		// all-synthetic sweep has no shared trace set to plan a prefix on.
 		return nil, memberOf, nil
 	}
 	n := cfg.Traces.Ranks()
@@ -74,6 +75,12 @@ func planForkGroups(cfg *Config, scenarios []Scenario, multiPart []bool) ([]*for
 		}
 		if sc.Fault.FailStops() && sc.Ckpt == nil {
 			continue // fail-stops play out inside the kernel (abort policy)
+		}
+		if sc.World > 0 {
+			// Synthetic cells regenerate their own streams at their own
+			// world size; the prefix plan is computed from the recorded
+			// trace set, so they never join a group.
+			continue
 		}
 		k := keyOf(sc)
 		if _, seen := byKey[k]; !seen {

@@ -23,6 +23,7 @@ import (
 	"tireplay/internal/coll"
 	"tireplay/internal/platform"
 	"tireplay/internal/replay"
+	"tireplay/internal/synth"
 )
 
 // Grid spans the scenario space as a cross product of its axes. Empty axes
@@ -61,6 +62,12 @@ type Grid struct {
 	// abort policy (lost ranks reported as the scenario error), a non-nil
 	// one rides through failures and reports the waste accounting.
 	Ckpt []*replay.Ckpt
+	// World are synthetic world sizes: each entry replays the sweep's
+	// fitted model (Config.Synth) regenerated at that many ranks instead of
+	// the recorded trace set, so "the application at 16k ranks on this
+	// topology" is one more grid cell. 0 stands for the recorded world
+	// (replaying Config.Traces); positive entries require Config.Synth.
+	World []int
 }
 
 func orFloats(v []float64) []float64 {
@@ -120,7 +127,7 @@ func (g Grid) Size() int {
 	return len(orFloats(g.LatencyScale)) * len(orFloats(g.BandwidthScale)) *
 		len(orFloats(g.PowerScale)) * len(orInts(g.Fold, 1)) * len(orInts(g.Hosts, 0)) *
 		len(orColl(g.Coll)) * len(orTopos(g.Topo)) *
-		len(orFaults(g.Faults)) * len(orCkpts(g.Ckpt))
+		len(orFaults(g.Faults)) * len(orCkpts(g.Ckpt)) * len(orInts(g.World, 0))
 }
 
 // Scenario is one fully instantiated cell of the grid.
@@ -146,6 +153,15 @@ type Scenario struct {
 	// Ckpt, when non-nil, is the checkpoint/restart protocol of this cell;
 	// it marshals as the -ckpt spec string.
 	Ckpt *replay.Ckpt `json:"ckpt,omitempty"`
+	// World, when positive, makes this a synthetic cell: its traces are
+	// regenerated at this world size from the sweep's fitted model instead
+	// of read from the recorded set.
+	World int `json:"world,omitempty"`
+
+	// synthGen is the resolved generator of a synthetic cell, shared
+	// read-only by every worker touching the scenario (one generator per
+	// distinct world; per-rank cursors are created per replay).
+	synthGen *synth.Gen
 }
 
 // Name renders a compact scenario label, e.g. "lat=0.5 bw=2 pow=1 fold=2".
@@ -168,6 +184,9 @@ func (s Scenario) Name() string {
 	if s.Ckpt != nil {
 		fmt.Fprintf(&b, " ckpt=%s", s.Ckpt)
 	}
+	if s.World > 0 {
+		fmt.Fprintf(&b, " world=%d", s.World)
+	}
 	return b.String()
 }
 
@@ -176,8 +195,8 @@ func trimFloat(f float64) string {
 }
 
 // Expand lists the grid's scenarios in deterministic nested-axis order
-// (checkpoint protocols outermost, then faults, topologies, collectives,
-// hosts, fold, power, bandwidth, latency innermost).
+// (world sizes outermost, then checkpoint protocols, faults, topologies,
+// collectives, hosts, fold, power, bandwidth, latency innermost).
 func (g Grid) Expand() []Scenario {
 	lats := orFloats(g.LatencyScale)
 	bws := orFloats(g.BandwidthScale)
@@ -188,28 +207,32 @@ func (g Grid) Expand() []Scenario {
 	topos := orTopos(g.Topo)
 	faults := orFaults(g.Faults)
 	ckpts := orCkpts(g.Ckpt)
+	worlds := orInts(g.World, 0)
 	out := make([]Scenario, 0, g.Size())
-	for _, ck := range ckpts {
-		for _, fs := range faults {
-			for _, tp := range topos {
-				for _, cc := range colls {
-					for _, h := range hosts {
-						for _, f := range folds {
-							for _, p := range pows {
-								for _, bw := range bws {
-									for _, lat := range lats {
-										out = append(out, Scenario{
-											Index:          len(out),
-											LatencyScale:   lat,
-											BandwidthScale: bw,
-											PowerScale:     p,
-											Fold:           f,
-											Hosts:          h,
-											Coll:           cc,
-											Topo:           tp,
-											Fault:          fs,
-											Ckpt:           ck,
-										})
+	for _, wd := range worlds {
+		for _, ck := range ckpts {
+			for _, fs := range faults {
+				for _, tp := range topos {
+					for _, cc := range colls {
+						for _, h := range hosts {
+							for _, f := range folds {
+								for _, p := range pows {
+									for _, bw := range bws {
+										for _, lat := range lats {
+											out = append(out, Scenario{
+												Index:          len(out),
+												LatencyScale:   lat,
+												BandwidthScale: bw,
+												PowerScale:     p,
+												Fold:           f,
+												Hosts:          h,
+												Coll:           cc,
+												Topo:           tp,
+												Fault:          fs,
+												Ckpt:           ck,
+												World:          wd,
+											})
+										}
 									}
 								}
 							}
@@ -326,6 +349,25 @@ func ParseCkptList(s string) ([]*replay.Ckpt, error) {
 			return nil, fmt.Errorf("sweep: %w", err)
 		}
 		out = append(out, ck)
+	}
+	return out, nil
+}
+
+// ParseWorldList parses tisweep's -world axis: comma-separated world sizes
+// ("1024,4096,16384"). A 0 entry stands for the recorded world (replaying
+// the -dir trace set), so one sweep can compare recorded against synthetic
+// cells.
+func ParseWorldList(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("sweep: bad world size %q in %q", part, s)
+		}
+		out = append(out, v)
 	}
 	return out, nil
 }

@@ -1,0 +1,73 @@
+package synth
+
+import (
+	"fmt"
+	"testing"
+
+	"tireplay/internal/npb"
+	"tireplay/internal/trace"
+)
+
+// BenchmarkSynthGen measures synthetic trace generation throughput: one
+// op emits the complete action stream of every rank in the world from a
+// model fitted on LU class S at 16 ranks. The streaming cursor must stay
+// allocation-free per action, so bytes/op growth is sublinear in actions.
+func BenchmarkSynthGen(b *testing.B) {
+	perRank, err := npb.RecordAll("lu", "S", 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := Fit(perRank)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, world := range []int{256, 4096} {
+		b.Run(fmt.Sprintf("world=%d", world), func(b *testing.B) {
+			g, err := NewGen(m, Spec{World: world, Law: StrongLaw})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			var actions int64
+			for i := 0; i < b.N; i++ {
+				actions = 0
+				for rank := 0; rank < world; rank++ {
+					rg, err := g.Rank(rank)
+					if err != nil {
+						b.Fatal(err)
+					}
+					for {
+						a, ok, err := rg.Next()
+						if err != nil {
+							b.Fatal(err)
+						}
+						if !ok {
+							break
+						}
+						if a.Type == trace.CommSize {
+							actions-- // keep the count comparable either way
+						}
+						actions++
+					}
+				}
+			}
+			b.ReportMetric(float64(actions), "actions/op")
+		})
+	}
+}
+
+// BenchmarkSynthFit measures model fitting itself (segmentation, grid
+// inference, period compression, union merge, self-verification).
+func BenchmarkSynthFit(b *testing.B) {
+	perRank, err := npb.RecordAll("lu", "S", 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(perRank); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

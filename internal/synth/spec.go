@@ -1,0 +1,228 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Law holds the scaling exponents applied when a model is regenerated at a
+// world size other than the recorded one. With rho = world'/world, every
+// compute volume scales by rho^Compute, every p2p byte volume by
+// rho^Bytes, the top-level iteration count by rho^Reps, and collective
+// byte volumes by rho^Coll. The zero Law is weak scaling: per-rank work
+// constant, total work grows with the world.
+type Law struct {
+	Compute float64 `json:"compute"`
+	Bytes   float64 `json:"bytes"`
+	Reps    float64 `json:"reps"`
+	Coll    float64 `json:"coll"`
+}
+
+// WeakLaw keeps per-rank volumes fixed as the world grows.
+var WeakLaw = Law{}
+
+// StrongLaw fixes the total problem size: per-rank compute shrinks as
+// 1/world and halo surfaces as 1/sqrt(world), the classic 2D-domain
+// strong-scaling law.
+var StrongLaw = Law{Compute: -1, Bytes: -0.5}
+
+// Spec describes one synthetic generation request: the target world plus
+// the knobs that parameterise it. The zero value is invalid (World must
+// be positive); DefaultSpec(world) is the canonical starting point.
+type Spec struct {
+	// World is the target world size (required, positive).
+	World int
+	// GridW x GridH overrides the rank grid at the target size. When zero
+	// the grid is derived from the model's recorded aspect ratio.
+	GridW, GridH int
+	// Law holds the scaling exponents (zero value = weak scaling).
+	Law Law
+	// Seed seeds the deterministic jitter stream.
+	Seed uint64
+	// Jitter perturbs every compute volume by a factor uniform in
+	// [1-Jitter, 1+Jitter), deterministically per (seed, rank, op).
+	Jitter float64
+}
+
+// DefaultSpec returns the canonical weak-scaling spec for a world size.
+func DefaultSpec(world int) Spec { return Spec{World: world} }
+
+// ParseSpec parses the tigen spec mini-language:
+//
+//	world=N[,grid=WxH][,scale=LAW][,seed=S][,jitter=F]
+//
+// where LAW is "weak", "strong", or explicit exponents like
+// "compute=-1:bytes=-0.5:reps=0:coll=0" (omitted exponents are 0). A bare
+// leading integer is shorthand for world=N. Keys may appear at most once.
+func ParseSpec(s string) (Spec, error) {
+	var sp Spec
+	seen := map[string]bool{}
+	fields := strings.Split(s, ",")
+	for i, f := range fields {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			return Spec{}, fmt.Errorf("synth: empty field in spec %q", s)
+		}
+		key, val, hasEq := strings.Cut(f, "=")
+		if !hasEq {
+			if i != 0 {
+				return Spec{}, fmt.Errorf("synth: spec field %q is not key=value", f)
+			}
+			// Bare leading integer: "4096,scale=strong".
+			key, val = "world", f
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		if seen[key] {
+			return Spec{}, fmt.Errorf("synth: duplicate spec key %q", key)
+		}
+		seen[key] = true
+		switch key {
+		case "world":
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return Spec{}, fmt.Errorf("synth: world %q must be a positive integer", val)
+			}
+			sp.World = n
+		case "grid":
+			w, h, ok := strings.Cut(val, "x")
+			if !ok {
+				return Spec{}, fmt.Errorf("synth: grid %q must be WxH", val)
+			}
+			gw, err1 := strconv.Atoi(w)
+			gh, err2 := strconv.Atoi(h)
+			if err1 != nil || err2 != nil || gw <= 0 || gh <= 0 {
+				return Spec{}, fmt.Errorf("synth: grid %q must be WxH with positive sides", val)
+			}
+			sp.GridW, sp.GridH = gw, gh
+		case "scale":
+			law, err := parseLaw(val)
+			if err != nil {
+				return Spec{}, err
+			}
+			sp.Law = law
+		case "seed":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("synth: seed %q must be an unsigned integer", val)
+			}
+			sp.Seed = n
+		case "jitter":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil || math.IsNaN(v) || v < 0 || v >= 1 {
+				return Spec{}, fmt.Errorf("synth: jitter %q must be a float in [0,1)", val)
+			}
+			sp.Jitter = v
+		default:
+			return Spec{}, fmt.Errorf("synth: unknown spec key %q", key)
+		}
+	}
+	if sp.World <= 0 {
+		return Spec{}, fmt.Errorf("synth: spec %q needs world=N", s)
+	}
+	if sp.GridW != 0 && sp.GridW*sp.GridH != sp.World {
+		return Spec{}, fmt.Errorf("synth: grid %dx%d does not tile world %d",
+			sp.GridW, sp.GridH, sp.World)
+	}
+	return sp, nil
+}
+
+// ParseLaw parses a scaling-law spec on its own: "weak", "strong", or
+// explicit exponents like "compute=-1:bytes=-0.5" — the syntax of the
+// spec mini-language's scale= value, exposed for flags (tisweep -scale)
+// that take the law separately from the world size.
+func ParseLaw(val string) (Law, error) { return parseLaw(val) }
+
+func parseLaw(val string) (Law, error) {
+	switch val {
+	case "weak":
+		return WeakLaw, nil
+	case "strong":
+		return StrongLaw, nil
+	}
+	var law Law
+	seen := map[string]bool{}
+	for _, f := range strings.Split(val, ":") {
+		key, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return Law{}, fmt.Errorf("synth: scale term %q is not exponent=value (or weak/strong)", f)
+		}
+		key = strings.TrimSpace(key)
+		if seen[key] {
+			return Law{}, fmt.Errorf("synth: duplicate scale exponent %q", key)
+		}
+		seen[key] = true
+		x, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+		if err != nil || math.IsNaN(x) || math.IsInf(x, 0) {
+			return Law{}, fmt.Errorf("synth: scale exponent %q has unusable value %q", key, v)
+		}
+		switch key {
+		case "compute":
+			law.Compute = x
+		case "bytes":
+			law.Bytes = x
+		case "reps":
+			law.Reps = x
+		case "coll":
+			law.Coll = x
+		default:
+			return Law{}, fmt.Errorf("synth: unknown scale exponent %q", key)
+		}
+	}
+	return law, nil
+}
+
+func formatExp(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func (l Law) String() string {
+	switch l {
+	case WeakLaw:
+		return "weak"
+	case StrongLaw:
+		return "strong"
+	}
+	var parts []string
+	if l.Compute != 0 {
+		parts = append(parts, "compute="+formatExp(l.Compute))
+	}
+	if l.Bytes != 0 {
+		parts = append(parts, "bytes="+formatExp(l.Bytes))
+	}
+	if l.Reps != 0 {
+		parts = append(parts, "reps="+formatExp(l.Reps))
+	}
+	if l.Coll != 0 {
+		parts = append(parts, "coll="+formatExp(l.Coll))
+	}
+	if len(parts) == 0 {
+		// Unreachable for parsed laws (the zero law is WeakLaw), kept for
+		// hand-built values like Law{Compute: 0}.
+		return "weak"
+	}
+	return strings.Join(parts, ":")
+}
+
+// String renders the canonical spelling of the spec: defaults are
+// omitted, keys appear in a fixed order, and ParseSpec(s.String()) == s
+// for every valid spec (the FuzzSynthSpec fixpoint). The canonical form
+// is what cache keys and scenario names embed.
+func (s Spec) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "world=%d", s.World)
+	if s.GridW != 0 || s.GridH != 0 {
+		fmt.Fprintf(&b, ",grid=%dx%d", s.GridW, s.GridH)
+	}
+	if s.Law != WeakLaw {
+		b.WriteString(",scale=")
+		b.WriteString(s.Law.String())
+	}
+	if s.Seed != 0 {
+		fmt.Fprintf(&b, ",seed=%d", s.Seed)
+	}
+	if s.Jitter != 0 {
+		fmt.Fprintf(&b, ",jitter=%s", formatExp(s.Jitter))
+	}
+	return b.String()
+}

@@ -1,0 +1,134 @@
+package synth
+
+import "testing"
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Spec
+	}{
+		{"world=16", Spec{World: 16}},
+		{"4096", Spec{World: 4096}},
+		{"16384,scale=strong", Spec{World: 16384, Law: StrongLaw}},
+		{"world=64,grid=8x8", Spec{World: 64, GridW: 8, GridH: 8}},
+		{"world=8,seed=99,jitter=0.25", Spec{World: 8, Seed: 99, Jitter: 0.25}},
+		{"world=8,scale=compute=-1:bytes=-0.5", Spec{World: 8, Law: StrongLaw}},
+		{"world=8,scale=reps=1", Spec{World: 8, Law: Law{Reps: 1}}},
+		{"world=8,scale=weak", Spec{World: 8}},
+		{" world=8 , seed=1 ", Spec{World: 8, Seed: 1}},
+	}
+	for _, tc := range cases {
+		got, err := ParseSpec(tc.in)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"scale=weak", // missing world
+		"world=0",
+		"world=-4",
+		"world=x",
+		"world=8,world=8",  // duplicate key
+		"world=8,8",        // bare int not leading
+		"world=8,grid=3x2", // grid does not tile world
+		"world=8,grid=8",   // malformed grid
+		"world=8,grid=0x8",
+		"world=8,jitter=1", // jitter must be < 1
+		"world=8,jitter=-0.1",
+		"world=8,jitter=NaN",
+		"world=8,scale=fast", // unknown law
+		"world=8,scale=compute",
+		"world=8,scale=compute=Inf",
+		"world=8,scale=compute=-1:compute=-1",
+		"world=8,seed=-1",
+		"world=8,flavor=mild", // unknown key
+		"world=8,,seed=1",     // empty field
+	} {
+		if sp, err := ParseSpec(in); err == nil {
+			t.Errorf("ParseSpec(%q) = %+v, want error", in, sp)
+		}
+	}
+}
+
+func TestSpecStringCanonical(t *testing.T) {
+	for _, tc := range []struct {
+		sp   Spec
+		want string
+	}{
+		{Spec{World: 16}, "world=16"},
+		{Spec{World: 16384, Law: StrongLaw}, "world=16384,scale=strong"},
+		{Spec{World: 64, GridW: 8, GridH: 8, Seed: 7}, "world=64,grid=8x8,seed=7"},
+		{Spec{World: 8, Jitter: 0.25}, "world=8,jitter=0.25"},
+		{Spec{World: 8, Law: Law{Compute: -1}}, "world=8,scale=compute=-1"},
+	} {
+		if got := tc.sp.String(); got != tc.want {
+			t.Errorf("(%+v).String() = %q, want %q", tc.sp, got, tc.want)
+		}
+	}
+}
+
+// TestSpecStringFixpoint: parse(s.String()) == s for valid specs — the
+// property the cache keys and scenario names rely on.
+func TestSpecStringFixpoint(t *testing.T) {
+	specs := []Spec{
+		{World: 1},
+		{World: 16384, Law: StrongLaw},
+		{World: 64, GridW: 8, GridH: 8, Law: Law{Compute: -2, Bytes: 0.5, Reps: 1, Coll: -0.25}, Seed: 1<<63 + 5, Jitter: 0.125},
+	}
+	for _, sp := range specs {
+		back, err := ParseSpec(sp.String())
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", sp.String(), err)
+			continue
+		}
+		if back != sp {
+			t.Errorf("fixpoint broken: %+v -> %q -> %+v", sp, sp.String(), back)
+		}
+	}
+}
+
+// FuzzSynthSpec fuzzes the spec mini-language: any input that parses must
+// have a canonical String() that re-parses to the identical Spec, and the
+// canonical form must itself be a fixpoint (String of the reparse equals
+// the first String).
+func FuzzSynthSpec(f *testing.F) {
+	for _, seed := range []string{
+		"world=16",
+		"4096",
+		"16384,scale=strong",
+		"world=64,grid=8x16,scale=compute=-1:bytes=-0.5:reps=0.25,seed=42,jitter=0.1",
+		"world=8,scale=weak",
+		"world=8,jitter=0.999",
+		"world=1,seed=18446744073709551615",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		sp, err := ParseSpec(in)
+		if err != nil {
+			return
+		}
+		if sp.World <= 0 {
+			t.Fatalf("ParseSpec(%q) accepted non-positive world %d", in, sp.World)
+		}
+		s := sp.String()
+		back, err := ParseSpec(s)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", s, in, err)
+		}
+		if back != sp {
+			t.Fatalf("round trip drifted: %q -> %+v -> %q -> %+v", in, sp, s, back)
+		}
+		if s2 := back.String(); s2 != s {
+			t.Fatalf("canonical form not a fixpoint: %q -> %q", s, s2)
+		}
+	})
+}

@@ -248,7 +248,13 @@ func formatVolume(v float64) string {
 
 // ParseLine parses one line of the textual format. Empty lines and lines
 // starting with '#' yield ok=false with a nil error. It is the string
-// convenience wrapper over ParseLineBytes, the allocation-free fast path.
+// convenience wrapper over ParseLineBytes, the allocation-free fast path;
+// lines of realistic length go through a stack buffer, so the wrapper is
+// allocation-free too.
 func ParseLine(line string) (a Action, ok bool, err error) {
+	var buf [128]byte
+	if len(line) <= len(buf) {
+		return ParseLineBytes(buf[:copy(buf[:], line)])
+	}
 	return ParseLineBytes([]byte(line))
 }

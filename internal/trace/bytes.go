@@ -19,10 +19,19 @@ const maxLineFields = 4
 // trace scanning.
 var asciiSpace = [256]bool{' ': true, '\t': true, '\r': true, '\n': true, '\v': true, '\f': true}
 
+// fieldSpan is a field's [start, end) byte range within its line.
+type fieldSpan struct{ start, end int32 }
+
+// of resolves the span against its line.
+func (s fieldSpan) of(line []byte) []byte { return line[s.start:s.end] }
+
 // splitFieldsBytes tokenizes line on ASCII whitespace into at most
 // maxLineFields fields, returning the field count. Fields beyond the cap are
-// ignored (trailing garbage has always been tolerated).
-func splitFieldsBytes(line []byte, fields *[maxLineFields][]byte) int {
+// ignored (trailing garbage has always been tolerated). It records offset
+// spans rather than subslices: storing a slice of line through the output
+// pointer would make escape analysis treat line as leaking, heap-allocating
+// every caller's buffer.
+func splitFieldsBytes(line []byte, spans *[maxLineFields]fieldSpan) int {
 	n := 0
 	i := 0
 	for {
@@ -36,7 +45,7 @@ func splitFieldsBytes(line []byte, fields *[maxLineFields][]byte) int {
 		for i < len(line) && !asciiSpace[line[i]] {
 			i++
 		}
-		fields[n] = line[start:i]
+		spans[n] = fieldSpan{int32(start), int32(i)}
 		n++
 	}
 	return n
@@ -50,7 +59,8 @@ func parseProcIDBytes(s []byte) (int, error) {
 	}
 	v, ok := parseIntBytes(t)
 	if !ok || v < 0 {
-		return -1, fmt.Errorf("trace: bad process id %q", s)
+		// string(s) copies so the caller's line buffer does not escape.
+		return -1, fmt.Errorf("trace: bad process id %q", string(s))
 	}
 	return v, nil
 }
@@ -288,83 +298,94 @@ func typeFromBytes(s []byte) (ActionType, bool) {
 	return 0, false
 }
 
+// needArgs diagnoses an action line with too few arguments. It copies line
+// into the error so the caller's buffer does not escape (which is what keeps
+// ParseLine's stack buffer on the stack).
+func needArgs(typ ActionType, line []byte, got, want int) error {
+	if got < want {
+		return fmt.Errorf("trace: %s entry %q needs %d argument(s)", typ, string(line), want)
+	}
+	return nil
+}
+
+// badField wraps a field-level parse failure with the offending line. The
+// copy keeps the line buffer from escaping, as in needArgs.
+func badField(what string, line []byte, err error) error {
+	return fmt.Errorf("trace: bad %s in %q: %w", what, string(line), err)
+}
+
 // ParseLineBytes parses one line of the textual format without allocating in
 // the common case. Empty lines and lines starting with '#' yield ok=false
 // with a nil error. It accepts exactly the grammar of ParseLine and produces
-// bit-identical volumes.
+// bit-identical volumes. The line buffer never escapes: error paths copy the
+// bytes they quote, so callers may pass stack or reused buffers.
 func ParseLineBytes(line []byte) (a Action, ok bool, err error) {
-	var fields [maxLineFields][]byte
-	n := splitFieldsBytes(line, &fields)
-	if n == 0 || fields[0][0] == '#' {
+	var spans [maxLineFields]fieldSpan
+	n := splitFieldsBytes(line, &spans)
+	if n == 0 || line[spans[0].start] == '#' {
 		return Action{}, false, nil
 	}
 	if n < 2 {
-		return Action{}, false, fmt.Errorf("trace: truncated entry %q", line)
+		return Action{}, false, fmt.Errorf("trace: truncated entry %q", string(line))
 	}
-	proc, err := parseProcIDBytes(fields[0])
+	proc, err := parseProcIDBytes(spans[0].of(line))
 	if err != nil {
 		return Action{}, false, err
 	}
-	typ, known := typeFromBytes(fields[1])
+	typ, known := typeFromBytes(spans[1].of(line))
 	if !known {
-		return Action{}, false, fmt.Errorf("trace: unknown action %q", fields[1])
+		return Action{}, false, fmt.Errorf("trace: unknown action %q", string(spans[1].of(line)))
 	}
 	a = Action{Proc: proc, Type: typ, Peer: -1}
-	args := fields[2:n]
-	need := func(want int) error {
-		if len(args) < want {
-			return fmt.Errorf("trace: %s entry %q needs %d argument(s)", typ, line, want)
-		}
-		return nil
-	}
+	nargs := n - 2
 	switch typ {
 	case Compute, Bcast, Gather, AllGather, AllToAll, Scatter:
-		if err := need(1); err != nil {
+		if err := needArgs(typ, line, nargs, 1); err != nil {
 			return Action{}, false, err
 		}
-		if a.Volume, err = parseFloatBytes(args[0]); err != nil {
-			return Action{}, false, fmt.Errorf("trace: bad volume in %q: %w", line, err)
+		if a.Volume, err = parseFloatBytes(spans[2].of(line)); err != nil {
+			return Action{}, false, badField("volume", line, err)
 		}
 	case Send, Isend:
-		if err := need(2); err != nil {
+		if err := needArgs(typ, line, nargs, 2); err != nil {
 			return Action{}, false, err
 		}
-		if a.Peer, err = parseProcIDBytes(args[0]); err != nil {
+		if a.Peer, err = parseProcIDBytes(spans[2].of(line)); err != nil {
 			return Action{}, false, err
 		}
-		if a.Volume, err = parseFloatBytes(args[1]); err != nil {
-			return Action{}, false, fmt.Errorf("trace: bad volume in %q: %w", line, err)
+		if a.Volume, err = parseFloatBytes(spans[3].of(line)); err != nil {
+			return Action{}, false, badField("volume", line, err)
 		}
 	case Recv, Irecv:
-		if err := need(1); err != nil {
+		if err := needArgs(typ, line, nargs, 1); err != nil {
 			return Action{}, false, err
 		}
-		if a.Peer, err = parseProcIDBytes(args[0]); err != nil {
+		if a.Peer, err = parseProcIDBytes(spans[2].of(line)); err != nil {
 			return Action{}, false, err
 		}
-		if len(args) >= 2 {
-			if a.Volume, err = parseFloatBytes(args[1]); err != nil {
-				return Action{}, false, fmt.Errorf("trace: bad volume in %q: %w", line, err)
+		if nargs >= 2 {
+			if a.Volume, err = parseFloatBytes(spans[3].of(line)); err != nil {
+				return Action{}, false, badField("volume", line, err)
 			}
 			a.HasVolume = true
 		}
 	case Reduce, AllReduce:
-		if err := need(2); err != nil {
+		if err := needArgs(typ, line, nargs, 2); err != nil {
 			return Action{}, false, err
 		}
-		if a.Volume, err = parseFloatBytes(args[0]); err != nil {
-			return Action{}, false, fmt.Errorf("trace: bad vcomm in %q: %w", line, err)
+		if a.Volume, err = parseFloatBytes(spans[2].of(line)); err != nil {
+			return Action{}, false, badField("vcomm", line, err)
 		}
-		if a.Volume2, err = parseFloatBytes(args[1]); err != nil {
-			return Action{}, false, fmt.Errorf("trace: bad vcomp in %q: %w", line, err)
+		if a.Volume2, err = parseFloatBytes(spans[3].of(line)); err != nil {
+			return Action{}, false, badField("vcomp", line, err)
 		}
 	case CommSize:
-		if err := need(1); err != nil {
+		if err := needArgs(typ, line, nargs, 1); err != nil {
 			return Action{}, false, err
 		}
-		nproc, ok := parseIntBytes(args[0])
+		nproc, ok := parseIntBytes(spans[2].of(line))
 		if !ok || nproc < 1 {
-			return Action{}, false, fmt.Errorf("trace: bad comm_size in %q", line)
+			return Action{}, false, fmt.Errorf("trace: bad comm_size in %q", string(line))
 		}
 		a.Volume = float64(nproc)
 	case Barrier, Wait, WaitAll:
